@@ -1,0 +1,35 @@
+# GoldFinger — build / test / reproduce targets.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# Regenerate every table and figure of the paper at the default scale.
+experiments:
+	$(GO) run ./cmd/goldfinger all
+
+fuzz:
+	$(GO) test -fuzz=FuzzReadFingerprint -fuzztime=30s ./internal/core
+	$(GO) test -fuzz=FuzzParseMovieLens -fuzztime=30s ./internal/dataset
+
+clean:
+	$(GO) clean ./...
+	rm -f cover.out

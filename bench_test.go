@@ -1,0 +1,556 @@
+package goldfinger
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices called out in DESIGN.md §5.
+// Benchmarks that need a graph-construction run use a small dataset scale
+// so `go test -bench=.` completes in minutes; cmd/goldfinger runs the same
+// experiments at arbitrary scale.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"goldfinger/internal/analysis"
+	"goldfinger/internal/combin"
+	"goldfinger/internal/core"
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/gossip"
+	"goldfinger/internal/knn"
+	"goldfinger/internal/memtrack"
+	"goldfinger/internal/minhash"
+	"goldfinger/internal/profile"
+	"goldfinger/internal/recommend"
+)
+
+const benchScale = 0.02
+
+func randomProfile(rng *rand.Rand, size, universe int) profile.Profile {
+	picked := map[profile.ItemID]bool{}
+	for len(picked) < size && len(picked) < universe {
+		picked[profile.ItemID(rng.Intn(universe))] = true
+	}
+	items := make([]profile.ItemID, 0, len(picked))
+	for it := range picked {
+		items = append(items, it)
+	}
+	return profile.New(items...)
+}
+
+// BenchmarkFig1ExplicitJaccard measures the cost of one exact Jaccard
+// computation as a function of profile size (paper Fig 1).
+func BenchmarkFig1ExplicitJaccard(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{10, 20, 40, 80, 160, 200} {
+		p1 := randomProfile(rng, size, 1000)
+		p2 := randomProfile(rng, size, 1000)
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += profile.Jaccard(p1, p2)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkTable1SHFJaccard measures one SHF Jaccard estimate per
+// fingerprint length (paper Table 1; |P| = 80).
+func BenchmarkTable1SHFJaccard(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	p1 := randomProfile(rng, 80, 1000)
+	p2 := randomProfile(rng, 80, 1000)
+	for _, bits := range []int{64, 256, 1024, 4096} {
+		s := core.MustScheme(bits, 3)
+		f1, f2 := s.Fingerprint(p1), s.Fingerprint(p2)
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += core.Jaccard(f1, f2)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkFig3EstimatorSampling measures the Monte-Carlo sampler behind
+// the estimator figures (paper Figs 3–5): one full Ĵ draw per iteration.
+func BenchmarkFig3EstimatorSampling(b *testing.B) {
+	p := combin.Params{Alpha: 40, Gamma1: 60, Gamma2: 60, B: 1024}
+	b.Run("draw", func(b *testing.B) {
+		if _, err := analysis.SampleEstimator(p, b.N, 4); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("exact-theorem1-small", func(b *testing.B) {
+		small := combin.Params{Alpha: 4, Gamma1: 6, Gamma2: 6, B: 32}
+		for i := 0; i < b.N; i++ {
+			if _, err := combin.Mean(small); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable2DatasetGeneration measures the synthetic pipeline behind
+// Table 2: generating one calibrated dataset per iteration.
+func BenchmarkTable2DatasetGeneration(b *testing.B) {
+	for _, preset := range []dataset.Preset{dataset.ML1M, dataset.AmazonMovies} {
+		b.Run(preset.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := dataset.Generate(preset, benchScale, int64(i))
+				if d.NumUsers() == 0 {
+					b.Fatal("empty dataset")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Preparation measures dataset preparation per
+// representation (paper Table 3): native profile building, MinHash
+// sketching with explicit permutations, and GoldFinger fingerprinting.
+func BenchmarkTable3Preparation(b *testing.B) {
+	ratings := dataset.GenerateRatings(dataset.ML1M, benchScale, 5)
+	d := dataset.FromRatings("ml1M", ratings, dataset.Options{})
+
+	b.Run("native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dataset.FromRatings("ml1M", ratings, dataset.Options{})
+		}
+	})
+	b.Run("minhash", func(b *testing.B) {
+		cfg := minhash.DefaultConfig()
+		for i := 0; i < b.N; i++ {
+			sk, err := minhash.NewSketcher(cfg, d.NumItems)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sk.SketchAll(d.Profiles)
+		}
+	})
+	b.Run("goldfinger", func(b *testing.B) {
+		s := core.MustScheme(1024, 6)
+		for i := 0; i < b.N; i++ {
+			s.FingerprintAll(d.Profiles)
+		}
+	})
+}
+
+// BenchmarkTable4 measures full KNN graph construction per algorithm and
+// mode (paper Table 4 / Figs 6–7), reporting achieved quality as a metric.
+func BenchmarkTable4(b *testing.B) {
+	for _, preset := range []dataset.Preset{dataset.ML1M, dataset.DBLP} {
+		d := dataset.Generate(preset, benchScale, 7)
+		exactP := knn.NewExplicitProvider(d.Profiles)
+		shfP := knn.NewSHFProvider(core.MustScheme(1024, 7), d.Profiles)
+		exact, _ := knn.BruteForce(exactP, 30, knn.Options{})
+
+		type m struct {
+			name string
+			p    knn.Provider
+		}
+		for _, algo := range []struct {
+			name string
+			run  func(p knn.Provider) *knn.Graph
+		}{
+			{"bruteforce", func(p knn.Provider) *knn.Graph { g, _ := knn.BruteForce(p, 30, knn.Options{Seed: 7}); return g }},
+			{"hyrec", func(p knn.Provider) *knn.Graph { g, _ := knn.Hyrec(p, 30, knn.Options{Seed: 7}); return g }},
+			{"nndescent", func(p knn.Provider) *knn.Graph { g, _ := knn.NNDescent(p, 30, knn.Options{Seed: 7}); return g }},
+			{"lsh", func(p knn.Provider) *knn.Graph {
+				g, _ := knn.LSH(d.Profiles, p, 30, knn.LSHOptions{Seed: 7})
+				return g
+			}},
+		} {
+			for _, mode := range []m{{"native", exactP}, {"goldfinger", shfP}} {
+				b.Run(fmt.Sprintf("%s/%s/%s", preset.Name, algo.name, mode.name), func(b *testing.B) {
+					var g *knn.Graph
+					for i := 0; i < b.N; i++ {
+						g = algo.run(mode.p)
+					}
+					b.ReportMetric(knn.Quality(g, exact, exactP), "quality")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable5TrafficModel measures the memory-traffic accounting used
+// in place of the paper's hardware counters, reporting the modeled load
+// reduction.
+func BenchmarkTable5TrafficModel(b *testing.B) {
+	d := dataset.Generate(dataset.ML10M, benchScale, 8)
+	native := memtrack.ExplicitModel(d.Profiles)
+	golfi := memtrack.SHFModel(1024)
+	stats := knn.Stats{Comparisons: 1 << 20, Updates: 1 << 12}
+	var red float64
+	for i := 0; i < b.N; i++ {
+		red = memtrack.Reduction(native.ForRun(stats).Loads(), golfi.ForRun(stats).Loads())
+	}
+	b.ReportMetric(red, "load-reduction-%")
+}
+
+// BenchmarkFig8Recommendation measures one full 5-fold cross-validated
+// recommendation run (paper Fig 8), reporting the achieved recall.
+func BenchmarkFig8Recommendation(b *testing.B) {
+	d := dataset.Generate(dataset.ML1M, benchScale, 9)
+	scheme := core.MustScheme(1024, 9)
+	for _, mode := range []struct {
+		name  string
+		build func(train *dataset.Dataset) *knn.Graph
+	}{
+		{"native", func(train *dataset.Dataset) *knn.Graph {
+			g, _ := knn.Hyrec(knn.NewExplicitProvider(train.Profiles), 30, knn.Options{Seed: 9})
+			return g
+		}},
+		{"goldfinger", func(train *dataset.Dataset) *knn.Graph {
+			g, _ := knn.Hyrec(knn.NewSHFProvider(scheme, train.Profiles), 30, knn.Options{Seed: 9})
+			return g
+		}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var recall float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				recall, err = recommend.CrossValidate(d, 5, 9, recommend.DefaultN, mode.build)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(recall, "recall")
+		})
+	}
+}
+
+// BenchmarkFig9SimilarityVsB measures one SHF similarity per fingerprint
+// size on ml10M-shaped profiles (paper Fig 9).
+func BenchmarkFig9SimilarityVsB(b *testing.B) {
+	d := dataset.Generate(dataset.ML10M, benchScale, 10)
+	rng := rand.New(rand.NewSource(10))
+	u, v := rng.Intn(d.NumUsers()), rng.Intn(d.NumUsers())
+	b.Run("explicit", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += profile.Jaccard(d.Profiles[u], d.Profiles[v])
+		}
+		_ = sink
+	})
+	for _, bits := range []int{64, 256, 1024, 4096, 8192} {
+		s := core.MustScheme(bits, 10)
+		f1, f2 := s.Fingerprint(d.Profiles[u]), s.Fingerprint(d.Profiles[v])
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += core.Jaccard(f1, f2)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkFig10TradeOff measures Hyrec+GoldFinger graph construction per
+// fingerprint size (paper Fig 10), reporting quality.
+func BenchmarkFig10TradeOff(b *testing.B) {
+	d := dataset.Generate(dataset.ML10M, benchScale, 11)
+	exactP := knn.NewExplicitProvider(d.Profiles)
+	exact, _ := knn.BruteForce(exactP, 30, knn.Options{})
+	for _, bits := range []int{64, 256, 1024, 4096} {
+		shfP := knn.NewSHFProvider(core.MustScheme(bits, 11), d.Profiles)
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			var g *knn.Graph
+			for i := 0; i < b.N; i++ {
+				g, _ = knn.Hyrec(shfP, 30, knn.Options{Seed: 11})
+			}
+			b.ReportMetric(knn.Quality(g, exact, exactP), "quality")
+		})
+	}
+}
+
+// BenchmarkFig11Heatmap measures the similarity-distortion heatmap pass
+// (paper Fig 11), reporting the fraction of pairs within 0.05 of the
+// diagonal.
+func BenchmarkFig11Heatmap(b *testing.B) {
+	d := dataset.Generate(dataset.ML10M, benchScale, 12)
+	for _, bits := range []int{1024, 4096} {
+		s := core.MustScheme(bits, 12)
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			var h *analysis.Heatmap
+			for i := 0; i < b.N; i++ {
+				var err error
+				h, err = analysis.ComputeHeatmap(d.Profiles, s, 50000, 100, 12)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(h.DiagonalMass(0.05), "within-0.05")
+		})
+	}
+}
+
+// BenchmarkFig12Convergence measures Hyrec runs per fingerprint size
+// (paper Fig 12), reporting iterations and scanrate.
+func BenchmarkFig12Convergence(b *testing.B) {
+	d := dataset.Generate(dataset.ML10M, benchScale, 13)
+	n := d.NumUsers()
+	for _, bits := range []int{0, 128, 1024, 8192} { // 0 = native
+		var p knn.Provider = knn.NewExplicitProvider(d.Profiles)
+		name := "native"
+		if bits > 0 {
+			p = knn.NewSHFProvider(core.MustScheme(bits, 13), d.Profiles)
+			name = fmt.Sprintf("bits=%d", bits)
+		}
+		b.Run(name, func(b *testing.B) {
+			var stats knn.Stats
+			for i := 0; i < b.N; i++ {
+				_, stats = knn.Hyrec(p, 30, knn.Options{Seed: 13})
+			}
+			b.ReportMetric(float64(stats.Iterations), "iterations")
+			b.ReportMetric(stats.ScanRate(n), "scanrate")
+		})
+	}
+}
+
+// BenchmarkExtensionKIFF measures the KIFF extension (related work §6) on
+// a dense and a sparse dataset shape, native vs GoldFinger.
+func BenchmarkExtensionKIFF(b *testing.B) {
+	for _, preset := range []dataset.Preset{dataset.ML1M, dataset.DBLP} {
+		d := dataset.Generate(preset, benchScale, 18)
+		exactP := knn.NewExplicitProvider(d.Profiles)
+		shfP := knn.NewSHFProvider(core.MustScheme(1024, 18), d.Profiles)
+		for _, mode := range []struct {
+			name string
+			p    knn.Provider
+		}{{"native", exactP}, {"goldfinger", shfP}} {
+			b.Run(preset.Name+"/"+mode.name, func(b *testing.B) {
+				var stats knn.Stats
+				for i := 0; i < b.N; i++ {
+					_, stats = knn.KIFF(d.Profiles, mode.p, 30, knn.KIFFOptions{})
+				}
+				b.ReportMetric(stats.ScanRate(d.NumUsers()), "scanrate")
+			})
+		}
+	}
+}
+
+// BenchmarkExtensionBisection measures the divide-and-conquer extension
+// (Chen et al., §6), native vs GoldFinger.
+func BenchmarkExtensionBisection(b *testing.B) {
+	d := dataset.Generate(dataset.ML1M, benchScale, 19)
+	exactP := knn.NewExplicitProvider(d.Profiles)
+	shfP := knn.NewSHFProvider(core.MustScheme(1024, 19), d.Profiles)
+	for _, mode := range []struct {
+		name string
+		p    knn.Provider
+	}{{"native", exactP}, {"goldfinger", shfP}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var stats knn.Stats
+			for i := 0; i < b.N; i++ {
+				_, stats = knn.RecursiveBisection(d.Profiles, mode.p, 30,
+					knn.BisectionOptions{NumItems: d.NumItems, Seed: 19})
+			}
+			b.ReportMetric(stats.ScanRate(d.NumUsers()), "scanrate")
+		})
+	}
+}
+
+// BenchmarkExtensionGossip measures the decentralized gossip protocol
+// (Gossple-style, the paper's motivating context), native vs GoldFinger,
+// reporting the achieved quality.
+func BenchmarkExtensionGossip(b *testing.B) {
+	d := dataset.Generate(dataset.ML1M, benchScale, 20)
+	exactP := knn.NewExplicitProvider(d.Profiles)
+	exact, _ := knn.BruteForce(exactP, 10, knn.Options{})
+	shfP := knn.NewSHFProvider(core.MustScheme(1024, 20), d.Profiles)
+	for _, mode := range []struct {
+		name string
+		p    knn.Provider
+	}{{"native", exactP}, {"goldfinger", shfP}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var g *knn.Graph
+			for i := 0; i < b.N; i++ {
+				var err error
+				g, _, err = gossip.Simulate(mode.p, gossip.Config{K: 10, Rounds: 15, Seed: 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(knn.Quality(g, exact, exactP), "quality")
+		})
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationMultiHash compares the single-hash SHF against
+// Bloom-style multi-hash fingerprints (paper §2.3's argument for one hash),
+// reporting the mean absolute estimation error.
+func BenchmarkAblationMultiHash(b *testing.B) {
+	var items1, items2 []profile.ItemID
+	for i := 0; i < 80; i++ {
+		items1 = append(items1, profile.ItemID(i))
+		items2 = append(items2, profile.ItemID(i+40))
+	}
+	p1, p2 := profile.New(items1...), profile.New(items2...)
+	truth := profile.Jaccard(p1, p2)
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("hashes=%d", k), func(b *testing.B) {
+			var errSum float64
+			count := 0
+			for i := 0; i < b.N; i++ {
+				s, err := core.NewMultiHashScheme(512, k, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				est := core.Jaccard(s.Fingerprint(p1), s.Fingerprint(p2))
+				if est > truth {
+					errSum += est - truth
+				} else {
+					errSum += truth - est
+				}
+				count++
+			}
+			b.ReportMetric(errSum/float64(count), "mean-abs-error")
+		})
+	}
+}
+
+// BenchmarkAblationHashFunction compares the two item-hash choices: the
+// paper's Jenkins lookup3 against the default 64-bit mixer. Estimator
+// quality is identical (see core tests); this measures fingerprinting cost.
+func BenchmarkAblationHashFunction(b *testing.B) {
+	p := randomProfile(rand.New(rand.NewSource(21)), 80, 100000)
+	for _, kind := range []struct {
+		name string
+		k    core.HashKind
+	}{{"mix64", core.HashMix64}, {"jenkins", core.HashJenkins}} {
+		s, err := core.NewSchemeWithHash(1024, 21, kind.k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(kind.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Fingerprint(p)
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionDynamic measures incremental maintenance: one rating
+// update (fingerprint refresh + local repair) per iteration.
+func BenchmarkExtensionDynamic(b *testing.B) {
+	d := dataset.Generate(dataset.ML1M, benchScale, 22)
+	scheme := core.MustScheme(1024, 22)
+	dyn, err := knn.NewDynamic(scheme, d.Profiles, 10, knn.Options{Seed: 22})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := i % d.NumUsers()
+		if _, err := dyn.AddRating(u, profile.ItemID(d.NumItems+i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPopcount compares the word-wise AND+popcount kernel
+// against a naive per-bit loop.
+func BenchmarkAblationPopcount(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	s := core.MustScheme(1024, 14)
+	f1 := s.Fingerprint(randomProfile(rng, 80, 10000))
+	f2 := s.Fingerprint(randomProfile(rng, 80, 10000))
+	b.Run("word-popcount", func(b *testing.B) {
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += core.IntersectionEstimate(f1, f2)
+		}
+		_ = sink
+	})
+	b.Run("bit-loop", func(b *testing.B) {
+		var sink int
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for j := 0; j < f1.NumBits(); j++ {
+				if f1.Bits().Test(j) && f2.Bits().Test(j) {
+					n++
+				}
+			}
+			sink += n
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkAblationStoredCardinality compares Eq. 4 with the cached
+// cardinality against recomputing |B| on every comparison.
+func BenchmarkAblationStoredCardinality(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	s := core.MustScheme(1024, 15)
+	f1 := s.Fingerprint(randomProfile(rng, 80, 10000))
+	f2 := s.Fingerprint(randomProfile(rng, 80, 10000))
+	b.Run("stored", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += core.Jaccard(f1, f2)
+		}
+		_ = sink
+	})
+	b.Run("recomputed", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			inter := core.IntersectionEstimate(f1, f2)
+			union := f1.Bits().Count() + f2.Bits().Count() - inter
+			if union > 0 {
+				sink += float64(inter) / float64(union)
+			}
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkAblationProfileRepr compares the sorted-slice merge against a
+// map-based intersection for exact Jaccard.
+func BenchmarkAblationProfileRepr(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	p1 := randomProfile(rng, 80, 10000)
+	p2 := randomProfile(rng, 80, 10000)
+	set1 := map[profile.ItemID]bool{}
+	for _, it := range p1 {
+		set1[it] = true
+	}
+	b.Run("sorted-merge", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += profile.Jaccard(p1, p2)
+		}
+		_ = sink
+	})
+	b.Run("hash-set", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			inter := 0
+			for _, it := range p2 {
+				if set1[it] {
+					inter++
+				}
+			}
+			sink += float64(inter) / float64(len(p1)+len(p2)-inter)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkAblationParallel measures Brute Force scaling with the worker
+// count.
+func BenchmarkAblationParallel(b *testing.B) {
+	d := dataset.Generate(dataset.ML1M, benchScale, 17)
+	shfP := knn.NewSHFProvider(core.MustScheme(1024, 17), d.Profiles)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				knn.BruteForce(shfP, 30, knn.Options{Workers: workers})
+			}
+		})
+	}
+}

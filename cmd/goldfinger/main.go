@@ -1,0 +1,226 @@
+// Command goldfinger regenerates the tables and figures of "Fingerprinting
+// Big Data: The Case of KNN Graph Construction" (ICDE 2019). Each
+// experiment id maps to one table or figure of the paper's evaluation; see
+// DESIGN.md for the index and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	goldfinger [flags] <experiment> [<experiment>...]
+//	goldfinger -scale 0.1 table4
+//	goldfinger all
+//
+// Experiments: fig1 table1 fig3 fig4 fig5 table2 table3 table4 table5 fig8
+// fig9 fig10 fig11 fig12 privacy all. The extra experiment "stats" prepares
+// a real ratings file (-file, -format, -minratings) with the paper's
+// pipeline and prints its Table 2 row and privacy accounting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/eval"
+	"goldfinger/internal/privacy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "goldfinger:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("goldfinger", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.05, "dataset scale (1.0 = the paper's full sizes)")
+	bits := fs.Int("bits", 1024, "SHF length in bits")
+	k := fs.Int("k", 30, "neighborhood size")
+	seed := fs.Int64("seed", 42, "random seed")
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	only := fs.String("datasets", "", "comma-separated preset names (default: all six)")
+	trials := fs.Int("trials", 50000, "Monte-Carlo trials for the estimator figures")
+	repeats := fs.Int("repeats", 1, "seed-averaged repetitions for table4 (the paper averages 5 runs)")
+	file := fs.String("file", "", "real dataset file for the stats experiment")
+	format := fs.String("format", "movielens", "format of -file: movielens, csv or edges")
+	minRatings := fs.Int("minratings", 20, "minimum raw ratings per user for the stats experiment (-1 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("no experiment given; try: goldfinger table4 (ids: %s)", strings.Join(experimentIDs(), " "))
+	}
+
+	cfg := eval.Config{Scale: *scale, Bits: *bits, K: *k, Seed: *seed, Workers: *workers}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			p, err := dataset.PresetByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			cfg.Datasets = append(cfg.Datasets, p)
+		}
+	}
+
+	ids := fs.Args()
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experimentIDs()
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		if id == "stats" {
+			if err := runStats(*file, *format, *bits, *minRatings); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := runExperiment(id, cfg, *trials, *repeats); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStats prepares a real dataset file with the paper's pipeline and
+// prints its Table 2 row and privacy accounting.
+func runStats(file, format string, bits, minRatings int) error {
+	if file == "" {
+		return fmt.Errorf("stats needs -file (a real ratings file)")
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var ratings []dataset.Rating
+	switch format {
+	case "movielens":
+		ratings, err = dataset.ParseMovieLens(f)
+	case "csv":
+		ratings, err = dataset.ParseCSV(f)
+	case "edges":
+		ratings, err = dataset.ParseEdgeList(f)
+	default:
+		return fmt.Errorf("unknown format %q (movielens, csv or edges)", format)
+	}
+	if err != nil {
+		return err
+	}
+
+	d := dataset.FromRatings(file, ratings, dataset.Options{MinRatings: minRatings})
+	s := d.ComputeStats()
+	fmt.Printf("%s: %d users, %d rated items (universe %d), %d positive ratings\n",
+		file, s.Users, s.Items, s.ItemUniverse, s.Ratings)
+	fmt.Printf("mean |Pu| = %.2f, mean |Pi| = %.2f, density %.3f%%\n",
+		s.MeanProfile, s.MeanItemDeg, s.DensityPct)
+	scheme, err := core.NewScheme(bits, 42)
+	if err != nil {
+		return err
+	}
+	fmt.Println(privacy.Assess(file, d.Profiles, d.NumItems, scheme))
+	return nil
+}
+
+func experimentIDs() []string {
+	return []string{"fig1", "table1", "fig3", "fig4", "fig5", "table2", "table3",
+		"table4", "table5", "fig8", "fig9", "fig10", "fig11", "fig12", "privacy", "ablation",
+		"gossip", "dynamic", "scaling"}
+}
+
+func runExperiment(id string, cfg eval.Config, trials, repeats int) error {
+	w := os.Stdout
+	switch id {
+	case "fig1":
+		eval.RenderFig1(w, eval.Fig1(nil, cfg.Seed))
+	case "table1":
+		eval.RenderTable1(w, eval.Table1(nil, cfg.Seed))
+	case "fig3":
+		rows, err := eval.Fig3(trials, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		eval.RenderFig3(w, rows)
+	case "fig4":
+		r, err := eval.Fig4(trials, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		eval.RenderFig4(w, r)
+	case "fig5":
+		rows, err := eval.Fig5(trials, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		eval.RenderFig5(w, rows)
+	case "table2":
+		eval.RenderTable2(w, eval.Table2(cfg))
+	case "table3":
+		rows, err := eval.Table3(cfg)
+		if err != nil {
+			return err
+		}
+		eval.RenderTable3(w, rows)
+	case "table4":
+		eval.RenderTable4(w, eval.Table4Avg(cfg, repeats))
+	case "table5":
+		eval.RenderTable5(w, eval.Table5(cfg))
+	case "fig8":
+		rows, err := eval.Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		eval.RenderFig8(w, rows)
+	case "fig9":
+		eval.RenderFig9(w, eval.Fig9(cfg))
+	case "fig10":
+		eval.RenderFig10(w, eval.Fig10(cfg, nil))
+	case "fig11":
+		results, err := eval.Fig11(cfg, 0)
+		if err != nil {
+			return err
+		}
+		eval.RenderFig11(w, results)
+	case "fig12":
+		eval.RenderFig12(w, eval.Fig12(cfg, nil))
+	case "privacy":
+		eval.RenderPrivacy(w, cfg, eval.PrivacyReport(cfg))
+	case "ablation":
+		comp, err := eval.AblationCompaction(cfg)
+		if err != nil {
+			return err
+		}
+		eval.RenderAblationCompaction(w, comp)
+		fmt.Fprintln(w)
+		mh, err := eval.AblationMultiHash(cfg)
+		if err != nil {
+			return err
+		}
+		eval.RenderAblationMultiHash(w, mh)
+		fmt.Fprintln(w)
+		eval.RenderAblationKIFF(w, eval.AblationKIFF(cfg))
+	case "gossip":
+		rows, err := eval.Gossip(cfg, 0)
+		if err != nil {
+			return err
+		}
+		eval.RenderGossip(w, rows)
+	case "dynamic":
+		row, err := eval.Dynamic(cfg, 0)
+		if err != nil {
+			return err
+		}
+		eval.RenderDynamic(w, row)
+	case "scaling":
+		eval.RenderScaling(w, eval.Scaling(cfg, nil))
+	default:
+		return fmt.Errorf("unknown experiment %q (ids: %s)", id, strings.Join(experimentIDs(), " "))
+	}
+	return nil
+}

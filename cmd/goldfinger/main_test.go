@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"goldfinger/internal/eval"
+)
+
+func TestRunRequiresExperiment(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no arguments accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := run([]string{"nope"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	err := run([]string{"-datasets", "bogus", "table2"})
+	if err == nil || !strings.Contains(err.Error(), "unknown preset") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestExperimentIDsAllHandled(t *testing.T) {
+	// Every advertised id must dispatch without the "unknown experiment"
+	// error; use a microscopic configuration so this stays fast.
+	cfg := eval.Config{Scale: 0.008, K: 3, Seed: 1}
+	cfg.Datasets = nil // default six, but the scale keeps them tiny
+	for _, id := range experimentIDs() {
+		switch id {
+		case "table4", "fig8", "fig10", "fig11", "fig12", "table5", "table3", "table2", "privacy", "fig9":
+			continue // heavier experiments are covered by internal/eval tests
+		}
+		if err := runExperiment(id, cfg, 500, 1); err != nil {
+			t.Errorf("experiment %s failed: %v", id, err)
+		}
+	}
+}
+
+func TestRunSingleLightExperiment(t *testing.T) {
+	if err := run([]string{"-trials", "500", "fig4"}); err != nil {
+		t.Errorf("fig4 run failed: %v", err)
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "ratings-*.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("1::10::5::1\n1::20::4::1\n2::10::5::1\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{"-file", f.Name(), "-minratings", "-1", "stats"}); err != nil {
+		t.Errorf("stats failed: %v", err)
+	}
+	if err := run([]string{"stats"}); err == nil {
+		t.Error("stats without -file accepted")
+	}
+	if err := run([]string{"-file", f.Name(), "-format", "bogus", "stats"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-file", "/nonexistent", "stats"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeRatings produces a MovieLens-format file with enough structure for
+// a 2-NN graph: 6 users over overlapping item blocks.
+func writeRatings(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	for u := 1; u <= 6; u++ {
+		for i := 0; i < 8; i++ {
+			item := u*4 + i // overlapping windows
+			fmt.Fprintf(&sb, "%d::%d::5::0\n", u, item)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "ratings.dat")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("missing -input accepted")
+	}
+}
+
+func TestRunBadChoices(t *testing.T) {
+	path := writeRatings(t)
+	for _, args := range [][]string{
+		{"-input", path, "-format", "bogus"},
+		{"-input", path, "-minratings", "-1", "-algo", "bogus"},
+		{"-input", path, "-minratings", "-1", "-mode", "bogus"},
+		{"-input", "/nonexistent"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunMinRatingsFiltersAll(t *testing.T) {
+	path := writeRatings(t) // 8 ratings per user < default 20
+	if err := run([]string{"-input", path}, &bytes.Buffer{}); err == nil {
+		t.Error("expected 'no users left' error")
+	}
+}
+
+func TestRunAllAlgorithmsAndModes(t *testing.T) {
+	path := writeRatings(t)
+	for _, algo := range []string{"bruteforce", "hyrec", "nndescent", "lsh", "kiff", "bisection"} {
+		for _, mode := range []string{"native", "goldfinger"} {
+			var out bytes.Buffer
+			err := run([]string{"-input", path, "-minratings", "-1", "-algo", algo, "-mode", mode, "-k", "2"}, &out)
+			if err != nil {
+				t.Errorf("%s/%s: %v", algo, mode, err)
+				continue
+			}
+			lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+			if len(lines) < 2 {
+				t.Errorf("%s/%s: no edges emitted", algo, mode)
+				continue
+			}
+			if !strings.HasPrefix(lines[0], "#") {
+				t.Errorf("%s/%s: missing header line", algo, mode)
+			}
+			for _, line := range lines[1:] {
+				if len(strings.Split(line, "\t")) != 3 {
+					t.Errorf("%s/%s: malformed edge line %q", algo, mode, line)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command knnserver runs the untrusted KNN-construction service of the
+// paper's §2.5 deployment: clients fingerprint their profiles locally and
+// upload only the SHFs; this server builds and serves the KNN graph without
+// ever seeing a profile in clear text.
+//
+// Endpoints:
+//
+//	PUT  /users/{id}/fingerprint   upload a binary SHF (internal/core codec)
+//	POST /graph/build?k=30&algo=hyrec
+//	GET  /users/{id}/neighbors
+//	POST /query?k=10               top-k users for an uploaded fingerprint
+//	GET  /stats, GET /healthz
+//
+// Usage:
+//
+//	knnserver -addr :8080 -bits 1024
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"goldfinger/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	bits := flag.Int("bits", 1024, "accepted fingerprint length")
+	flag.Parse()
+
+	srv, err := service.NewServer(*bits)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "knnserver:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("knnserver listening on %s (fingerprints: %d bits)", *addr, *bits)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,19 @@
+// Package goldfinger reproduces "Fingerprinting Big Data: The Case of KNN
+// Graph Construction" (Guerraoui, Kermarrec, Ruas, Taïani — ICDE 2019).
+//
+// The library lives under internal/: core (Single Hash Fingerprints and
+// their wire codec), profile (explicit profiles and exact similarities),
+// knn (Brute Force, Hyrec, NNDescent, LSH, KIFF, Recursive Bisection and
+// dynamic maintenance over pluggable similarity providers), dataset
+// (preparation pipeline, parsers and calibrated synthetic generators),
+// minhash (the b-bit minwise baseline), sampling (the profile-truncation
+// baseline), recommend (the paper's case study), combin and analysis
+// (Theorem 1, exactly and by Monte Carlo), privacy (k-anonymity /
+// ℓ-diversity), memtrack (memory-traffic model), gossip (decentralized
+// deployment), service (the untrusted-server deployment over HTTP) and
+// eval (the experiment harness behind cmd/goldfinger).
+//
+// The benchmarks in this package regenerate every table and figure of the
+// paper's evaluation; see DESIGN.md for the index and EXPERIMENTS.md for
+// recorded paper-vs-measured results.
+package goldfinger

@@ -1,0 +1,82 @@
+// Dedup: near-duplicate text detection with fingerprints — the
+// "fingerprinting big data" idea applied outside recommendation. Documents
+// are shingled into sets of hashed 3-grams, fingerprinted with SHFs, and a
+// KNN graph over the fingerprints surfaces near-duplicates without ever
+// comparing the documents in clear text.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/hashing"
+	"goldfinger/internal/knn"
+	"goldfinger/internal/profile"
+)
+
+// shingle converts text into the set of its hashed 3-word shingles — the
+// classic document representation for resemblance (Broder 1997), exactly a
+// "profile" in GoldFinger terms.
+func shingle(text string) profile.Profile {
+	words := strings.Fields(strings.ToLower(text))
+	if len(words) < 3 {
+		words = append(words, "", "")
+	}
+	var items []profile.ItemID
+	for i := 0; i+3 <= len(words); i++ {
+		gram := strings.Join(words[i:i+3], " ")
+		items = append(items, profile.ItemID(hashing.OneAtATime([]byte(gram))&0x7fffffff))
+	}
+	return profile.New(items...)
+}
+
+func main() {
+	docs := []struct {
+		id   string
+		text string
+	}{
+		{"press-release-v1", `GoldFinger accelerates the construction of KNN graphs by replacing
+			explicit user profiles with compact binary fingerprints that are fast to compare`},
+		{"press-release-v2", `GoldFinger accelerates the construction of KNN graphs by replacing
+			explicit user profiles with compact binary fingerprints which are very fast to compare`},
+		{"blog-post", `We built a recommender on top of a KNN graph and it was too slow, so we
+			compressed every profile into a single hash fingerprint and the speedup was dramatic`},
+		{"unrelated", `The weather in Rennes is mild in October with occasional rain showers
+			and temperatures around fifteen degrees in the afternoon`},
+		{"press-release-final", `GoldFinger speeds up the construction of KNN graphs by replacing
+			explicit user profiles with compact binary fingerprints that are fast to compare`},
+	}
+
+	profiles := make([]profile.Profile, len(docs))
+	for i, d := range docs {
+		profiles[i] = shingle(d.text)
+	}
+
+	// Fingerprint every document: 512 bits is plenty for short texts.
+	scheme := core.MustScheme(512, 2024)
+	shf := knn.NewSHFProvider(scheme, profiles)
+
+	// The 2 nearest neighbors of every document, by estimated resemblance.
+	graph, _ := knn.BruteForce(shf, 2, knn.Options{})
+
+	fmt.Println("near-duplicate report (SHF-estimated resemblance):")
+	const threshold = 0.5
+	for i, d := range docs {
+		for _, nb := range graph.Neighbors[i] {
+			if nb.Sim < threshold {
+				continue
+			}
+			exact := profile.Jaccard(profiles[i], profiles[nb.ID])
+			fmt.Printf("  %-20s ≈ %-20s  Ĵ=%.2f (exact %.2f)\n", d.id, docs[nb.ID].id, nb.Sim, exact)
+		}
+	}
+
+	fmt.Println("\npairwise estimates:")
+	for i := range docs {
+		for j := i + 1; j < len(docs); j++ {
+			est := shf.Similarity(i, j)
+			fmt.Printf("  %-20s vs %-20s  Ĵ=%.2f\n", docs[i].id, docs[j].id, est)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module goldfinger
+
+go 1.22

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"goldfinger/internal/combin"
+	"goldfinger/internal/core"
+	"goldfinger/internal/dataset"
+)
+
+func TestSampleEstimatorValidation(t *testing.T) {
+	if _, err := SampleEstimator(combin.Params{B: 0}, 10, 1); err == nil {
+		t.Error("b=0 accepted")
+	}
+	if _, err := SampleEstimator(combin.Params{B: 8}, 0, 1); err == nil {
+		t.Error("trials=0 accepted")
+	}
+}
+
+func TestSampleEstimatorRange(t *testing.T) {
+	samples, err := SampleEstimator(combin.Params{Alpha: 5, Gamma1: 10, Gamma2: 10, B: 64}, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range samples {
+		if v < 0 || v > 1 {
+			t.Fatalf("sample %g out of [0,1]", v)
+		}
+	}
+}
+
+func TestSampleEstimatorIdenticalProfiles(t *testing.T) {
+	samples, err := SampleEstimator(combin.Params{Alpha: 20, B: 64}, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range samples {
+		if v != 1 {
+			t.Fatalf("identical profiles estimated %g, want 1", v)
+		}
+	}
+}
+
+func TestSampleEstimatorDisjointSmall(t *testing.T) {
+	// Disjoint profiles, huge b: estimates almost always 0.
+	samples, err := SampleEstimator(combin.Params{Gamma1: 5, Gamma2: 5, B: 65536}, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonZero := 0
+	for _, v := range samples {
+		if v > 0 {
+			nonZero++
+		}
+	}
+	if nonZero > 10 {
+		t.Errorf("%d of 500 disjoint samples non-zero with b=65536", nonZero)
+	}
+}
+
+// TestMonteCarloMatchesTheorem1 is the cross-validation promised in
+// DESIGN.md: the sampled mean must match the exact expectation from the
+// Theorem 1 distribution.
+func TestMonteCarloMatchesTheorem1(t *testing.T) {
+	for _, p := range []combin.Params{
+		{Alpha: 2, Gamma1: 3, Gamma2: 3, B: 16},
+		{Alpha: 4, Gamma1: 4, Gamma2: 4, B: 32},
+		{Alpha: 1, Gamma1: 5, Gamma2: 2, B: 8},
+	} {
+		exact, err := combin.Mean(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, err := SampleEstimator(p, 200000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc := Summarize(samples).Mean; math.Abs(mc-exact) > 0.005 {
+			t.Errorf("params %+v: MC mean %.4f vs exact %.4f", p, mc, exact)
+		}
+	}
+}
+
+func TestSummarizeAndQuantile(t *testing.T) {
+	samples := []float64{0.5, 0.1, 0.9, 0.3, 0.7}
+	s := Summarize(samples)
+	if math.Abs(s.Mean-0.5) > 1e-12 {
+		t.Errorf("mean = %g", s.Mean)
+	}
+	if s.Min != 0.1 || s.Max != 0.9 {
+		t.Errorf("min/max = %g/%g", s.Min, s.Max)
+	}
+	if s.Q01 != 0.1 || s.Q99 != 0.9 {
+		t.Errorf("q01/q99 = %g/%g for a 5-sample set", s.Q01, s.Q99)
+	}
+	if got := Summarize(nil); got.Mean != 0 {
+		t.Error("empty summary not zero")
+	}
+	sorted := []float64{1, 2, 3, 4}
+	if Quantile(sorted, 0) != 1 || Quantile(sorted, 1) != 4 {
+		t.Error("extreme quantiles wrong")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile not 0")
+	}
+}
+
+// TestPaperFig3Bias reproduces the paper's headline estimator number: for
+// |P1| = |P2| = 100, J = 0.25 and b = 1024, the mean of Ĵ is ≈ 0.286.
+func TestPaperFig3Bias(t *testing.T) {
+	// J = 0.25 with |P1|=|P2|=100 → α = 40, γ1 = γ2 = 60.
+	p := combin.Params{Alpha: 40, Gamma1: 60, Gamma2: 60, B: 1024}
+	samples, err := SampleEstimator(p, 100000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := Summarize(samples).Mean
+	if math.Abs(mean-0.286) > 0.01 {
+		t.Errorf("mean Ĵ = %.4f, paper reports ≈0.286", mean)
+	}
+}
+
+// TestPaperFig4Misordering checks the companion claim: a profile with true
+// similarity 0.17 has < 2% probability of overtaking one at 0.25.
+func TestPaperFig4Misordering(t *testing.T) {
+	pA := combin.Params{Alpha: 40, Gamma1: 60, Gamma2: 60, B: 1024} // J = 0.25
+	// J = 0.17 with |P1|=|P2|=100: α/(200−α) = 0.17 → α ≈ 29.
+	pB := combin.Params{Alpha: 29, Gamma1: 71, Gamma2: 71, B: 1024}
+	a, err := SampleEstimator(pA, 50000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleEstimator(pB, 50000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := MisorderProbability(a, b, 9); p > 0.02 {
+		t.Errorf("misordering probability = %.4f, paper says < 2%%", p)
+	}
+}
+
+// TestSpreadGrowsAsBShrinks reproduces Fig 5: smaller fingerprints spread
+// the estimator wider.
+func TestSpreadGrowsAsBShrinks(t *testing.T) {
+	spread := func(b int) float64 {
+		s, err := SampleEstimator(combin.Params{Alpha: 40, Gamma1: 60, Gamma2: 60, B: b}, 20000, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := Summarize(s)
+		return sum.Q99 - sum.Q01
+	}
+	s256, s512, s1024 := spread(256), spread(512), spread(1024)
+	if !(s256 > s512 && s512 > s1024) {
+		t.Errorf("spread not decreasing in b: 256→%.4f 512→%.4f 1024→%.4f", s256, s512, s1024)
+	}
+}
+
+func TestMisorderProbabilityEdges(t *testing.T) {
+	if MisorderProbability(nil, []float64{1}, 1) != 0 {
+		t.Error("empty sample should give 0")
+	}
+	// B always above A → probability 1.
+	if p := MisorderProbability([]float64{0.1}, []float64{0.9}, 1); p != 1 {
+		t.Errorf("dominating B gives %g, want 1", p)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0.05, 0.15, 0.15, 0.95, -1, 2}, 0, 1, 10)
+	if h[0] != 2 || h[1] != 2 || h[9] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 6 {
+		t.Errorf("histogram lost samples: %d of 6", total)
+	}
+	if got := Histogram(nil, 1, 0, 5); len(got) != 5 {
+		t.Error("degenerate range should still return bins")
+	}
+}
+
+func TestComputeHeatmapValidation(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.01, 1)
+	s := core.MustScheme(256, 1)
+	if _, err := ComputeHeatmap(d.Profiles[:1], s, 10, 10, 1); err == nil {
+		t.Error("single profile accepted")
+	}
+	if _, err := ComputeHeatmap(d.Profiles, s, 0, 10, 1); err == nil {
+		t.Error("0 pairs accepted")
+	}
+	if _, err := ComputeHeatmap(d.Profiles, s, 10, 0, 1); err == nil {
+		t.Error("0 bins accepted")
+	}
+}
+
+func TestComputeHeatmapMassConcentratesWithLargeB(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.03, 11)
+	small, err := ComputeHeatmap(d.Profiles, core.MustScheme(256, 2), 20000, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := ComputeHeatmap(d.Profiles, core.MustScheme(8192, 2), 20000, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSmall, mLarge := small.DiagonalMass(0.05), large.DiagonalMass(0.05)
+	if mLarge < mSmall {
+		t.Errorf("diagonal mass with b=8192 (%.3f) below b=256 (%.3f)", mLarge, mSmall)
+	}
+	if mLarge < 0.9 {
+		t.Errorf("diagonal mass with b=8192 = %.3f, want ≥ 0.9", mLarge)
+	}
+	if small.Pairs != 20000 {
+		t.Errorf("Pairs = %d, want 20000", small.Pairs)
+	}
+}
+
+func TestHeatmapAtClamping(t *testing.T) {
+	h := &Heatmap{Bins: 10}
+	r, e := h.At(1.0, -0.1)
+	if r != 9 || e != 0 {
+		t.Errorf("At(1,-0.1) = (%d,%d), want (9,0)", r, e)
+	}
+}
+
+func TestSampleEstimatorDeterministicBySeed(t *testing.T) {
+	p := combin.Params{Alpha: 3, Gamma1: 3, Gamma2: 3, B: 32}
+	a, _ := SampleEstimator(p, 100, 42)
+	b, _ := SampleEstimator(p, 100, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}

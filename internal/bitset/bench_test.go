@@ -1,0 +1,53 @@
+package bitset
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchPair(nbits int) (*Set, *Set) {
+	r := rand.New(rand.NewSource(int64(nbits)))
+	a, b := New(nbits), New(nbits)
+	for i := 0; i < nbits/10+1; i++ {
+		a.Set(r.Intn(nbits))
+		b.Set(r.Intn(nbits))
+	}
+	return a, b
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	for _, nbits := range []int{64, 256, 1024, 4096, 8192} {
+		x, y := benchPair(nbits)
+		b.Run(fmt.Sprintf("bits=%d", nbits), func(b *testing.B) {
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += AndCount(x, y)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	x, _ := benchPair(1024)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += x.Count()
+	}
+	_ = sink
+}
+
+func BenchmarkSet(b *testing.B) {
+	s := New(1024)
+	for i := 0; i < b.N; i++ {
+		s.Set(i & 1023)
+	}
+}
+
+func BenchmarkOnes(b *testing.B) {
+	x, _ := benchPair(1024)
+	for i := 0; i < b.N; i++ {
+		x.Ones()
+	}
+}

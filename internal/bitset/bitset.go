@@ -1,0 +1,251 @@
+// Package bitset provides fixed-length dense bit vectors tuned for the
+// set-similarity kernels used by Single Hash Fingerprints: word-sliced
+// storage, branch-free AND/OR population counts, and in-place boolean
+// algebra. All operations treat the vector as exactly Len() bits; the spare
+// bits of the last word are kept at zero as an invariant so that population
+// counts never need masking.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const (
+	wordBits  = 64
+	wordShift = 6
+	wordMask  = wordBits - 1
+)
+
+// Set is a fixed-length bit vector. The zero value is an empty, zero-length
+// vector; use New to create a vector of a given length.
+type Set struct {
+	words []uint64
+	nbits int
+}
+
+// New returns a Set of nbits bits, all zero. It panics if nbits is negative.
+func New(nbits int) *Set {
+	if nbits < 0 {
+		panic(fmt.Sprintf("bitset: negative length %d", nbits))
+	}
+	return &Set{words: make([]uint64, wordsFor(nbits)), nbits: nbits}
+}
+
+// FromWords builds a Set of nbits bits backed by a copy of words. Bits of
+// words beyond nbits are cleared. It panics if words is too short for nbits.
+func FromWords(words []uint64, nbits int) *Set {
+	if len(words) < wordsFor(nbits) {
+		panic(fmt.Sprintf("bitset: %d words cannot hold %d bits", len(words), nbits))
+	}
+	s := &Set{words: make([]uint64, wordsFor(nbits)), nbits: nbits}
+	copy(s.words, words)
+	s.trim()
+	return s
+}
+
+func wordsFor(nbits int) int { return (nbits + wordMask) >> wordShift }
+
+// trim clears the spare bits of the last word, restoring the invariant.
+func (s *Set) trim() {
+	if r := s.nbits & wordMask; r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+// Len returns the number of bits in the vector.
+func (s *Set) Len() int { return s.nbits }
+
+// Words exposes the underlying storage. The slice must not be resized;
+// mutating it directly bypasses the spare-bit invariant.
+func (s *Set) Words() []uint64 { return s.words }
+
+// Set turns bit i on. It panics if i is out of range.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i>>wordShift] |= 1 << uint(i&wordMask)
+}
+
+// Clear turns bit i off. It panics if i is out of range.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i>>wordShift] &^= 1 << uint(i&wordMask)
+}
+
+// Test reports whether bit i is on. It panics if i is out of range.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i>>wordShift]&(1<<uint(i&wordMask)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.nbits {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.nbits))
+	}
+}
+
+// Count returns the number of bits set to one (the L1 norm).
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Reset clears every bit, keeping the length.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), nbits: s.nbits}
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether s and t have the same length and the same bits.
+func (s *Set) Equal(t *Set) bool {
+	if s.nbits != t.nbits {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AndCount returns |s AND t|, the size of the bitwise intersection, without
+// allocating. It panics if the lengths differ. This is the hot kernel of the
+// SHF Jaccard estimator.
+func AndCount(s, t *Set) int {
+	matchLen(s, t)
+	n := 0
+	for i, w := range s.words {
+		n += bits.OnesCount64(w & t.words[i])
+	}
+	return n
+}
+
+// OrCount returns |s OR t| without allocating. It panics if the lengths
+// differ.
+func OrCount(s, t *Set) int {
+	matchLen(s, t)
+	n := 0
+	for i, w := range s.words {
+		n += bits.OnesCount64(w | t.words[i])
+	}
+	return n
+}
+
+// XorCount returns |s XOR t| (the Hamming distance) without allocating. It
+// panics if the lengths differ.
+func XorCount(s, t *Set) int {
+	matchLen(s, t)
+	n := 0
+	for i, w := range s.words {
+		n += bits.OnesCount64(w ^ t.words[i])
+	}
+	return n
+}
+
+// And sets s to s AND t. It panics if the lengths differ.
+func (s *Set) And(t *Set) {
+	matchLen(s, t)
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// Or sets s to s OR t. It panics if the lengths differ.
+func (s *Set) Or(t *Set) {
+	matchLen(s, t)
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// AndNot sets s to s AND NOT t. It panics if the lengths differ.
+func (s *Set) AndNot(t *Set) {
+	matchLen(s, t)
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// SubsetOf reports whether every bit of s is also set in t. It panics if the
+// lengths differ.
+func (s *Set) SubsetOf(t *Set) bool {
+	matchLen(s, t)
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1 if
+// there is none. i may be any value; negative values start from bit zero.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.nbits {
+		return -1
+	}
+	w := i >> wordShift
+	cur := s.words[w] >> uint(i&wordMask)
+	if cur != 0 {
+		return i + bits.TrailingZeros64(cur)
+	}
+	for w++; w < len(s.words); w++ {
+		if s.words[w] != 0 {
+			return w<<wordShift + bits.TrailingZeros64(s.words[w])
+		}
+	}
+	return -1
+}
+
+// Ones returns the indices of all set bits, in increasing order.
+func (s *Set) Ones() []int {
+	out := make([]int, 0, s.Count())
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		out = append(out, i)
+	}
+	return out
+}
+
+// String renders the set as {i, j, ...} for debugging. Large sets are
+// abbreviated.
+func (s *Set) String() string {
+	const maxShown = 32
+	var b strings.Builder
+	b.WriteByte('{')
+	shown := 0
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		if shown == maxShown {
+			fmt.Fprintf(&b, ", …(%d more)", s.Count()-maxShown)
+			break
+		}
+		if shown > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", i)
+		shown++
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func matchLen(s, t *Set) {
+	if s.nbits != t.nbits {
+		panic(fmt.Sprintf("bitset: length mismatch %d != %d", s.nbits, t.nbits))
+	}
+}

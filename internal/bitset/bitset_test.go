@@ -1,0 +1,343 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsEmpty(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 1024} {
+		s := New(n)
+		if s.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, s.Len())
+		}
+		if c := s.Count(); c != 0 {
+			t.Errorf("New(%d).Count() = %d, want 0", n, c)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Errorf("bit %d set in fresh vector", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Errorf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	if got := s.Count(); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+}
+
+func TestSetIdempotent(t *testing.T) {
+	s := New(100)
+	s.Set(42)
+	s.Set(42)
+	if got := s.Count(); got != 1 {
+		t.Errorf("Count after double Set = %d, want 1", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(64)
+	for _, i := range []int{-1, 64, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Set(%d) did not panic", i)
+				}
+			}()
+			s.Set(i)
+		}()
+	}
+}
+
+func TestFromWordsTrimsSpareBits(t *testing.T) {
+	s := FromWords([]uint64{^uint64(0), ^uint64(0)}, 70)
+	if got := s.Count(); got != 70 {
+		t.Errorf("Count = %d, want 70 (spare bits must be cleared)", got)
+	}
+}
+
+func TestFromWordsTooShortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromWords with short slice did not panic")
+		}
+	}()
+	FromWords([]uint64{0}, 65)
+}
+
+func TestFromWordsCopies(t *testing.T) {
+	w := []uint64{1}
+	s := FromWords(w, 64)
+	w[0] = 0
+	if !s.Test(0) {
+		t.Error("FromWords aliased its input")
+	}
+}
+
+func randomSet(r *rand.Rand, nbits int, density float64) *Set {
+	s := New(nbits)
+	for i := 0; i < nbits; i++ {
+		if r.Float64() < density {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+func TestAndOrXorCountAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(300)
+		a := randomSet(r, n, r.Float64())
+		b := randomSet(r, n, r.Float64())
+		var and, or, xor int
+		for i := 0; i < n; i++ {
+			ab, bb := a.Test(i), b.Test(i)
+			if ab && bb {
+				and++
+			}
+			if ab || bb {
+				or++
+			}
+			if ab != bb {
+				xor++
+			}
+		}
+		if got := AndCount(a, b); got != and {
+			t.Fatalf("n=%d AndCount = %d, want %d", n, got, and)
+		}
+		if got := OrCount(a, b); got != or {
+			t.Fatalf("n=%d OrCount = %d, want %d", n, got, or)
+		}
+		if got := XorCount(a, b); got != xor {
+			t.Fatalf("n=%d XorCount = %d, want %d", n, got, xor)
+		}
+	}
+}
+
+func TestInclusionExclusion(t *testing.T) {
+	// |A| + |B| = |A∧B| + |A∨B| must hold for all pairs.
+	f := func(aw, bw []uint64) bool {
+		n := 64 * min(len(aw), len(bw))
+		if n == 0 {
+			return true
+		}
+		a := FromWords(aw, n)
+		b := FromWords(bw, n)
+		return a.Count()+b.Count() == AndCount(a, b)+OrCount(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorIsSymmetricDifference(t *testing.T) {
+	f := func(aw, bw []uint64) bool {
+		n := 64 * min(len(aw), len(bw))
+		if n == 0 {
+			return true
+		}
+		a := FromWords(aw, n)
+		b := FromWords(bw, n)
+		return XorCount(a, b) == OrCount(a, b)-AndCount(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMismatchedLengthPanics(t *testing.T) {
+	a, b := New(64), New(128)
+	for name, fn := range map[string]func(){
+		"AndCount": func() { AndCount(a, b) },
+		"OrCount":  func() { OrCount(a, b) },
+		"XorCount": func() { XorCount(a, b) },
+		"And":      func() { a.And(b) },
+		"Or":       func() { a.Or(b) },
+		"AndNot":   func() { a.AndNot(b) },
+		"SubsetOf": func() { a.SubsetOf(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched lengths did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAndMatchesAndCount(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(200)
+		a := randomSet(r, n, 0.5)
+		b := randomSet(r, n, 0.5)
+		want := AndCount(a, b)
+		c := a.Clone()
+		c.And(b)
+		if got := c.Count(); got != want {
+			t.Fatalf("And then Count = %d, want %d", got, want)
+		}
+		if !c.SubsetOf(a) || !c.SubsetOf(b) {
+			t.Fatal("A∧B not a subset of both operands")
+		}
+	}
+}
+
+func TestOrAndNotAlgebra(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(200)
+		a := randomSet(r, n, 0.3)
+		b := randomSet(r, n, 0.3)
+		u := a.Clone()
+		u.Or(b)
+		if got, want := u.Count(), OrCount(a, b); got != want {
+			t.Fatalf("Or then Count = %d, want %d", got, want)
+		}
+		if !a.SubsetOf(u) || !b.SubsetOf(u) {
+			t.Fatal("operands not subsets of A∨B")
+		}
+		d := a.Clone()
+		d.AndNot(b)
+		if got, want := d.Count(), a.Count()-AndCount(a, b); got != want {
+			t.Fatalf("AndNot count = %d, want %d", got, want)
+		}
+		if AndCount(d, b) != 0 {
+			t.Fatal("A∧¬B intersects B")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(100)
+	a.Set(10)
+	c := a.Clone()
+	c.Set(20)
+	if a.Test(20) {
+		t.Error("mutating clone affected original")
+	}
+	if !c.Test(10) {
+		t.Error("clone lost original bit")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(100), New(100)
+	if !a.Equal(b) {
+		t.Error("two empty sets not equal")
+	}
+	a.Set(5)
+	if a.Equal(b) {
+		t.Error("different sets reported equal")
+	}
+	b.Set(5)
+	if !a.Equal(b) {
+		t.Error("same sets reported unequal")
+	}
+	if a.Equal(New(101)) {
+		t.Error("sets of different lengths reported equal")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := randomSet(rand.New(rand.NewSource(4)), 200, 0.5)
+	s.Reset()
+	if s.Count() != 0 {
+		t.Error("Reset left bits set")
+	}
+	if s.Len() != 200 {
+		t.Error("Reset changed the length")
+	}
+}
+
+func TestNextSetAndOnes(t *testing.T) {
+	s := New(200)
+	want := []int{0, 5, 63, 64, 100, 199}
+	for _, i := range want {
+		s.Set(i)
+	}
+	got := s.Ones()
+	if len(got) != len(want) {
+		t.Fatalf("Ones() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ones() = %v, want %v", got, want)
+		}
+	}
+	if s.NextSet(1) != 5 {
+		t.Errorf("NextSet(1) = %d, want 5", s.NextSet(1))
+	}
+	if s.NextSet(-10) != 0 {
+		t.Errorf("NextSet(-10) = %d, want 0", s.NextSet(-10))
+	}
+	if s.NextSet(200) != -1 {
+		t.Errorf("NextSet past end = %d, want -1", s.NextSet(200))
+	}
+	if New(64).NextSet(0) != -1 {
+		t.Error("NextSet on empty set should be -1")
+	}
+}
+
+func TestCountEqualsOnesLength(t *testing.T) {
+	f := func(words []uint64) bool {
+		n := 64 * len(words)
+		if n == 0 {
+			return true
+		}
+		s := FromWords(words, n)
+		return s.Count() == len(s.Ones())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordsExposesStorage(t *testing.T) {
+	s := New(128)
+	s.Set(0)
+	s.Set(64)
+	w := s.Words()
+	if len(w) != 2 || w[0] != 1 || w[1] != 1 {
+		t.Errorf("Words() = %v", w)
+	}
+}
+
+func TestStringSmall(t *testing.T) {
+	s := New(16)
+	s.Set(1)
+	s.Set(9)
+	if got := s.String(); got != "{1, 9}" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := New(8).String(); got != "{}" {
+		t.Errorf("empty String() = %q", got)
+	}
+}

@@ -1,0 +1,228 @@
+// Package combin implements the exact combinatorics of the paper's
+// Theorem 1: the probability distribution of the quadruple (û, α̂, η̂1, η̂2)
+// that determines the SHF Jaccard estimator Ĵ, via binomials, Stirling
+// numbers of the second kind and the ξ surjection counts. All quantities
+// are exact (math/big); the Monte-Carlo approximation for paper-scale
+// parameters lives in package analysis and is validated against this one.
+package combin
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Binomial returns C(n, k), or 0 for out-of-range k.
+func Binomial(n, k int) *big.Int {
+	if k < 0 || k > n || n < 0 {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// Factorial returns n!.
+func Factorial(n int) *big.Int {
+	if n < 0 {
+		return big.NewInt(0)
+	}
+	return new(big.Int).MulRange(1, int64(n))
+}
+
+// Stirling2 returns S(n, k), the number of ways to partition n labeled
+// elements into k non-empty unlabeled blocks, by the standard recurrence
+// S(n, k) = k·S(n−1, k) + S(n−1, k−1).
+func Stirling2(n, k int) *big.Int {
+	switch {
+	case n < 0 || k < 0:
+		return big.NewInt(0)
+	case n == 0 && k == 0:
+		return big.NewInt(1)
+	case n == 0 || k == 0 || k > n:
+		return big.NewInt(0)
+	}
+	// row[j] = S(i, j) built row by row.
+	row := make([]*big.Int, k+1)
+	for j := range row {
+		row[j] = big.NewInt(0)
+	}
+	row[0] = big.NewInt(1) // S(0,0)
+	for i := 1; i <= n; i++ {
+		// Update in place right-to-left: S(i,j) = j·S(i−1,j) + S(i−1,j−1).
+		for j := min(i, k); j >= 1; j-- {
+			t := new(big.Int).Mul(big.NewInt(int64(j)), row[j])
+			row[j] = t.Add(t, row[j-1])
+		}
+		row[0] = big.NewInt(0) // S(i, 0) = 0 for i ≥ 1
+	}
+	return row[k]
+}
+
+// Surjections returns the number of surjections from an x-set onto a y-set:
+// y!·S(x, y).
+func Surjections(x, y int) *big.Int {
+	return new(big.Int).Mul(Factorial(y), Stirling2(x, y))
+}
+
+// Xi returns ξ(x, y, z): the number of functions f from an x-element set
+// into a y-element set Y that are surjective on a fixed z-element subset
+// Z ⊆ Y (paper Theorem 1), by inclusion–exclusion:
+//
+//	ξ(x, y, z) = Σ_{k=0}^{z} (−1)^k C(z, k) (y−k)^x.
+func Xi(x, y, z int) *big.Int {
+	if x < 0 || y < 0 || z < 0 || z > y {
+		return big.NewInt(0)
+	}
+	total := big.NewInt(0)
+	for k := 0; k <= z; k++ {
+		term := new(big.Int).Exp(big.NewInt(int64(y-k)), big.NewInt(int64(x)), nil)
+		term.Mul(term, Binomial(z, k))
+		if k%2 == 1 {
+			total.Sub(total, term)
+		} else {
+			total.Add(total, term)
+		}
+	}
+	if total.Sign() < 0 {
+		// Inclusion–exclusion over a valid domain never goes negative;
+		// guard against misuse.
+		return big.NewInt(0)
+	}
+	return total
+}
+
+// Params are the deterministic inputs of Theorem 1: the profile overlap
+// structure (α = |P∩|, γ1 = |P1\P∩|, γ2 = |P2\P∩|) and the fingerprint
+// length b.
+type Params struct {
+	Alpha  int
+	Gamma1 int
+	Gamma2 int
+	B      int
+}
+
+// Validate reports whether the parameters make sense.
+func (p Params) Validate() error {
+	if p.Alpha < 0 || p.Gamma1 < 0 || p.Gamma2 < 0 {
+		return fmt.Errorf("combin: negative set size in %+v", p)
+	}
+	if p.B <= 0 {
+		return fmt.Errorf("combin: fingerprint length must be positive, got %d", p.B)
+	}
+	return nil
+}
+
+// Jaccard returns the true Jaccard index α/(α+γ1+γ2) of the profile pair.
+func (p Params) Jaccard() float64 {
+	n := p.Alpha + p.Gamma1 + p.Gamma2
+	if n == 0 {
+		return 0
+	}
+	return float64(p.Alpha) / float64(n)
+}
+
+// CardH returns Card_h(û, α̂, η̂1, η̂2, α, γ1, γ2): the number of hash
+// functions from P∪ into [0, b) producing exactly the observed quadruple
+// (paper Theorem 1).
+func CardH(uHat, aHat, e1Hat, e2Hat int, p Params) *big.Int {
+	bHat := aHat + e1Hat + e2Hat - uHat // β̂ is determined by the others
+	if bHat < 0 || bHat > e1Hat || bHat > e2Hat || uHat > p.B || uHat < 0 {
+		return big.NewInt(0)
+	}
+	out := Binomial(p.B, uHat)
+	out.Mul(out, Binomial(uHat, aHat))
+	out.Mul(out, Binomial(uHat-aHat, bHat))
+	out.Mul(out, Binomial(uHat-aHat-bHat, e1Hat-bHat))
+	out.Mul(out, Surjections(p.Alpha, aHat))
+	out.Mul(out, Xi(p.Gamma1, e1Hat+aHat, e1Hat))
+	out.Mul(out, Xi(p.Gamma2, e2Hat+aHat, e2Hat))
+	return out
+}
+
+// Outcome is one support point of the Theorem 1 distribution.
+type Outcome struct {
+	U, A, E1, E2 int
+	// P is the exact probability of observing this quadruple.
+	P *big.Rat
+}
+
+// BetaHat returns β̂ = α̂ + η̂1 + η̂2 − û, the number of collisions between
+// the two profiles' private bit images.
+func (o Outcome) BetaHat() int { return o.A + o.E1 + o.E2 - o.U }
+
+// Estimate returns the value of Ĵ for this outcome: (α̂+β̂)/û, or 0 when
+// û = 0 (both profiles empty).
+func (o Outcome) Estimate() float64 {
+	if o.U == 0 {
+		return 0
+	}
+	return float64(o.A+o.BetaHat()) / float64(o.U)
+}
+
+// ExactDistribution enumerates every quadruple with non-zero probability.
+// Complexity is O(α·γ1·γ2·min(γ1,γ2)) big-integer operations: exact
+// evaluation is meant for small parameters (it is cross-validated against
+// full enumeration of all b^n hash functions in the tests); use the
+// Monte-Carlo sampler in package analysis for paper-scale parameters.
+func ExactDistribution(p Params) ([]Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	denom := new(big.Int).Exp(big.NewInt(int64(p.B)), big.NewInt(int64(p.Alpha+p.Gamma1+p.Gamma2)), nil)
+	var out []Outcome
+	aMax := min(p.Alpha, p.B)
+	for aHat := boolToInt(p.Alpha > 0); aHat <= aMax; aHat++ {
+		for e1 := 0; e1 <= min(p.Gamma1, p.B); e1++ {
+			for e2 := 0; e2 <= min(p.Gamma2, p.B); e2++ {
+				for bHat := 0; bHat <= min(e1, e2); bHat++ {
+					u := aHat + e1 + e2 - bHat
+					if u > p.B {
+						continue
+					}
+					card := CardH(u, aHat, e1, e2, p)
+					if card.Sign() == 0 {
+						continue
+					}
+					out = append(out, Outcome{
+						U: u, A: aHat, E1: e1, E2: e2,
+						P: new(big.Rat).SetFrac(card, denom),
+					})
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		// α = γ1 = γ2 = 0: the empty mapping with probability 1.
+		out = append(out, Outcome{P: big.NewRat(1, 1)})
+	}
+	return out, nil
+}
+
+// Mean returns E[Ĵ] under the exact distribution.
+func Mean(p Params) (float64, error) {
+	dist, err := ExactDistribution(p)
+	if err != nil {
+		return 0, err
+	}
+	var mean float64
+	for _, o := range dist {
+		prob, _ := o.P.Float64()
+		mean += prob * o.Estimate()
+	}
+	return mean, nil
+}
+
+// TotalProbability returns Σ P over the distribution — exactly 1 when the
+// enumeration is correct; exposed so tests and callers can assert it.
+func TotalProbability(dist []Outcome) *big.Rat {
+	total := new(big.Rat)
+	for _, o := range dist {
+		total.Add(total, o.P)
+	}
+	return total
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,320 @@
+package combin
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func TestBinomialKnown(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{5, 6, 0}, {5, -1, 0}, {-1, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("C(%d,%d) = %s, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestFactorialKnown(t *testing.T) {
+	want := []int64{1, 1, 2, 6, 24, 120, 720}
+	for n, w := range want {
+		if got := Factorial(n); got.Cmp(big.NewInt(w)) != 0 {
+			t.Errorf("%d! = %s, want %d", n, got, w)
+		}
+	}
+	if Factorial(-1).Sign() != 0 {
+		t.Error("(-1)! should be 0")
+	}
+}
+
+func TestStirling2Known(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {1, 1, 1}, {3, 2, 3}, {4, 2, 7}, {5, 3, 25},
+		{6, 3, 90}, {5, 1, 1}, {5, 5, 1}, {5, 6, 0}, {5, 0, 0}, {0, 1, 0},
+	}
+	for _, c := range cases {
+		if got := Stirling2(c.n, c.k); got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("S(%d,%d) = %s, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestStirling2SumIsBellNumber(t *testing.T) {
+	bell := []int64{1, 1, 2, 5, 15, 52, 203, 877}
+	for n, w := range bell {
+		sum := big.NewInt(0)
+		for k := 0; k <= n; k++ {
+			sum.Add(sum, Stirling2(n, k))
+		}
+		if sum.Cmp(big.NewInt(w)) != 0 {
+			t.Errorf("Σ_k S(%d,k) = %s, want Bell %d", n, sum, w)
+		}
+	}
+}
+
+func TestSurjectionsKnown(t *testing.T) {
+	// Surjections from 4 elements onto 2: 2^4 − 2 = 14.
+	if got := Surjections(4, 2); got.Cmp(big.NewInt(14)) != 0 {
+		t.Errorf("Surjections(4,2) = %s, want 14", got)
+	}
+	// Onto 3 from 3: 3! = 6.
+	if got := Surjections(3, 3); got.Cmp(big.NewInt(6)) != 0 {
+		t.Errorf("Surjections(3,3) = %s, want 6", got)
+	}
+}
+
+// naiveXi counts ξ(x, y, z) by enumerating all y^x functions.
+func naiveXi(x, y, z int) int64 {
+	if x == 0 {
+		if z == 0 {
+			return 1
+		}
+		return 0
+	}
+	var count int64
+	f := make([]int, x)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == x {
+			covered := map[int]bool{}
+			for _, v := range f {
+				if v < z {
+					covered[v] = true
+				}
+			}
+			if len(covered) == z {
+				count++
+			}
+			return
+		}
+		for v := 0; v < y; v++ {
+			f[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return count
+}
+
+func TestXiAgainstEnumeration(t *testing.T) {
+	for x := 0; x <= 5; x++ {
+		for y := 0; y <= 4; y++ {
+			for z := 0; z <= y; z++ {
+				want := naiveXi(x, y, z)
+				if got := Xi(x, y, z); got.Cmp(big.NewInt(want)) != 0 {
+					t.Errorf("ξ(%d,%d,%d) = %s, want %d", x, y, z, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestXiDegenerate(t *testing.T) {
+	if Xi(3, 2, 3).Sign() != 0 {
+		t.Error("ξ with z > y should be 0")
+	}
+	if Xi(-1, 2, 1).Sign() != 0 {
+		t.Error("ξ with negative x should be 0")
+	}
+	// z > x: cannot be surjective.
+	if Xi(1, 3, 2).Sign() != 0 {
+		t.Error("ξ(1,3,2) should be 0")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{Alpha: 1, Gamma1: 1, Gamma2: 1, B: 8}).Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, p := range []Params{
+		{Alpha: -1, B: 8}, {Gamma1: -1, B: 8}, {Gamma2: -1, B: 8}, {B: 0},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}
+
+func TestParamsJaccard(t *testing.T) {
+	p := Params{Alpha: 2, Gamma1: 3, Gamma2: 3, B: 8}
+	if got := p.Jaccard(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Jaccard = %g, want 0.25", got)
+	}
+	if (Params{B: 8}).Jaccard() != 0 {
+		t.Error("empty params Jaccard should be 0")
+	}
+}
+
+func TestDistributionSumsToOne(t *testing.T) {
+	for _, p := range []Params{
+		{Alpha: 0, Gamma1: 0, Gamma2: 0, B: 4},
+		{Alpha: 2, Gamma1: 0, Gamma2: 0, B: 4},
+		{Alpha: 0, Gamma1: 3, Gamma2: 2, B: 5},
+		{Alpha: 2, Gamma1: 2, Gamma2: 2, B: 3},
+		{Alpha: 3, Gamma1: 4, Gamma2: 2, B: 8},
+		{Alpha: 1, Gamma1: 1, Gamma2: 1, B: 64},
+	} {
+		dist, err := ExactDistribution(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total := TotalProbability(dist); total.Cmp(big.NewRat(1, 1)) != 0 {
+			t.Errorf("params %+v: Σ P = %s, want 1", p, total.RatString())
+		}
+	}
+}
+
+// enumerate tallies the exact quadruple distribution by iterating over all
+// b^n hash functions — the ground truth Theorem 1 must reproduce.
+func enumerate(p Params) map[[4]int]*big.Rat {
+	n := p.Alpha + p.Gamma1 + p.Gamma2
+	total := int64(math.Pow(float64(p.B), float64(n)))
+	counts := map[[4]int]int64{}
+	h := make([]int, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i < n {
+			for v := 0; v < p.B; v++ {
+				h[i] = v
+				rec(i + 1)
+			}
+			return
+		}
+		// Items [0,α) are shared, [α, α+γ1) only in P1, rest only in P2.
+		bShared := map[int]bool{}
+		b1 := map[int]bool{}
+		b2 := map[int]bool{}
+		for j := 0; j < p.Alpha; j++ {
+			bShared[h[j]] = true
+		}
+		for j := p.Alpha; j < p.Alpha+p.Gamma1; j++ {
+			b1[h[j]] = true
+		}
+		for j := p.Alpha + p.Gamma1; j < n; j++ {
+			b2[h[j]] = true
+		}
+		e1, e2, bb := 0, 0, 0
+		union := map[int]bool{}
+		for v := range bShared {
+			union[v] = true
+		}
+		for v := range b1 {
+			union[v] = true
+			if !bShared[v] {
+				e1++
+				if b2[v] {
+					bb++
+				}
+			}
+		}
+		for v := range b2 {
+			union[v] = true
+			if !bShared[v] {
+				e2++
+			}
+		}
+		counts[[4]int{len(union), len(bShared), e1, e2}]++
+		_ = bb
+	}
+	rec(0)
+	out := map[[4]int]*big.Rat{}
+	for q, c := range counts {
+		out[q] = big.NewRat(c, total)
+	}
+	return out
+}
+
+func TestExactDistributionMatchesEnumeration(t *testing.T) {
+	for _, p := range []Params{
+		{Alpha: 1, Gamma1: 1, Gamma2: 1, B: 3},
+		{Alpha: 2, Gamma1: 1, Gamma2: 2, B: 3},
+		{Alpha: 0, Gamma1: 2, Gamma2: 2, B: 4},
+		{Alpha: 2, Gamma1: 2, Gamma2: 2, B: 2},
+		{Alpha: 3, Gamma1: 2, Gamma2: 1, B: 4},
+	} {
+		want := enumerate(p)
+		dist, err := ExactDistribution(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[[4]int]*big.Rat{}
+		for _, o := range dist {
+			got[[4]int{o.U, o.A, o.E1, o.E2}] = o.P
+		}
+		if len(got) != len(want) {
+			t.Errorf("params %+v: %d support points, enumeration has %d", p, len(got), len(want))
+		}
+		for q, wp := range want {
+			gp, ok := got[q]
+			if !ok {
+				t.Errorf("params %+v: quadruple %v missing (want P=%s)", p, q, wp.RatString())
+				continue
+			}
+			if gp.Cmp(wp) != 0 {
+				t.Errorf("params %+v quadruple %v: P = %s, enumeration %s", p, q, gp.RatString(), wp.RatString())
+			}
+		}
+	}
+}
+
+func TestOutcomeEstimate(t *testing.T) {
+	o := Outcome{U: 4, A: 1, E1: 2, E2: 2} // β̂ = 1+2+2−4 = 1
+	if o.BetaHat() != 1 {
+		t.Errorf("BetaHat = %d, want 1", o.BetaHat())
+	}
+	if got := o.Estimate(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Estimate = %g, want 0.5 ((1+1)/4)", got)
+	}
+	if (Outcome{}).Estimate() != 0 {
+		t.Error("û=0 estimate should be 0")
+	}
+}
+
+func TestMeanUpperBoundsTruthForSmallB(t *testing.T) {
+	// Collisions bias Ĵ upward (paper §2.4): with b comparable to the
+	// profile sizes, E[Ĵ] > J.
+	p := Params{Alpha: 2, Gamma1: 3, Gamma2: 3, B: 16}
+	mean, err := Mean(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= p.Jaccard() {
+		t.Errorf("E[Ĵ] = %g not above J = %g", mean, p.Jaccard())
+	}
+	if mean > 1 {
+		t.Errorf("E[Ĵ] = %g above 1", mean)
+	}
+}
+
+func TestMeanConvergesToTruthForLargeB(t *testing.T) {
+	p := Params{Alpha: 2, Gamma1: 2, Gamma2: 2, B: 4096}
+	mean, err := Mean(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-p.Jaccard()) > 0.01 {
+		t.Errorf("E[Ĵ] = %g, want ≈%g for b=4096", mean, p.Jaccard())
+	}
+}
+
+func TestIdenticalProfilesEstimateOne(t *testing.T) {
+	// γ1 = γ2 = 0: the estimator is exactly 1 whatever the collisions.
+	dist, err := ExactDistribution(Params{Alpha: 4, B: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range dist {
+		if o.Estimate() != 1 {
+			t.Errorf("outcome %+v estimates %g, want 1", o, o.Estimate())
+		}
+	}
+}

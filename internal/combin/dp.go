@@ -1,0 +1,288 @@
+package combin
+
+import (
+	"math/big"
+	"sort"
+)
+
+// floatRat converts a probability to the *big.Rat the Outcome type carries.
+func floatRat(p float64) *big.Rat {
+	r := new(big.Rat)
+	if r.SetFloat64(p) == nil {
+		return new(big.Rat) // NaN/Inf cannot happen for probabilities; be safe
+	}
+	return r
+}
+
+// This file evaluates the Theorem 1 distribution by a different route than
+// the counting formula: a ball-throwing occupancy DP. The counting formula
+// (CardH) is exact but needs big integers and O(α·γ1·γ2·min(γ1,γ2))
+// big-number work, which is only tractable for small parameters. The DP
+// below computes the same distribution in stable float64 arithmetic — all
+// recurrences have non-negative terms, so there is no cancellation — and
+// handles the paper's real configurations (α = 40, γ = 60, b = 1024) in
+// well under a second. The two implementations are cross-validated against
+// each other (and against full enumeration) in the tests.
+//
+// Model: hashing n items with a uniform random function is throwing n balls
+// into b bins. The quadruple of Theorem 1 decomposes into three stages:
+//
+//  1. the α shared items occupy â distinct bins — classical occupancy;
+//  2. the γ1 items of P1\P2 occupy ê1 distinct bins outside the â;
+//  3. the γ2 items of P2\P1 occupy f bins inside the ê1 set (the β̂
+//     collisions) and g fresh bins (so η̂2 = f + g).
+
+// occupancy returns P(j distinct bins occupied | n balls, b bins) for
+// j = 0..min(n, b), by the stable recurrence
+// W(i+1, j) = W(i, j)·j/b + W(i, j−1)·(b−j+1)/b.
+func occupancy(n, b int) []float64 {
+	maxJ := n
+	if maxJ > b {
+		maxJ = b
+	}
+	w := make([]float64, maxJ+1)
+	w[0] = 1
+	for i := 0; i < n; i++ {
+		hi := i + 1
+		if hi > maxJ {
+			hi = maxJ
+		}
+		for j := hi; j >= 1; j-- {
+			w[j] = w[j]*float64(j)/float64(b) + w[j-1]*float64(b-j+1)/float64(b)
+		}
+		w[0] = 0 // a ball always occupies some bin
+	}
+	return w
+}
+
+// occupancyOutside returns P(e distinct new bins | n balls, b bins, blocked
+// bins already occupied): each ball hits a blocked bin (no change), an
+// already-hit new bin (no change) or a fresh bin (e+1).
+func occupancyOutside(n, b, blocked int) []float64 {
+	free := b - blocked
+	maxE := n
+	if maxE > free {
+		maxE = free
+	}
+	if maxE < 0 {
+		maxE = 0
+	}
+	w := make([]float64, maxE+1)
+	w[0] = 1
+	for i := 0; i < n; i++ {
+		for e := maxE; e >= 1; e-- {
+			stay := (float64(blocked) + float64(e)) / float64(b)
+			grow := float64(free-e+1) / float64(b)
+			w[e] = w[e]*stay + w[e-1]*grow
+		}
+		w[0] = w[0] * float64(blocked) / float64(b)
+	}
+	return w
+}
+
+// jointSecond returns P(f, g | γ2 balls, b bins, a blocked shared bins,
+// e1 target bins): f counts distinct hits inside the e1 set (collisions β̂),
+// g counts distinct fresh bins. Returned as a dense [f][g] matrix.
+func jointSecond(n, b, a, e1 int) [][]float64 {
+	maxF := n
+	if maxF > e1 {
+		maxF = e1
+	}
+	maxG := n
+	if maxG > b-a-e1 {
+		maxG = b - a - e1
+	}
+	if maxG < 0 {
+		maxG = 0
+	}
+	// Flat row-major buffers, ping-ponged per ball; after i balls at most
+	// i bins are newly occupied, so the live region is the f+g ≤ i
+	// triangle.
+	stride := maxG + 1
+	cur := make([]float64, (maxF+1)*stride)
+	next := make([]float64, (maxF+1)*stride)
+	cur[0] = 1
+	fb := float64(b)
+	for i := 0; i < n; i++ {
+		clear(next)
+		fHi := minDP(i, maxF)
+		for f := 0; f <= fHi; f++ {
+			gHi := minDP(i-f, maxG)
+			base := f * stride
+			hitE1 := float64(e1-f) / fb
+			for g := 0; g <= gHi; g++ {
+				p := cur[base+g]
+				if p == 0 {
+					continue
+				}
+				next[base+g] += p * (float64(a) + float64(f) + float64(g)) / fb
+				if f < maxF {
+					next[base+stride+g] += p * hitE1
+				}
+				if g < maxG {
+					next[base+g+1] += p * float64(b-a-e1-g) / fb
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	out := make([][]float64, maxF+1)
+	for f := range out {
+		out[f] = cur[f*stride : (f+1)*stride]
+	}
+	return out
+}
+
+func minDP(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ExactDistributionDP computes the Theorem 1 distribution of
+// (û, α̂, η̂1, η̂2) in stable floating point, tractable at the paper's real
+// parameters. Probabilities below minProb are dropped (they are far beyond
+// the 1%–99% quantile band the paper plots).
+func ExactDistributionDP(p Params) ([]Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	const minProb = 1e-15
+
+	var out []Outcome
+	pa := occupancy(p.Alpha, p.B)
+	for a, probA := range pa {
+		if probA < minProb || (p.Alpha > 0 && a == 0) {
+			continue
+		}
+		pe1 := occupancyOutside(p.Gamma1, p.B, a)
+		for e1, probE1 := range pe1 {
+			w := probA * probE1
+			if w < minProb {
+				continue
+			}
+			joint := jointSecond(p.Gamma2, p.B, a, e1)
+			for f := range joint {
+				for g, probFG := range joint[f] {
+					prob := w * probFG
+					if prob < minProb {
+						continue
+					}
+					out = append(out, Outcome{
+						U:  a + e1 + g,
+						A:  a,
+						E1: e1,
+						E2: f + g,
+						P:  floatRat(prob),
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// MisorderExact computes P(Ĵ_B ≥ Ĵ_A) exactly for two independent profile
+// pairs A and B under the same fingerprint length — the probability that a
+// KNN algorithm prefers the truly-less-similar pair (the paper's Fig 4
+// quantity, which it bounds by 2% for J_A = 0.25 vs J_B = 0.17 at b = 1024).
+func MisorderExact(pA, pB Params) (float64, error) {
+	distA, err := ExactDistributionDP(pA)
+	if err != nil {
+		return 0, err
+	}
+	distB, err := ExactDistributionDP(pB)
+	if err != nil {
+		return 0, err
+	}
+	type point struct {
+		est  float64
+		prob float64
+	}
+	collapse := func(dist []Outcome) ([]point, float64) {
+		byEst := map[float64]float64{}
+		var total float64
+		for _, o := range dist {
+			prob, _ := o.P.Float64()
+			byEst[o.Estimate()] += prob
+			total += prob
+		}
+		pts := make([]point, 0, len(byEst))
+		for est, prob := range byEst {
+			pts = append(pts, point{est: est, prob: prob})
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].est < pts[j].est })
+		return pts, total
+	}
+	a, totalA := collapse(distA)
+	b, totalB := collapse(distB)
+	if totalA == 0 || totalB == 0 {
+		return 0, nil
+	}
+
+	// P(B ≥ A) = Σ_a P(A = a) · P(B ≥ a), with P(B ≥ a) from B's suffix
+	// sums walked in lockstep.
+	suffix := make([]float64, len(b)+1)
+	for i := len(b) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + b[i].prob
+	}
+	var mis float64
+	j := 0
+	for _, pa := range a {
+		for j < len(b) && b[j].est < pa.est {
+			j++
+		}
+		mis += pa.prob * suffix[j]
+	}
+	return mis / (totalA * totalB), nil
+}
+
+// DPStats summarizes the DP distribution: the mean of Ĵ and arbitrary
+// quantiles of its CDF.
+type DPStats struct {
+	Mean      float64
+	Quantiles map[float64]float64
+}
+
+// SummarizeDP computes mean and quantiles of Ĵ under the exact DP
+// distribution — the quantities the paper's Fig 3 plots.
+func SummarizeDP(p Params, quantiles []float64) (DPStats, error) {
+	dist, err := ExactDistributionDP(p)
+	if err != nil {
+		return DPStats{}, err
+	}
+	type point struct {
+		est  float64
+		prob float64
+	}
+	points := make([]point, 0, len(dist))
+	var mean, total float64
+	for _, o := range dist {
+		prob, _ := o.P.Float64()
+		est := o.Estimate()
+		mean += prob * est
+		total += prob
+		points = append(points, point{est: est, prob: prob})
+	}
+	if total > 0 {
+		mean /= total // renormalize the tiny truncated mass away
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].est < points[j].est })
+
+	qs := map[float64]float64{}
+	for _, q := range quantiles {
+		var cum float64
+		target := q * total
+		val := 0.0
+		for _, pt := range points {
+			cum += pt.prob
+			val = pt.est
+			if cum >= target {
+				break
+			}
+		}
+		qs[q] = val
+	}
+	return DPStats{Mean: mean, Quantiles: qs}, nil
+}

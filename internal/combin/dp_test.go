@@ -1,0 +1,302 @@
+package combin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestOccupancyMatchesClosedForm(t *testing.T) {
+	// P(j | n, b) = C(b, j)·Surj(n, j)/b^n; compare for small cases.
+	for _, c := range []struct{ n, b int }{{1, 4}, {3, 4}, {5, 3}, {6, 6}} {
+		w := occupancy(c.n, c.b)
+		var total float64
+		for j, got := range w {
+			num := new(bigFloat).mulInt(Binomial(c.b, j)).mulInt(Surjections(c.n, j))
+			den := math.Pow(float64(c.b), float64(c.n))
+			want := num.value / den
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("occupancy(%d,%d)[%d] = %g, want %g", c.n, c.b, j, got, want)
+			}
+			total += got
+		}
+		if math.Abs(total-1) > 1e-12 {
+			t.Errorf("occupancy(%d,%d) sums to %g", c.n, c.b, total)
+		}
+	}
+}
+
+// bigFloat is a tiny helper multiplying big.Ints into a float64.
+type bigFloat struct{ value float64 }
+
+func (b *bigFloat) mulInt(x interface{ Int64() int64 }) *bigFloat {
+	if b.value == 0 {
+		b.value = 1
+	}
+	b.value *= float64(x.Int64())
+	return b
+}
+
+func TestOccupancyOutsideSumsToOne(t *testing.T) {
+	for _, c := range []struct{ n, b, blocked int }{{0, 8, 2}, {3, 8, 2}, {5, 8, 8}, {10, 8, 0}} {
+		w := occupancyOutside(c.n, c.b, c.blocked)
+		var total float64
+		for _, p := range w {
+			total += p
+		}
+		if math.Abs(total-1) > 1e-12 {
+			t.Errorf("occupancyOutside(%+v) sums to %g", c, total)
+		}
+	}
+}
+
+func TestOccupancyOutsideAllBlocked(t *testing.T) {
+	// Every bin blocked: no new bins ever.
+	w := occupancyOutside(5, 4, 4)
+	if len(w) != 1 || math.Abs(w[0]-1) > 1e-12 {
+		t.Errorf("all-blocked distribution = %v, want [1]", w)
+	}
+}
+
+func TestJointSecondSumsToOne(t *testing.T) {
+	for _, c := range []struct{ n, b, a, e1 int }{{0, 8, 2, 3}, {4, 8, 2, 3}, {6, 6, 2, 4}, {5, 10, 0, 0}} {
+		joint := jointSecond(c.n, c.b, c.a, c.e1)
+		var total float64
+		for _, row := range joint {
+			for _, p := range row {
+				total += p
+			}
+		}
+		if math.Abs(total-1) > 1e-10 {
+			t.Errorf("jointSecond(%+v) sums to %g", c, total)
+		}
+	}
+}
+
+// TestDPMatchesCountingFormula is the headline cross-validation: the
+// occupancy DP and the big-integer counting formula must assign the same
+// probability to every quadruple.
+func TestDPMatchesCountingFormula(t *testing.T) {
+	for _, p := range []Params{
+		{Alpha: 2, Gamma1: 2, Gamma2: 2, B: 4},
+		{Alpha: 3, Gamma1: 2, Gamma2: 4, B: 8},
+		{Alpha: 0, Gamma1: 3, Gamma2: 3, B: 5},
+		{Alpha: 4, Gamma1: 0, Gamma2: 2, B: 6},
+		{Alpha: 5, Gamma1: 5, Gamma2: 5, B: 16},
+	} {
+		exact, err := ExactDistribution(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[[4]int]float64{}
+		for _, o := range exact {
+			f, _ := o.P.Float64()
+			want[[4]int{o.U, o.A, o.E1, o.E2}] = f
+		}
+		dp, err := ExactDistributionDP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[[4]int]float64{}
+		for _, o := range dp {
+			f, _ := o.P.Float64()
+			got[[4]int{o.U, o.A, o.E1, o.E2}] += f
+		}
+		for q, wp := range want {
+			if math.Abs(got[q]-wp) > 1e-9 {
+				t.Errorf("params %+v quadruple %v: DP %.12f, counting %.12f", p, q, got[q], wp)
+			}
+		}
+		for q := range got {
+			if _, ok := want[q]; !ok && got[q] > 1e-9 {
+				t.Errorf("params %+v: DP has spurious quadruple %v (P=%g)", p, q, got[q])
+			}
+		}
+	}
+}
+
+// TestDPPaperScale evaluates the paper's Fig 3 configuration exactly:
+// |P1| = |P2| = 100, J = 0.25, b = 1024. The mean must reproduce the
+// paper's 0.286 and the run must be fast.
+func TestDPPaperScale(t *testing.T) {
+	p := Params{Alpha: 40, Gamma1: 60, Gamma2: 60, B: 1024}
+	start := time.Now()
+	stats, err := SummarizeDP(p, []float64{0.01, 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("paper-scale DP took %v, should be seconds", elapsed)
+	}
+	if math.Abs(stats.Mean-0.286) > 0.003 {
+		t.Errorf("exact mean Ĵ = %.4f, paper reports ≈0.286", stats.Mean)
+	}
+	// The 1% quantile near 0.254 (the paper's cut-off value in Fig 3).
+	if q01 := stats.Quantiles[0.01]; math.Abs(q01-0.254) > 0.01 {
+		t.Errorf("Q1%% = %.4f, paper reports ≈0.254", q01)
+	}
+	if q99 := stats.Quantiles[0.99]; q99 <= stats.Mean || q99 > 0.40 {
+		t.Errorf("Q99%% = %.4f looks wrong", q99)
+	}
+}
+
+// TestMisorderExactPaperClaim verifies the Fig 4 claim exactly: a pair with
+// true J = 0.17 overtakes one with J = 0.25 with probability below 2% at
+// b = 1024.
+func TestMisorderExactPaperClaim(t *testing.T) {
+	pA := Params{Alpha: 40, Gamma1: 60, Gamma2: 60, B: 1024} // J = 0.25
+	pB := Params{Alpha: 29, Gamma1: 71, Gamma2: 71, B: 1024} // J ≈ 0.17
+	mis, err := MisorderExact(pA, pB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis >= 0.02 {
+		t.Errorf("exact misordering = %.4f, paper claims < 2%%", mis)
+	}
+	if mis <= 0 {
+		t.Errorf("exact misordering = %g, should be small but positive", mis)
+	}
+}
+
+func TestMisorderExactProperties(t *testing.T) {
+	// Identical pairs: P(B ≥ A) includes ties, so it must exceed 1/2.
+	p := Params{Alpha: 5, Gamma1: 10, Gamma2: 10, B: 64}
+	selfMis, err := MisorderExact(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selfMis <= 0.5 || selfMis > 1 {
+		t.Errorf("P(B ≥ A) for identical distributions = %.4f, want in (0.5, 1]", selfMis)
+	}
+	// A dominated pair (much lower J) almost never overtakes.
+	low := Params{Alpha: 1, Gamma1: 19, Gamma2: 19, B: 1024}
+	high := Params{Alpha: 15, Gamma1: 5, Gamma2: 5, B: 1024}
+	mis, err := MisorderExact(high, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis > 0.001 {
+		t.Errorf("dominated pair overtakes with P = %.5f", mis)
+	}
+	// Swapped arguments: the dominant pair overtakes nearly always.
+	rev, err := MisorderExact(low, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev < 0.999 {
+		t.Errorf("dominant pair wins with only P = %.5f", rev)
+	}
+}
+
+func TestMisorderExactAgainstMonteCarlo(t *testing.T) {
+	pA := Params{Alpha: 6, Gamma1: 14, Gamma2: 14, B: 128}
+	pB := Params{Alpha: 4, Gamma1: 16, Gamma2: 16, B: 128}
+	exact, err := MisorderExact(pA, pB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monte Carlo oracle with the same ball-throwing model.
+	const trials = 200000
+	distA := sampleMany(pA, trials, 1)
+	distB := sampleMany(pB, trials, 2)
+	mc := 0
+	for i := 0; i < trials; i++ {
+		if distB[i] >= distA[i] {
+			mc++
+		}
+	}
+	if math.Abs(exact-float64(mc)/trials) > 0.01 {
+		t.Errorf("exact %.4f vs MC %.4f", exact, float64(mc)/trials)
+	}
+}
+
+// sampleMany draws Ĵ values by direct simulation (duplicated from package
+// analysis to avoid an import cycle in tests).
+func sampleMany(p Params, trials int, seed int64) []float64 {
+	rng := newTestRand(seed)
+	out := make([]float64, trials)
+	occ := make([]byte, p.B)
+	for t := 0; t < trials; t++ {
+		for i := range occ {
+			occ[i] = 0
+		}
+		for i := 0; i < p.Alpha; i++ {
+			occ[rng.Intn(p.B)] |= 3
+		}
+		for i := 0; i < p.Gamma1; i++ {
+			occ[rng.Intn(p.B)] |= 1
+		}
+		for i := 0; i < p.Gamma2; i++ {
+			occ[rng.Intn(p.B)] |= 2
+		}
+		inter, c1, c2 := 0, 0, 0
+		for _, o := range occ {
+			switch o {
+			case 3:
+				inter, c1, c2 = inter+1, c1+1, c2+1
+			case 1:
+				c1++
+			case 2:
+				c2++
+			}
+		}
+		if union := c1 + c2 - inter; union > 0 {
+			out[t] = float64(inter) / float64(union)
+		}
+	}
+	return out
+}
+
+func TestDPTotalProbabilityAtPaperScale(t *testing.T) {
+	dist, err := ExactDistributionDP(Params{Alpha: 40, Gamma1: 60, Gamma2: 60, B: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, o := range dist {
+		p, _ := o.P.Float64()
+		if p < 0 {
+			t.Fatal("negative probability from positive-term DP")
+		}
+		total += p
+	}
+	// Truncation drops mass below 1e-15 per cell; the total must still be
+	// essentially 1.
+	if math.Abs(total-1) > 1e-6 {
+		t.Errorf("Σ P = %.9f at paper scale", total)
+	}
+}
+
+func TestDPValidation(t *testing.T) {
+	if _, err := ExactDistributionDP(Params{B: 0}); err == nil {
+		t.Error("b=0 accepted")
+	}
+	if _, err := SummarizeDP(Params{B: 0}, nil); err == nil {
+		t.Error("b=0 accepted by SummarizeDP")
+	}
+}
+
+func TestDPEmptyProfiles(t *testing.T) {
+	dist, err := ExactDistributionDP(Params{B: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 1 || dist[0].U != 0 {
+		t.Errorf("empty params distribution = %+v", dist)
+	}
+}
+
+func TestDPIdenticalProfiles(t *testing.T) {
+	dist, err := ExactDistributionDP(Params{Alpha: 10, B: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range dist {
+		if o.Estimate() != 1 {
+			t.Errorf("identical profiles outcome %+v estimates %g", o, o.Estimate())
+		}
+	}
+}

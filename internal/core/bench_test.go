@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"goldfinger/internal/profile"
+)
+
+func benchProfile(n int) profile.Profile {
+	r := rand.New(rand.NewSource(int64(n)))
+	items := make([]profile.ItemID, n)
+	for i := range items {
+		items[i] = profile.ItemID(r.Intn(100000))
+	}
+	return profile.New(items...)
+}
+
+func BenchmarkFingerprintBuild(b *testing.B) {
+	s := MustScheme(1024, 1)
+	for _, size := range []int{20, 80, 320} {
+		p := benchProfile(size)
+		b.Run(fmt.Sprintf("profile=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Fingerprint(p)
+			}
+		})
+	}
+}
+
+func BenchmarkJaccardEstimate(b *testing.B) {
+	for _, bits := range []int{64, 1024, 8192} {
+		s := MustScheme(bits, 2)
+		f1 := s.Fingerprint(benchProfile(80))
+		f2 := s.Fingerprint(benchProfile(80))
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += Jaccard(f1, f2)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkFingerprintAllParallel(b *testing.B) {
+	s := MustScheme(1024, 3)
+	profiles := make([]profile.Profile, 2000)
+	for i := range profiles {
+		profiles[i] = benchProfile(80)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.FingerprintAllParallel(profiles, workers)
+			}
+		})
+	}
+}
+
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	s := MustScheme(1024, 4)
+	fp := s.Fingerprint(benchProfile(80))
+	b.Run("write", func(b *testing.B) {
+		var sink int
+		for i := 0; i < b.N; i++ {
+			var buf discardCounter
+			if err := WriteFingerprint(&buf, fp); err != nil {
+				b.Fatal(err)
+			}
+			sink += buf.n
+		}
+		_ = sink
+	})
+}
+
+type discardCounter struct{ n int }
+
+func (d *discardCounter) Write(p []byte) (int, error) {
+	d.n += len(p)
+	return len(p), nil
+}

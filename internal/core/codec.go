@@ -1,0 +1,120 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"goldfinger/internal/bitset"
+)
+
+// The wire format matches the paper's deployment story (§2.5): a client
+// fingerprints its profile locally and uploads only the SHF to an
+// untrusted KNN-construction service. A fingerprint serializes as:
+//
+//	magic "SHF1" | uint32 bits | uint32 cardinality | bit-array words (LE)
+//
+// and a set of fingerprints as a uint32 count followed by each entry. All
+// integers are little-endian.
+
+var codecMagic = [4]byte{'S', 'H', 'F', '1'}
+
+// WriteFingerprint serializes one fingerprint to w.
+func WriteFingerprint(w io.Writer, f Fingerprint) error {
+	if f.bits == nil {
+		return fmt.Errorf("core: cannot serialize a zero Fingerprint")
+	}
+	if _, err := w.Write(codecMagic[:]); err != nil {
+		return fmt.Errorf("core: writing magic: %w", err)
+	}
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(f.bits.Len()))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(f.card))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("core: writing header: %w", err)
+	}
+	buf := make([]byte, 8*len(f.bits.Words()))
+	for i, word := range f.bits.Words() {
+		binary.LittleEndian.PutUint64(buf[8*i:], word)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("core: writing bit array: %w", err)
+	}
+	return nil
+}
+
+// ReadFingerprint deserializes one fingerprint from r, validating the
+// magic, the cardinality and the spare-bit invariant so corrupted inputs
+// are rejected rather than silently producing wrong similarities.
+func ReadFingerprint(r io.Reader) (Fingerprint, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return Fingerprint{}, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if magic != codecMagic {
+		return Fingerprint{}, fmt.Errorf("core: bad magic %q", magic)
+	}
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Fingerprint{}, fmt.Errorf("core: reading header: %w", err)
+	}
+	bits := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	card := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if bits <= 0 || bits > 1<<24 {
+		return Fingerprint{}, fmt.Errorf("core: implausible fingerprint length %d", bits)
+	}
+	words := (bits + 63) / 64
+	buf := make([]byte, 8*words)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Fingerprint{}, fmt.Errorf("core: reading bit array: %w", err)
+	}
+	raw := make([]uint64, words)
+	for i := range raw {
+		raw[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	b := bitset.FromWords(raw, bits)
+	if got := b.Count(); got != card {
+		return Fingerprint{}, fmt.Errorf("core: cardinality mismatch: header says %d, bit array has %d", card, got)
+	}
+	return Fingerprint{bits: b, card: card}, nil
+}
+
+// WriteFingerprintSet serializes a set of fingerprints.
+func WriteFingerprintSet(w io.Writer, fps []Fingerprint) error {
+	var count [4]byte
+	binary.LittleEndian.PutUint32(count[:], uint32(len(fps)))
+	if _, err := w.Write(count[:]); err != nil {
+		return fmt.Errorf("core: writing count: %w", err)
+	}
+	for i, f := range fps {
+		if err := WriteFingerprint(w, f); err != nil {
+			return fmt.Errorf("core: fingerprint %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadFingerprintSet deserializes a set of fingerprints and verifies that
+// all entries share one length (mixed schemes cannot be compared).
+func ReadFingerprintSet(r io.Reader) ([]Fingerprint, error) {
+	var count [4]byte
+	if _, err := io.ReadFull(r, count[:]); err != nil {
+		return nil, fmt.Errorf("core: reading count: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(count[:])
+	if n > 1<<28 {
+		return nil, fmt.Errorf("core: implausible fingerprint count %d", n)
+	}
+	out := make([]Fingerprint, 0, n)
+	for i := uint32(0); i < n; i++ {
+		f, err := ReadFingerprint(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: fingerprint %d: %w", i, err)
+		}
+		if len(out) > 0 && f.NumBits() != out[0].NumBits() {
+			return nil, fmt.Errorf("core: fingerprint %d has %d bits, set uses %d", i, f.NumBits(), out[0].NumBits())
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"fmt"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/profile"
+)
+
+// ExampleScheme_Fingerprint shows the basic fingerprint-and-estimate flow.
+func ExampleScheme_Fingerprint() {
+	scheme := core.MustScheme(1024, 42)
+	alice := profile.New(1, 2, 3, 4, 5, 6, 7, 8)
+	bob := profile.New(5, 6, 7, 8, 9, 10, 11, 12)
+
+	fpA := scheme.Fingerprint(alice)
+	fpB := scheme.Fingerprint(bob)
+
+	fmt.Printf("exact    J = %.3f\n", profile.Jaccard(alice, bob))
+	fmt.Printf("estimate Ĵ = %.3f\n", core.Jaccard(fpA, fpB))
+	// Output:
+	// exact    J = 0.333
+	// estimate Ĵ = 0.333
+}
+
+// ExampleJaccard_identical shows that identical profiles always estimate 1,
+// whatever the collisions.
+func ExampleJaccard_identical() {
+	scheme := core.MustScheme(64, 1) // tiny b: many collisions
+	p := profile.New(10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+	fp := scheme.Fingerprint(p)
+	fmt.Println(core.Jaccard(fp, fp))
+	// Output: 1
+}
+
+// ExampleFingerprint_EstimatedProfileSize shows Eq. 5: the cardinality
+// approximates the profile size from the fingerprint alone.
+func ExampleFingerprint_EstimatedProfileSize() {
+	scheme := core.MustScheme(4096, 7)
+	p := profile.New(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	fp := scheme.Fingerprint(p)
+	fmt.Println(fp.EstimatedProfileSize())
+	// Output: 10
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"goldfinger/internal/profile"
+)
+
+// FuzzReadFingerprint asserts the codec rejects arbitrary bytes without
+// panicking, and that any accepted payload is internally consistent.
+func FuzzReadFingerprint(f *testing.F) {
+	// Seed with a valid fingerprint and some mutations.
+	s := MustScheme(128, 1)
+	var valid bytes.Buffer
+	if err := WriteFingerprint(&valid, s.Fingerprint(profile.New(1, 2, 3))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("SHF1"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fp, err := ReadFingerprint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if fp.Cardinality() != fp.Bits().Count() {
+			t.Fatal("accepted fingerprint with inconsistent cardinality")
+		}
+		if fp.NumBits() <= 0 {
+			t.Fatal("accepted fingerprint with non-positive length")
+		}
+		// Round trip must be stable.
+		var buf bytes.Buffer
+		if err := WriteFingerprint(&buf, fp); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		fp2, err := ReadFingerprint(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if !fp2.Bits().Equal(fp.Bits()) {
+			t.Fatal("round trip changed bits")
+		}
+	})
+}
+
+// FuzzReadFingerprintSet exercises the set reader the same way.
+func FuzzReadFingerprintSet(f *testing.F) {
+	s := MustScheme(64, 2)
+	var valid bytes.Buffer
+	if err := WriteFingerprintSet(&valid, s.FingerprintAll([]profile.Profile{profile.New(1), profile.New(2, 3)})); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fps, err := ReadFingerprintSet(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(fps); i++ {
+			if fps[i].NumBits() != fps[0].NumBits() {
+				t.Fatal("accepted mixed-length set")
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"goldfinger/internal/bitset"
+	"goldfinger/internal/hashing"
+	"goldfinger/internal/profile"
+)
+
+// MultiHashScheme is the Bloom-filter-style variant in which every item sets
+// k bits instead of one. The paper (§2.3) argues this *degrades* the SHF
+// similarity estimator — multiple hash functions increase single-bit
+// collisions — and this type exists to reproduce that ablation: GoldFinger
+// proper always uses k = 1.
+type MultiHashScheme struct {
+	bits   int
+	hashes int
+	seed   uint64
+}
+
+// NewMultiHashScheme returns a scheme setting hashes bits per item.
+func NewMultiHashScheme(bits, hashes int, seed uint64) (*MultiHashScheme, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("core: fingerprint length must be positive, got %d", bits)
+	}
+	if hashes <= 0 {
+		return nil, fmt.Errorf("core: hash count must be positive, got %d", hashes)
+	}
+	return &MultiHashScheme{bits: bits, hashes: hashes, seed: seed}, nil
+}
+
+// NumBits returns b.
+func (s *MultiHashScheme) NumBits() int { return s.bits }
+
+// NumHashes returns k, the bits set per item.
+func (s *MultiHashScheme) NumHashes() int { return s.hashes }
+
+// Fingerprint builds a k-hash fingerprint of p. The cardinality field keeps
+// its meaning (set bits), so Eq. 4 still applies mechanically — its accuracy
+// is what the ablation measures.
+func (s *MultiHashScheme) Fingerprint(p profile.Profile) Fingerprint {
+	b := bitset.New(s.bits)
+	for _, item := range p {
+		for h := 0; h < s.hashes; h++ {
+			pos := hashing.Seeded(uint64(uint32(item)), s.seed+uint64(h)*0x9e37) % uint64(s.bits)
+			b.Set(int(pos))
+		}
+	}
+	return Fingerprint{bits: b, card: b.Count()}
+}
+
+// FingerprintAll fingerprints every profile.
+func (s *MultiHashScheme) FingerprintAll(profiles []profile.Profile) []Fingerprint {
+	out := make([]Fingerprint, len(profiles))
+	for i, p := range profiles {
+		out[i] = s.Fingerprint(p)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"goldfinger/internal/profile"
+)
+
+func TestNewMultiHashSchemeValidation(t *testing.T) {
+	if _, err := NewMultiHashScheme(0, 1, 0); err == nil {
+		t.Error("bits=0 accepted")
+	}
+	if _, err := NewMultiHashScheme(64, 0, 0); err == nil {
+		t.Error("hashes=0 accepted")
+	}
+	s, err := NewMultiHashScheme(256, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumBits() != 256 || s.NumHashes() != 3 {
+		t.Errorf("got bits=%d hashes=%d", s.NumBits(), s.NumHashes())
+	}
+}
+
+func TestMultiHashSetsMoreBits(t *testing.T) {
+	p := profile.New(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	s1, _ := NewMultiHashScheme(1024, 1, 5)
+	s4, _ := NewMultiHashScheme(1024, 4, 5)
+	c1 := s1.Fingerprint(p).Cardinality()
+	c4 := s4.Fingerprint(p).Cardinality()
+	if c4 <= c1 {
+		t.Errorf("k=4 cardinality %d not above k=1 cardinality %d", c4, c1)
+	}
+	if c4 > 4*len(p) {
+		t.Errorf("k=4 cardinality %d exceeds k·|P| = %d", c4, 4*len(p))
+	}
+}
+
+func TestMultiHashSingleEqualsBehaviour(t *testing.T) {
+	// With k=1 the multi-hash fingerprint must have the same cardinality
+	// profile-size relationship as the plain scheme (identical algorithm).
+	p := profile.New(3, 14, 159, 2653)
+	m, _ := NewMultiHashScheme(512, 1, 0)
+	fp := m.Fingerprint(p)
+	if fp.Cardinality() == 0 || fp.Cardinality() > len(p) {
+		t.Errorf("k=1 cardinality %d out of (0,%d]", fp.Cardinality(), len(p))
+	}
+}
+
+// TestMultiHashDegradesEstimator reproduces the paper's §2.3 claim: for
+// fixed b, increasing the number of hash functions worsens the Jaccard
+// approximation on mid-similarity pairs.
+func TestMultiHashDegradesEstimator(t *testing.T) {
+	var items1, items2 []profile.ItemID
+	for i := 0; i < 80; i++ {
+		items1 = append(items1, profile.ItemID(i))
+		items2 = append(items2, profile.ItemID(i+40))
+	}
+	p1, p2 := profile.New(items1...), profile.New(items2...)
+	truth := profile.Jaccard(p1, p2)
+
+	meanAbsErr := func(k int) float64 {
+		var sum float64
+		const trials = 200
+		for seed := uint64(0); seed < trials; seed++ {
+			s, _ := NewMultiHashScheme(512, k, seed)
+			est := Jaccard(s.Fingerprint(p1), s.Fingerprint(p2))
+			sum += math.Abs(est - truth)
+		}
+		return sum / trials
+	}
+
+	e1, e4 := meanAbsErr(1), meanAbsErr(4)
+	if e4 <= e1 {
+		t.Errorf("k=4 error %.4f not above k=1 error %.4f; multi-hash should degrade SHFs", e4, e1)
+	}
+}
+
+func TestMultiHashFingerprintAll(t *testing.T) {
+	s, _ := NewMultiHashScheme(128, 2, 1)
+	fps := s.FingerprintAll([]profile.Profile{profile.New(1, 2, 3), nil})
+	if len(fps) != 2 {
+		t.Fatalf("got %d fingerprints", len(fps))
+	}
+	if fps[1].Cardinality() != 0 {
+		t.Error("empty profile produced non-empty fingerprint")
+	}
+}

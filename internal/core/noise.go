@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"goldfinger/internal/bitset"
+)
+
+// Flip applies BLIP-style randomized response to a fingerprint: every bit is
+// flipped independently with probability 1/(1+e^ε). The paper (§2.5) notes
+// that SHFs provide k-anonymity and ℓ-diversity natively and that
+// differential privacy "can be easily obtained by inserting random noise to
+// the SHF"; Flip is that extension. The returned fingerprint satisfies
+// ε-differential privacy at the bit level and remains a valid operand of the
+// Jaccard estimator (with extra, quantifiable noise).
+func Flip(f Fingerprint, epsilon float64, rng *rand.Rand) (Fingerprint, error) {
+	if epsilon <= 0 {
+		return Fingerprint{}, fmt.Errorf("core: epsilon must be positive, got %g", epsilon)
+	}
+	p := 1 / (1 + math.Exp(epsilon))
+	b := f.bits.Clone()
+	for i := 0; i < b.Len(); i++ {
+		if rng.Float64() < p {
+			if b.Test(i) {
+				b.Clear(i)
+			} else {
+				b.Set(i)
+			}
+		}
+	}
+	return Fingerprint{bits: b, card: b.Count()}, nil
+}
+
+// FlipProbability returns the per-bit flip probability used by Flip for a
+// given ε: 1/(1+e^ε).
+func FlipProbability(epsilon float64) float64 {
+	return 1 / (1 + math.Exp(epsilon))
+}
+
+// DenoisedJaccard estimates Jaccard's index between the *original* profiles
+// from two ε-flipped fingerprints by inverting the expected effect of the
+// noise on the AND-count. With flip probability p, a bit pair contributes to
+// the observed intersection with probability depending on its true state;
+// solving the linear system yields an unbiased estimate of the true counts.
+func DenoisedJaccard(f1, f2 Fingerprint, epsilon float64) float64 {
+	p := FlipProbability(epsilon)
+	q := 1 - p
+	b := float64(f1.NumBits())
+	obsInter := float64(bitset.AndCount(f1.bits, f2.bits))
+	obsC1 := float64(f1.card)
+	obsC2 := float64(f2.card)
+
+	// E[obsC] = q·c + p·(b−c)  ⇒  c = (obsC − p·b)/(q−p).
+	denom := q - p
+	if denom <= 0 {
+		return 0 // ε→0: no signal survives.
+	}
+	c1 := (obsC1 - p*b) / denom
+	c2 := (obsC2 - p*b) / denom
+
+	// E[obsInter] over the four true states (11,10,01,00) of a bit pair:
+	// q²·x + qp·(c1−x) + pq·(c2−x) + p²·(b−c1−c2+x)
+	// where x is the true intersection count.
+	x := (obsInter - q*p*c1 - p*q*c2 - p*p*(b-c1-c2)) / (q*q - 2*q*p + p*p)
+	x = clamp(x, 0, math.Min(c1, c2))
+	union := c1 + c2 - x
+	if union <= 0 {
+		return 0
+	}
+	return clamp(x/union, 0, 1)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if hi < lo {
+		return lo
+	}
+	return math.Max(lo, math.Min(hi, v))
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"goldfinger/internal/profile"
+)
+
+func TestFlipValidation(t *testing.T) {
+	s := MustScheme(64, 0)
+	fp := s.Fingerprint(profile.New(1, 2))
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Flip(fp, 0, rng); err == nil {
+		t.Error("ε=0 accepted")
+	}
+	if _, err := Flip(fp, -1, rng); err == nil {
+		t.Error("ε<0 accepted")
+	}
+}
+
+func TestFlipProbability(t *testing.T) {
+	// ε → ∞ gives p → 0; ε → 0 gives p → 1/2.
+	if p := FlipProbability(50); p > 1e-10 {
+		t.Errorf("FlipProbability(50) = %g, want ≈0", p)
+	}
+	if p := FlipProbability(1e-9); math.Abs(p-0.5) > 1e-6 {
+		t.Errorf("FlipProbability(≈0) = %g, want ≈0.5", p)
+	}
+	// Monotone decreasing in ε.
+	if FlipProbability(1) <= FlipProbability(2) {
+		t.Error("FlipProbability not decreasing in ε")
+	}
+}
+
+func TestFlipKeepsLengthAndCardinalityConsistency(t *testing.T) {
+	s := MustScheme(1024, 3)
+	fp := s.Fingerprint(profile.New(1, 2, 3, 4, 5, 6, 7, 8, 9, 10))
+	rng := rand.New(rand.NewSource(2))
+	noisy, err := Flip(fp, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.NumBits() != fp.NumBits() {
+		t.Error("Flip changed fingerprint length")
+	}
+	if noisy.Cardinality() != noisy.Bits().Count() {
+		t.Error("cardinality cache inconsistent after Flip")
+	}
+}
+
+func TestFlipDoesNotMutateOriginal(t *testing.T) {
+	s := MustScheme(256, 3)
+	fp := s.Fingerprint(profile.New(5, 6, 7))
+	before := fp.Bits().Clone()
+	rng := rand.New(rand.NewSource(3))
+	if _, err := Flip(fp, 0.1, rng); err != nil {
+		t.Fatal(err)
+	}
+	if !fp.Bits().Equal(before) {
+		t.Error("Flip mutated its input")
+	}
+}
+
+func TestFlipHighEpsilonIsNearIdentity(t *testing.T) {
+	s := MustScheme(2048, 4)
+	fp := s.Fingerprint(profile.New(1, 2, 3, 4, 5))
+	rng := rand.New(rand.NewSource(4))
+	noisy, err := Flip(fp, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !noisy.Bits().Equal(fp.Bits()) {
+		t.Error("ε=30 flipped bits (p ≈ 1e-13, should not happen)")
+	}
+}
+
+func TestFlipLowEpsilonScrambles(t *testing.T) {
+	s := MustScheme(2048, 4)
+	fp := s.Fingerprint(profile.New(1, 2, 3, 4, 5))
+	rng := rand.New(rand.NewSource(5))
+	noisy, err := Flip(fp, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p ≈ 0.4975: roughly half the 2048 bits flip.
+	flips := 0
+	for i := 0; i < 2048; i++ {
+		if noisy.Bits().Test(i) != fp.Bits().Test(i) {
+			flips++
+		}
+	}
+	if flips < 800 || flips > 1250 {
+		t.Errorf("ε=0.01 flipped %d of 2048 bits, expected ≈1024", flips)
+	}
+}
+
+func TestDenoisedJaccardRecoversSignal(t *testing.T) {
+	// With moderate noise (ε=3 → p≈4.7%) and many trials, the denoised
+	// estimator should land near the true Jaccard while the raw estimator
+	// on noisy fingerprints is biased.
+	var items1, items2 []profile.ItemID
+	for i := 0; i < 100; i++ {
+		items1 = append(items1, profile.ItemID(i))
+		items2 = append(items2, profile.ItemID(i+50))
+	}
+	p1, p2 := profile.New(items1...), profile.New(items2...)
+	truth := profile.Jaccard(p1, p2) // 1/3
+
+	const eps = 3.0
+	rng := rand.New(rand.NewSource(6))
+	var sum float64
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		s := MustScheme(4096, uint64(i))
+		f1, err := Flip(s.Fingerprint(p1), eps, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, err := Flip(s.Fingerprint(p2), eps, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += DenoisedJaccard(f1, f2, eps)
+	}
+	mean := sum / trials
+	if math.Abs(mean-truth) > 0.08 {
+		t.Errorf("denoised mean = %g, true = %g", mean, truth)
+	}
+}
+
+func TestDenoisedJaccardStaysInRange(t *testing.T) {
+	s := MustScheme(128, 9)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		p := randomProfile(rng, 1+rng.Intn(40), 500)
+		q := randomProfile(rng, 1+rng.Intn(40), 500)
+		f1, _ := Flip(s.Fingerprint(p), 1, rng)
+		f2, _ := Flip(s.Fingerprint(q), 1, rng)
+		j := DenoisedJaccard(f1, f2, 1)
+		if j < 0 || j > 1 {
+			t.Fatalf("DenoisedJaccard = %g out of [0,1]", j)
+		}
+	}
+}

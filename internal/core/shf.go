@@ -1,0 +1,204 @@
+// Package core implements the paper's primary contribution: Single Hash
+// Fingerprints (SHFs) and the GoldFinger technique built on them.
+//
+// An SHF is a pair (B, c): a b-bit array B in which every item of a profile
+// sets exactly one bit through a single uniform hash function, plus the
+// cardinality c = |B| (number of set bits). Jaccard's index between two
+// profiles is estimated from fingerprints alone as
+//
+//	Ĵ(P1, P2) = |B1 ∧ B2| / (c1 + c2 − |B1 ∧ B2|)   (paper Eq. 4)
+//
+// which costs one AND+popcount pass over b/64 words, independent of the
+// explicit profile sizes. GoldFinger is the drop-in use of this estimator
+// inside any Jaccard-based KNN graph construction algorithm.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"goldfinger/internal/bitset"
+	"goldfinger/internal/hashing"
+	"goldfinger/internal/profile"
+)
+
+// DefaultBits is the fingerprint length used throughout the paper's
+// evaluation (§3.3): 1024-bit SHFs.
+const DefaultBits = 1024
+
+// Fingerprint is a Single Hash Fingerprint: the bit array and its cached
+// cardinality. Fingerprints are immutable once built; the cached cardinality
+// is what makes the denominator of Eq. 4 free.
+type Fingerprint struct {
+	bits *bitset.Set
+	card int
+}
+
+// Bits returns the underlying bit array. Callers must not mutate it.
+func (f Fingerprint) Bits() *bitset.Set { return f.bits }
+
+// Cardinality returns c, the number of set bits (the L1 norm of B).
+func (f Fingerprint) Cardinality() int { return f.card }
+
+// NumBits returns b, the fingerprint length in bits.
+func (f Fingerprint) NumBits() int { return f.bits.Len() }
+
+// EstimatedProfileSize estimates |P| from the fingerprint alone (paper
+// Eq. 5): with few collisions, |P| ≈ c.
+func (f Fingerprint) EstimatedProfileSize() int { return f.card }
+
+// SizeBytes returns the in-memory footprint of the fingerprint payload
+// (bit array words plus the cardinality), used by the memory-traffic model.
+func (f Fingerprint) SizeBytes() int { return len(f.bits.Words())*8 + 8 }
+
+// HashKind selects the item-to-bit hash function of a Scheme.
+type HashKind int
+
+const (
+	// HashMix64 uses the SplitMix64-style finalizer: the fastest option
+	// and the default.
+	HashMix64 HashKind = iota
+	// HashJenkins uses Bob Jenkins' lookup3 over the item's 4-byte
+	// little-endian encoding — the hash function the paper's
+	// implementation uses. Slightly slower, statistically equivalent for
+	// this purpose (see BenchmarkAblationHashFunction).
+	HashJenkins
+)
+
+// Scheme fixes the fingerprinting parameters: the length b and the hash
+// function mapping items to bit positions. Every fingerprint compared with
+// another must come from the same Scheme.
+type Scheme struct {
+	bits int
+	seed uint64
+	kind HashKind
+}
+
+// NewScheme returns a Scheme producing fingerprints of the given length.
+// The paper uses lengths from 64 to 8192 bits, 1024 by default. Length must
+// be positive; powers of two are typical but not required.
+func NewScheme(bits int, seed uint64) (*Scheme, error) {
+	return NewSchemeWithHash(bits, seed, HashMix64)
+}
+
+// NewSchemeWithHash is NewScheme with an explicit hash function choice.
+func NewSchemeWithHash(bits int, seed uint64, kind HashKind) (*Scheme, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("core: fingerprint length must be positive, got %d", bits)
+	}
+	if kind != HashMix64 && kind != HashJenkins {
+		return nil, fmt.Errorf("core: unknown hash kind %d", kind)
+	}
+	return &Scheme{bits: bits, seed: seed, kind: kind}, nil
+}
+
+// MustScheme is NewScheme for static configurations; it panics on error.
+func MustScheme(bits int, seed uint64) *Scheme {
+	s, err := NewScheme(bits, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumBits returns b.
+func (s *Scheme) NumBits() int { return s.bits }
+
+// BitOf returns the bit position h(item) ∈ [0, b) that item sets.
+func (s *Scheme) BitOf(item profile.ItemID) int {
+	if s.kind == HashJenkins {
+		var key [4]byte
+		key[0] = byte(item)
+		key[1] = byte(item >> 8)
+		key[2] = byte(item >> 16)
+		key[3] = byte(item >> 24)
+		return int(uint64(hashing.Lookup3(key[:], uint32(s.seed))) % uint64(s.bits))
+	}
+	return int(hashing.Seeded(uint64(uint32(item)), s.seed) % uint64(s.bits))
+}
+
+// Fingerprint builds the SHF of a profile: each item hashes to one bit.
+func (s *Scheme) Fingerprint(p profile.Profile) Fingerprint {
+	b := bitset.New(s.bits)
+	for _, item := range p {
+		b.Set(s.BitOf(item))
+	}
+	return Fingerprint{bits: b, card: b.Count()}
+}
+
+// FingerprintAll fingerprints every profile of a dataset. This is the whole
+// preparation cost of GoldFinger (Table 3): one hash per rating.
+func (s *Scheme) FingerprintAll(profiles []profile.Profile) []Fingerprint {
+	out := make([]Fingerprint, len(profiles))
+	for i, p := range profiles {
+		out[i] = s.Fingerprint(p)
+	}
+	return out
+}
+
+// FingerprintAllParallel is FingerprintAll spread over workers goroutines
+// (0 means GOMAXPROCS). Fingerprinting is embarrassingly parallel — users
+// are independent — so preparation of very large datasets scales linearly.
+func (s *Scheme) FingerprintAllParallel(profiles []profile.Profile, workers int) []Fingerprint {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]Fingerprint, len(profiles))
+	var wg sync.WaitGroup
+	chunk := (len(profiles) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(profiles) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(profiles) {
+			hi = len(profiles)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = s.Fingerprint(profiles[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Jaccard estimates Jaccard's index from two fingerprints (paper Eq. 4).
+// Two empty fingerprints estimate 0, matching profile.Jaccard's convention.
+// It panics if the fingerprints have different lengths (mixed schemes).
+func Jaccard(f1, f2 Fingerprint) float64 {
+	inter := bitset.AndCount(f1.bits, f2.bits)
+	union := f1.card + f2.card - inter
+	if union <= 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Cosine estimates the binary cosine similarity |P1∩P2|/√(|P1||P2|) from
+// fingerprints, using the same intersection approximation as Jaccard.
+func Cosine(f1, f2 Fingerprint) float64 {
+	if f1.card == 0 || f2.card == 0 {
+		return 0
+	}
+	inter := bitset.AndCount(f1.bits, f2.bits)
+	return float64(inter) / math.Sqrt(float64(f1.card)*float64(f2.card))
+}
+
+// IntersectionEstimate returns |B1 ∧ B2|, the estimator of |P1 ∩ P2|
+// (paper Eq. 6).
+func IntersectionEstimate(f1, f2 Fingerprint) int {
+	return bitset.AndCount(f1.bits, f2.bits)
+}
+
+// UnionEstimate returns c1 + c2 − |B1 ∧ B2| = |B1 ∨ B2|, the estimator of
+// |P1 ∪ P2|.
+func UnionEstimate(f1, f2 Fingerprint) int {
+	return f1.card + f2.card - bitset.AndCount(f1.bits, f2.bits)
+}

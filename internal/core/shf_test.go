@@ -1,0 +1,357 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"goldfinger/internal/profile"
+)
+
+func TestNewSchemeValidation(t *testing.T) {
+	if _, err := NewScheme(0, 1); err == nil {
+		t.Error("NewScheme(0) accepted")
+	}
+	if _, err := NewScheme(-64, 1); err == nil {
+		t.Error("NewScheme(-64) accepted")
+	}
+	s, err := NewScheme(1024, 1)
+	if err != nil || s.NumBits() != 1024 {
+		t.Errorf("NewScheme(1024) = %v, %v", s, err)
+	}
+}
+
+func TestMustSchemePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustScheme(0,0) did not panic")
+		}
+	}()
+	MustScheme(0, 0)
+}
+
+func TestBitOfInRange(t *testing.T) {
+	for _, bits := range []int{64, 100, 1024, 8192} {
+		s := MustScheme(bits, 7)
+		for item := profile.ItemID(0); item < 5000; item++ {
+			b := s.BitOf(item)
+			if b < 0 || b >= bits {
+				t.Fatalf("BitOf(%d) = %d out of [0,%d)", item, b, bits)
+			}
+		}
+	}
+}
+
+func TestFingerprintCardinalityInvariant(t *testing.T) {
+	f := func(items []int32) bool {
+		p := profile.New(items...)
+		fp := MustScheme(256, 3).Fingerprint(p)
+		return fp.Cardinality() == fp.Bits().Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFingerprintCardinalityBounds(t *testing.T) {
+	// 1 ≤ c ≤ min(|P|, b) for non-empty profiles; c=0 iff P empty.
+	f := func(items []int32) bool {
+		p := profile.New(items...)
+		fp := MustScheme(128, 3).Fingerprint(p)
+		c := fp.Cardinality()
+		if len(p) == 0 {
+			return c == 0
+		}
+		return c >= 1 && c <= len(p) && c <= 128
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	p := profile.New(1, 5, 9, 1000, 424242)
+	s := MustScheme(512, 9)
+	if !s.Fingerprint(p).Bits().Equal(s.Fingerprint(p).Bits()) {
+		t.Error("same scheme+profile produced different fingerprints")
+	}
+}
+
+func TestDifferentSeedsDifferentFingerprints(t *testing.T) {
+	p := profile.New(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	f1 := MustScheme(1024, 1).Fingerprint(p)
+	f2 := MustScheme(1024, 2).Fingerprint(p)
+	if f1.Bits().Equal(f2.Bits()) {
+		t.Error("different seeds produced identical fingerprints")
+	}
+}
+
+func TestJaccardIdenticalProfiles(t *testing.T) {
+	p := profile.New(10, 20, 30, 40, 50)
+	s := MustScheme(1024, 4)
+	if got := Jaccard(s.Fingerprint(p), s.Fingerprint(p)); got != 1 {
+		t.Errorf("Ĵ(P,P) = %g, want 1", got)
+	}
+}
+
+func TestJaccardDisjointLargeB(t *testing.T) {
+	// With b much larger than the profiles, disjoint profiles should
+	// estimate near 0 (collisions are rare but possible).
+	p := profile.New(1, 2, 3, 4, 5)
+	q := profile.New(100, 200, 300, 400, 500)
+	s := MustScheme(65536, 4)
+	if got := Jaccard(s.Fingerprint(p), s.Fingerprint(q)); got > 0.2 {
+		t.Errorf("Ĵ(disjoint) = %g, want ≈0", got)
+	}
+}
+
+func TestJaccardEmpty(t *testing.T) {
+	s := MustScheme(64, 1)
+	e := s.Fingerprint(nil)
+	p := s.Fingerprint(profile.New(1, 2, 3))
+	if got := Jaccard(e, e); got != 0 {
+		t.Errorf("Ĵ(∅,∅) = %g, want 0", got)
+	}
+	if got := Jaccard(e, p); got != 0 {
+		t.Errorf("Ĵ(∅,P) = %g, want 0", got)
+	}
+}
+
+func TestJaccardRangeAndSymmetry(t *testing.T) {
+	s := MustScheme(128, 5)
+	f := func(a, b []int32) bool {
+		fa := s.Fingerprint(profile.New(a...))
+		fb := s.Fingerprint(profile.New(b...))
+		j1, j2 := Jaccard(fa, fb), Jaccard(fb, fa)
+		return j1 == j2 && j1 >= 0 && j1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectionUnionEstimates(t *testing.T) {
+	s := MustScheme(256, 6)
+	f := func(a, b []int32) bool {
+		fa := s.Fingerprint(profile.New(a...))
+		fb := s.Fingerprint(profile.New(b...))
+		inter := IntersectionEstimate(fa, fb)
+		union := UnionEstimate(fa, fb)
+		// Inclusion-exclusion on the bit arrays themselves.
+		return inter >= 0 &&
+			inter <= minInt(fa.Cardinality(), fb.Cardinality()) &&
+			union == fa.Cardinality()+fb.Cardinality()-inter &&
+			union >= maxInt(fa.Cardinality(), fb.Cardinality())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSupersetNeverLowersIntersection(t *testing.T) {
+	// B(P∩Q) ⊆ B(P)∧B(Q): the AND of fingerprints contains at least the
+	// bits of the true intersection, so the estimate ≥ true-intersection
+	// fingerprint cardinality (paper: collisions only ever inflate Ĵ of
+	// the intersection).
+	s := MustScheme(512, 8)
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		a := randomProfile(r, 60, 10000)
+		b := randomProfile(r, 60, 10000)
+		inter := profile.Intersection(a, b)
+		fInter := s.Fingerprint(inter)
+		fa, fb := s.Fingerprint(a), s.Fingerprint(b)
+		and := fa.Bits().Clone()
+		and.And(fb.Bits())
+		if !fInter.Bits().SubsetOf(and) {
+			t.Fatal("B(P∩Q) not a subset of B(P)∧B(Q)")
+		}
+	}
+}
+
+func TestEstimatorConcentratesWithLargeB(t *testing.T) {
+	// The paper's core claim (Figs 3–5): with b large relative to the
+	// profiles, Ĵ is close to J. Build overlapping profiles with known
+	// Jaccard and check the estimate with b=8192.
+	s := MustScheme(8192, 10)
+	// |P1|=|P2|=100, overlap 50 → J = 50/150 = 1/3.
+	var items1, items2 []profile.ItemID
+	for i := 0; i < 100; i++ {
+		items1 = append(items1, profile.ItemID(i))
+		items2 = append(items2, profile.ItemID(i+50))
+	}
+	p1, p2 := profile.New(items1...), profile.New(items2...)
+	truth := profile.Jaccard(p1, p2)
+	got := Jaccard(s.Fingerprint(p1), s.Fingerprint(p2))
+	if math.Abs(got-truth) > 0.05 {
+		t.Errorf("Ĵ = %g, J = %g; |diff| > 0.05 with b=8192", got, truth)
+	}
+}
+
+func TestEstimatorBiasIsPositiveForSmallB(t *testing.T) {
+	// Collisions inflate the intersection: averaged over many seeds, the
+	// estimate of a moderate similarity with small b overshoots (paper:
+	// Ĵ mean 0.286 when J = 0.25 at b=1024 with |P|=100).
+	var items1, items2 []profile.ItemID
+	for i := 0; i < 100; i++ {
+		items1 = append(items1, profile.ItemID(i))
+		items2 = append(items2, profile.ItemID(i+60))
+	}
+	p1, p2 := profile.New(items1...), profile.New(items2...)
+	truth := profile.Jaccard(p1, p2) // 40/160 = 0.25
+	var sum float64
+	const trials = 300
+	for seed := uint64(0); seed < trials; seed++ {
+		s := MustScheme(512, seed)
+		sum += Jaccard(s.Fingerprint(p1), s.Fingerprint(p2))
+	}
+	mean := sum / trials
+	if mean <= truth {
+		t.Errorf("mean Ĵ = %g not above J = %g (positive bias expected)", mean, truth)
+	}
+	if mean > truth+0.15 {
+		t.Errorf("mean Ĵ = %g too far above J = %g", mean, truth)
+	}
+}
+
+func TestCosineEstimate(t *testing.T) {
+	s := MustScheme(8192, 3)
+	p1 := profile.New(1, 2, 3, 4)
+	p2 := profile.New(3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)
+	truth := profile.Cosine(p1, p2)
+	got := Cosine(s.Fingerprint(p1), s.Fingerprint(p2))
+	if math.Abs(got-truth) > 0.1 {
+		t.Errorf("estimated cosine %g, true %g", got, truth)
+	}
+	if Cosine(s.Fingerprint(nil), s.Fingerprint(p1)) != 0 {
+		t.Error("cosine with empty fingerprint should be 0")
+	}
+}
+
+func TestFingerprintAll(t *testing.T) {
+	s := MustScheme(128, 2)
+	ps := []profile.Profile{profile.New(1, 2), profile.New(3), nil}
+	fps := s.FingerprintAll(ps)
+	if len(fps) != 3 {
+		t.Fatalf("FingerprintAll returned %d fingerprints", len(fps))
+	}
+	for i, fp := range fps {
+		want := s.Fingerprint(ps[i])
+		if !fp.Bits().Equal(want.Bits()) || fp.Cardinality() != want.Cardinality() {
+			t.Errorf("fingerprint %d differs from direct construction", i)
+		}
+	}
+}
+
+func TestNewSchemeWithHashValidation(t *testing.T) {
+	if _, err := NewSchemeWithHash(64, 1, HashKind(99)); err == nil {
+		t.Error("unknown hash kind accepted")
+	}
+	s, err := NewSchemeWithHash(1024, 1, HashJenkins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumBits() != 1024 {
+		t.Errorf("bits = %d", s.NumBits())
+	}
+}
+
+func TestJenkinsSchemeEquivalentQuality(t *testing.T) {
+	// The paper fingerprints with Jenkins' hash; our default is a 64-bit
+	// mixer. Both must estimate equally well (they differ only in which
+	// random-looking bit each item sets).
+	var items1, items2 []profile.ItemID
+	for i := 0; i < 100; i++ {
+		items1 = append(items1, profile.ItemID(i))
+		items2 = append(items2, profile.ItemID(i+50))
+	}
+	p1, p2 := profile.New(items1...), profile.New(items2...)
+	truth := profile.Jaccard(p1, p2)
+
+	meanAbsErr := func(kind HashKind) float64 {
+		var sum float64
+		const trials = 200
+		for seed := uint64(0); seed < trials; seed++ {
+			s, err := NewSchemeWithHash(1024, seed, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := Jaccard(s.Fingerprint(p1), s.Fingerprint(p2))
+			sum += math.Abs(est - truth)
+		}
+		return sum / trials
+	}
+	eMix, eJen := meanAbsErr(HashMix64), meanAbsErr(HashJenkins)
+	if diff := math.Abs(eMix - eJen); diff > 0.01 {
+		t.Errorf("hash kinds differ in estimator error: mix %.4f vs jenkins %.4f", eMix, eJen)
+	}
+}
+
+func TestJenkinsSchemeBitRange(t *testing.T) {
+	s, _ := NewSchemeWithHash(100, 3, HashJenkins)
+	for item := profile.ItemID(0); item < 2000; item++ {
+		b := s.BitOf(item)
+		if b < 0 || b >= 100 {
+			t.Fatalf("BitOf(%d) = %d out of range", item, b)
+		}
+	}
+}
+
+func TestFingerprintAllParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(30))
+	profiles := make([]profile.Profile, 500)
+	for i := range profiles {
+		profiles[i] = randomProfile(r, 1+r.Intn(50), 5000)
+	}
+	s := MustScheme(512, 31)
+	serial := s.FingerprintAll(profiles)
+	for _, workers := range []int{0, 1, 3, 16, 1000} {
+		parallel := s.FingerprintAllParallel(profiles, workers)
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: length %d, want %d", workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			if !parallel[i].Bits().Equal(serial[i].Bits()) {
+				t.Fatalf("workers=%d: fingerprint %d differs from serial", workers, i)
+			}
+		}
+	}
+}
+
+func TestFingerprintAllParallelEmpty(t *testing.T) {
+	s := MustScheme(64, 0)
+	if got := s.FingerprintAllParallel(nil, 4); len(got) != 0 {
+		t.Errorf("empty input produced %d fingerprints", len(got))
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	s := MustScheme(1024, 0)
+	fp := s.Fingerprint(profile.New(1))
+	if got := fp.SizeBytes(); got != 1024/8+8 {
+		t.Errorf("SizeBytes = %d, want %d", got, 1024/8+8)
+	}
+}
+
+func randomProfile(r *rand.Rand, n, universe int) profile.Profile {
+	items := make([]profile.ItemID, n)
+	for i := range items {
+		items[i] = profile.ItemID(r.Intn(universe))
+	}
+	return profile.New(items...)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,251 @@
+// Package dataset implements the bipartite user–item rating datasets the
+// paper evaluates on, together with the exact preparation pipeline of its
+// experimental setup (§3.1): keep users with at least 20 ratings, binarize
+// by keeping only items rated strictly above 3, and split ratings 5-fold
+// for cross-validation. The package parses the original file formats
+// (MovieLens, CSV, SNAP edge lists) and, because the public datasets cannot
+// be bundled, provides synthetic generators calibrated to each dataset's
+// published shape (see synthetic.go and DESIGN.md §3).
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"goldfinger/internal/profile"
+)
+
+// Rating is one (user, item, value) triple.
+type Rating struct {
+	User  int32
+	Item  profile.ItemID
+	Value float32
+}
+
+// Options controls dataset preparation. The zero value selects the paper's
+// setup: threshold 3 (keep ratings > 3) and a 20-rating minimum per user.
+type Options struct {
+	// PositiveThreshold keeps ratings strictly greater than this value
+	// when binarizing. 0 means the paper's default of 3.
+	PositiveThreshold float64
+	// MinRatings drops users with fewer raw ratings (counted before
+	// binarization, as in the paper). 0 means the default of 20.
+	// Negative disables the filter.
+	MinRatings int
+}
+
+func (o Options) threshold() float64 {
+	if o.PositiveThreshold == 0 {
+		return 3
+	}
+	return o.PositiveThreshold
+}
+
+func (o Options) minRatings() int {
+	switch {
+	case o.MinRatings < 0:
+		return 0
+	case o.MinRatings == 0:
+		return 20
+	default:
+		return o.MinRatings
+	}
+}
+
+// Dataset is a prepared (binarized) dataset: one positive-item profile per
+// user, with the rating values kept aligned for the recommender.
+type Dataset struct {
+	Name string
+	// Profiles[u] is the sorted set of items user u rated positively.
+	Profiles []profile.Profile
+	// Values[u][i] is the rating value of Profiles[u][i].
+	Values [][]float32
+	// NumItems is the size of the item universe (max item ID + 1).
+	NumItems int
+}
+
+// FromRatings prepares a Dataset from raw ratings per the paper's pipeline.
+// User IDs are remapped to a compact [0, n) range; item IDs are preserved.
+func FromRatings(name string, ratings []Rating, opts Options) *Dataset {
+	minR := opts.minRatings()
+	thr := opts.threshold()
+
+	counts := map[int32]int{}
+	// The item universe I includes every rated item, positive or not: the
+	// privacy bounds of §2.5 are stated in terms of m = |I|.
+	maxItem := profile.ItemID(-1)
+	for _, r := range ratings {
+		counts[r.User]++
+		if r.Item > maxItem {
+			maxItem = r.Item
+		}
+	}
+
+	type ui struct {
+		item  profile.ItemID
+		value float32
+	}
+	byUser := map[int32][]ui{}
+	for _, r := range ratings {
+		if counts[r.User] < minR {
+			continue
+		}
+		if float64(r.Value) <= thr {
+			continue
+		}
+		byUser[r.User] = append(byUser[r.User], ui{r.Item, r.Value})
+	}
+
+	users := make([]int32, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+
+	d := &Dataset{
+		Name:     name,
+		Profiles: make([]profile.Profile, 0, len(users)),
+		Values:   make([][]float32, 0, len(users)),
+		NumItems: int(maxItem) + 1,
+	}
+	for _, u := range users {
+		entries := byUser[u]
+		sort.Slice(entries, func(i, j int) bool { return entries[i].item < entries[j].item })
+		items := make([]profile.ItemID, 0, len(entries))
+		values := make([]float32, 0, len(entries))
+		for i, e := range entries {
+			if i > 0 && e.item == entries[i-1].item {
+				continue // duplicate rating of the same item: keep the first
+			}
+			items = append(items, e.item)
+			values = append(values, e.value)
+		}
+		if len(items) == 0 {
+			continue
+		}
+		d.Profiles = append(d.Profiles, profile.FromSorted(items))
+		d.Values = append(d.Values, values)
+	}
+	return d
+}
+
+// NumUsers returns the number of users kept after preparation.
+func (d *Dataset) NumUsers() int { return len(d.Profiles) }
+
+// NumRatings returns the total number of positive ratings.
+func (d *Dataset) NumRatings() int {
+	n := 0
+	for _, p := range d.Profiles {
+		n += len(p)
+	}
+	return n
+}
+
+// ValueOf returns user u's rating of item, and whether it exists.
+func (d *Dataset) ValueOf(u int, item profile.ItemID) (float32, bool) {
+	p := d.Profiles[u]
+	i := sort.Search(len(p), func(i int) bool { return p[i] >= item })
+	if i < len(p) && p[i] == item {
+		return d.Values[u][i], true
+	}
+	return 0, false
+}
+
+// Stats is one row of the paper's Table 2.
+type Stats struct {
+	Name         string
+	Users        int
+	Items        int // distinct items actually rated positively
+	Ratings      int // positive ratings
+	MeanProfile  float64
+	MeanItemDeg  float64
+	DensityPct   float64
+	ItemUniverse int // size of the item ID space (for privacy bounds)
+}
+
+// ComputeStats derives the Table 2 statistics of the dataset.
+func (d *Dataset) ComputeStats() Stats {
+	distinct := map[profile.ItemID]struct{}{}
+	ratings := 0
+	for _, p := range d.Profiles {
+		ratings += len(p)
+		for _, it := range p {
+			distinct[it] = struct{}{}
+		}
+	}
+	s := Stats{
+		Name:         d.Name,
+		Users:        len(d.Profiles),
+		Items:        len(distinct),
+		Ratings:      ratings,
+		ItemUniverse: d.NumItems,
+	}
+	if s.Users > 0 {
+		s.MeanProfile = float64(ratings) / float64(s.Users)
+	}
+	if s.Items > 0 {
+		s.MeanItemDeg = float64(ratings) / float64(s.Items)
+	}
+	if s.Users > 0 && s.Items > 0 {
+		s.DensityPct = 100 * float64(ratings) / (float64(s.Users) * float64(s.Items))
+	}
+	return s
+}
+
+// Fold is one train/test split of a cross-validation.
+type Fold struct {
+	// Train is the dataset with the test ratings removed.
+	Train *Dataset
+	// Test[u] holds user u's hidden positive items.
+	Test []profile.Profile
+}
+
+// Split partitions the positive ratings into nfolds cross-validation folds
+// (the paper uses 5). Every rating lands in exactly one fold's test set; the
+// corresponding train set is the dataset minus those ratings. Users keep
+// their indices across folds so KNN graphs remain comparable.
+func (d *Dataset) Split(nfolds int, seed int64) ([]Fold, error) {
+	if nfolds < 2 {
+		return nil, fmt.Errorf("dataset: need at least 2 folds, got %d", nfolds)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// assign[u][i] is the fold of rating i of user u.
+	assign := make([][]int8, len(d.Profiles))
+	for u, p := range d.Profiles {
+		assign[u] = make([]int8, len(p))
+		for i := range assign[u] {
+			assign[u][i] = int8(rng.Intn(nfolds))
+		}
+	}
+
+	folds := make([]Fold, nfolds)
+	for f := 0; f < nfolds; f++ {
+		train := &Dataset{
+			Name:     d.Name,
+			Profiles: make([]profile.Profile, len(d.Profiles)),
+			Values:   make([][]float32, len(d.Profiles)),
+			NumItems: d.NumItems,
+		}
+		test := make([]profile.Profile, len(d.Profiles))
+		for u, p := range d.Profiles {
+			trItems := make([]profile.ItemID, 0, len(p))
+			trValues := make([]float32, 0, len(p))
+			var teItems []profile.ItemID
+			for i, it := range p {
+				if int(assign[u][i]) == f {
+					teItems = append(teItems, it)
+				} else {
+					trItems = append(trItems, it)
+					trValues = append(trValues, d.Values[u][i])
+				}
+			}
+			train.Profiles[u] = profile.FromSorted(trItems)
+			train.Values[u] = trValues
+			test[u] = profile.FromSorted(teItems)
+		}
+		folds[f] = Fold{Train: train, Test: test}
+	}
+	return folds, nil
+}

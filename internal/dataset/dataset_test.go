@@ -1,0 +1,195 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"goldfinger/internal/profile"
+)
+
+func ratingsFixture() []Rating {
+	// Two qualifying users (≥3 ratings with MinRatings=3) and one that
+	// gets filtered out.
+	return []Rating{
+		{User: 10, Item: 1, Value: 5},
+		{User: 10, Item: 2, Value: 2},
+		{User: 10, Item: 3, Value: 4},
+		{User: 10, Item: 4, Value: 3}, // not > 3: binarized away
+		{User: 20, Item: 2, Value: 5},
+		{User: 20, Item: 3, Value: 5},
+		{User: 20, Item: 5, Value: 1},
+		{User: 30, Item: 1, Value: 5}, // only one rating: filtered
+	}
+}
+
+func TestFromRatingsPipeline(t *testing.T) {
+	d := FromRatings("fix", ratingsFixture(), Options{MinRatings: 3})
+	if d.NumUsers() != 2 {
+		t.Fatalf("NumUsers = %d, want 2 (user 30 filtered)", d.NumUsers())
+	}
+	// User 10 → positives {1, 3}; user 20 → positives {2, 3}.
+	if got := d.Profiles[0]; got.Len() != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("user 10 profile = %v, want [1 3]", got)
+	}
+	if got := d.Profiles[1]; got.Len() != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("user 20 profile = %v, want [2 3]", got)
+	}
+	if d.NumItems != 6 {
+		t.Errorf("NumItems = %d, want 6 (max item 5 + 1)", d.NumItems)
+	}
+	if d.NumRatings() != 4 {
+		t.Errorf("NumRatings = %d, want 4", d.NumRatings())
+	}
+}
+
+func TestFromRatingsValuesAligned(t *testing.T) {
+	d := FromRatings("fix", ratingsFixture(), Options{MinRatings: 3})
+	v, ok := d.ValueOf(0, 3)
+	if !ok || v != 4 {
+		t.Errorf("ValueOf(0, 3) = %v, %v; want 4, true", v, ok)
+	}
+	if _, ok := d.ValueOf(0, 2); ok {
+		t.Error("ValueOf(0, 2) found a binarized-away rating")
+	}
+	for u := range d.Profiles {
+		if len(d.Values[u]) != d.Profiles[u].Len() {
+			t.Fatalf("user %d: values (%d) misaligned with profile (%d)",
+				u, len(d.Values[u]), d.Profiles[u].Len())
+		}
+	}
+}
+
+func TestFromRatingsDefaultMin20(t *testing.T) {
+	// A user with 19 ratings must be dropped under the paper's default.
+	var ratings []Rating
+	for i := 0; i < 19; i++ {
+		ratings = append(ratings, Rating{User: 1, Item: profile.ItemID(i), Value: 5})
+	}
+	if d := FromRatings("x", ratings, Options{}); d.NumUsers() != 0 {
+		t.Errorf("19-rating user kept with default options")
+	}
+	ratings = append(ratings, Rating{User: 1, Item: 19, Value: 5})
+	if d := FromRatings("x", ratings, Options{}); d.NumUsers() != 1 {
+		t.Errorf("20-rating user dropped with default options")
+	}
+}
+
+func TestFromRatingsMinRatingsDisabled(t *testing.T) {
+	ratings := []Rating{{User: 1, Item: 1, Value: 5}}
+	if d := FromRatings("x", ratings, Options{MinRatings: -1}); d.NumUsers() != 1 {
+		t.Error("MinRatings<0 should disable the filter")
+	}
+}
+
+func TestFromRatingsCustomThreshold(t *testing.T) {
+	ratings := []Rating{
+		{User: 1, Item: 1, Value: 3},
+		{User: 1, Item: 2, Value: 5},
+	}
+	d := FromRatings("x", ratings, Options{MinRatings: -1, PositiveThreshold: 2.5})
+	if d.NumRatings() != 2 {
+		t.Errorf("threshold 2.5 kept %d ratings, want 2", d.NumRatings())
+	}
+}
+
+func TestFromRatingsDuplicateItem(t *testing.T) {
+	ratings := []Rating{
+		{User: 1, Item: 7, Value: 5},
+		{User: 1, Item: 7, Value: 4},
+		{User: 1, Item: 8, Value: 5},
+	}
+	d := FromRatings("x", ratings, Options{MinRatings: -1})
+	if d.Profiles[0].Len() != 2 {
+		t.Errorf("duplicate item kept twice: %v", d.Profiles[0])
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	d := FromRatings("fix", ratingsFixture(), Options{MinRatings: 3})
+	s := d.ComputeStats()
+	if s.Users != 2 || s.Ratings != 4 {
+		t.Errorf("stats users=%d ratings=%d, want 2, 4", s.Users, s.Ratings)
+	}
+	if s.Items != 3 { // distinct positive items: 1, 2, 3
+		t.Errorf("stats items = %d, want 3", s.Items)
+	}
+	if math.Abs(s.MeanProfile-2) > 1e-12 {
+		t.Errorf("mean profile = %g, want 2", s.MeanProfile)
+	}
+	if math.Abs(s.MeanItemDeg-4.0/3) > 1e-12 {
+		t.Errorf("mean item degree = %g, want 4/3", s.MeanItemDeg)
+	}
+	wantDensity := 100 * 4.0 / (2 * 3)
+	if math.Abs(s.DensityPct-wantDensity) > 1e-9 {
+		t.Errorf("density = %g%%, want %g%%", s.DensityPct, wantDensity)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	d := &Dataset{Name: "empty"}
+	s := d.ComputeStats()
+	if s.Users != 0 || s.MeanProfile != 0 || s.DensityPct != 0 {
+		t.Errorf("empty dataset stats = %+v", s)
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	d := FromRatings("fix", ratingsFixture(), Options{MinRatings: 3})
+	if _, err := d.Split(1, 0); err == nil {
+		t.Error("Split(1) accepted")
+	}
+}
+
+func TestSplitPartitionsRatings(t *testing.T) {
+	d := Generate(ML1M, 0.02, 7)
+	const nfolds = 5
+	folds, err := d.Split(nfolds, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != nfolds {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	for u := range d.Profiles {
+		seenInTest := map[profile.ItemID]int{}
+		for f, fold := range folds {
+			// Train ∪ Test = full profile; Train ∩ Test = ∅.
+			train, test := fold.Train.Profiles[u], fold.Test[u]
+			if train.Len()+test.Len() != d.Profiles[u].Len() {
+				t.Fatalf("fold %d user %d: |train|+|test| = %d, want %d",
+					f, u, train.Len()+test.Len(), d.Profiles[u].Len())
+			}
+			if profile.IntersectionSize(train, test) != 0 {
+				t.Fatalf("fold %d user %d: train and test overlap", f, u)
+			}
+			for _, it := range test {
+				seenInTest[it]++
+			}
+			if len(fold.Train.Values[u]) != train.Len() {
+				t.Fatalf("fold %d user %d: train values misaligned", f, u)
+			}
+		}
+		// Every rating appears in exactly one fold's test set.
+		if len(seenInTest) != d.Profiles[u].Len() {
+			t.Fatalf("user %d: %d distinct test items across folds, want %d",
+				u, len(seenInTest), d.Profiles[u].Len())
+		}
+		for it, n := range seenInTest {
+			if n != 1 {
+				t.Fatalf("user %d item %d in %d test folds", u, it, n)
+			}
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	d := Generate(ML1M, 0.01, 3)
+	f1, _ := d.Split(5, 42)
+	f2, _ := d.Split(5, 42)
+	for u := range d.Profiles {
+		if profile.IntersectionSize(f1[0].Test[u], f2[0].Test[u]) != f1[0].Test[u].Len() ||
+			f1[0].Test[u].Len() != f2[0].Test[u].Len() {
+			t.Fatal("same seed produced different splits")
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMovieLens asserts the parser never panics and that accepted
+// inputs yield structurally sound ratings.
+func FuzzParseMovieLens(f *testing.F) {
+	f.Add("1::10::5::978300760\n")
+	f.Add("1::10::5\n\n2::3::4.5::0\n")
+	f.Add("x::y::z\n")
+	f.Add("::::\n")
+	f.Add("1::2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ratings, err := ParseMovieLens(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, r := range ratings {
+			_ = r.User
+			_ = r.Item
+		}
+		// Accepted input must survive the full preparation pipeline.
+		d := FromRatings("fuzz", ratings, Options{MinRatings: -1})
+		for u, p := range d.Profiles {
+			if len(d.Values[u]) != p.Len() {
+				t.Fatalf("values misaligned for user %d", u)
+			}
+			for i := 1; i < p.Len(); i++ {
+				if p[i] <= p[i-1] {
+					t.Fatalf("profile not strictly sorted")
+				}
+			}
+		}
+	})
+}
+
+// FuzzParseEdgeList asserts the edge-list parser never panics and always
+// produces symmetric 5-valued ratings.
+func FuzzParseEdgeList(f *testing.F) {
+	f.Add("0\t1\n1 2\n")
+	f.Add("# comment\n3 3\n")
+	f.Add("a b\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ratings, err := ParseEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(ratings)%2 != 0 {
+			t.Fatal("edge list ratings not paired")
+		}
+		for _, r := range ratings {
+			if r.Value != 5 {
+				t.Fatalf("edge rating value %g", r.Value)
+			}
+		}
+	})
+}

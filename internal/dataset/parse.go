@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"goldfinger/internal/profile"
+)
+
+// ParseMovieLens reads the MovieLens ratings.dat format:
+//
+//	userID::movieID::rating::timestamp
+//
+// Blank lines are skipped; the timestamp field is optional.
+func ParseMovieLens(r io.Reader) ([]Rating, error) {
+	return parseSeparated(r, "::", "movielens")
+}
+
+// ParseCSV reads comma-separated ratings with an optional header line:
+//
+//	userId,movieId,rating[,timestamp]
+//
+// as distributed with MovieLens 20M.
+func ParseCSV(r io.Reader) ([]Rating, error) {
+	return parseSeparated(r, ",", "csv")
+}
+
+func parseSeparated(r io.Reader, sep, format string) ([]Rating, error) {
+	var out []Rating
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, sep)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("dataset: %s line %d: want at least 3 fields, got %d", format, lineNo, len(fields))
+		}
+		user, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 32)
+		if err != nil {
+			if lineNo == 1 && format == "csv" {
+				continue // header line
+			}
+			return nil, fmt.Errorf("dataset: %s line %d: bad user %q", format, lineNo, fields[0])
+		}
+		item, err := strconv.ParseInt(strings.TrimSpace(fields[1]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s line %d: bad item %q", format, lineNo, fields[1])
+		}
+		value, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 32)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s line %d: bad rating %q", format, lineNo, fields[2])
+		}
+		out = append(out, Rating{User: int32(user), Item: profile.ItemID(item), Value: float32(value)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading %s input: %w", format, err)
+	}
+	return out, nil
+}
+
+// ParseEdgeList reads a SNAP-style undirected edge list ("u<TAB>v" or
+// "u v", '#' comments allowed) and converts it the way the paper treats
+// DBLP and Gowalla: both endpoints are users *and* items, and an edge
+// (u, v) becomes u rating v with 5 and v rating u with 5.
+func ParseEdgeList(r io.Reader) ([]Rating, error) {
+	var out []Rating
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dataset: edge list line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: edge list line %d: bad node %q", lineNo, fields[0])
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: edge list line %d: bad node %q", lineNo, fields[1])
+		}
+		if u == v {
+			continue // self-loops carry no similarity information
+		}
+		out = append(out,
+			Rating{User: int32(u), Item: profile.ItemID(v), Value: 5},
+			Rating{User: int32(v), Item: profile.ItemID(u), Value: 5},
+		)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading edge list: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMovieLens(t *testing.T) {
+	in := "1::10::5::978300760\n1::20::3::978302109\n\n2::10::4::978301968\n"
+	ratings, err := ParseMovieLens(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ratings) != 3 {
+		t.Fatalf("got %d ratings, want 3", len(ratings))
+	}
+	r := ratings[0]
+	if r.User != 1 || r.Item != 10 || r.Value != 5 {
+		t.Errorf("first rating = %+v", r)
+	}
+}
+
+func TestParseMovieLensNoTimestamp(t *testing.T) {
+	ratings, err := ParseMovieLens(strings.NewReader("7::8::4.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ratings) != 1 || ratings[0].Value != 4.5 {
+		t.Errorf("ratings = %+v", ratings)
+	}
+}
+
+func TestParseMovieLensErrors(t *testing.T) {
+	cases := []string{
+		"1::2\n",      // too few fields
+		"x::2::3\n",   // bad user
+		"1::y::3\n",   // bad item
+		"1::2::zzz\n", // bad rating
+	}
+	for _, in := range cases {
+		if _, err := ParseMovieLens(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestParseCSVWithHeader(t *testing.T) {
+	in := "userId,movieId,rating,timestamp\n1,296,5.0,1147880044\n1,306,3.5,1147868817\n"
+	ratings, err := ParseCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ratings) != 2 {
+		t.Fatalf("got %d ratings, want 2", len(ratings))
+	}
+	if ratings[1].Value != 3.5 {
+		t.Errorf("second rating value = %g", ratings[1].Value)
+	}
+}
+
+func TestParseCSVHeaderOnlyFirstLine(t *testing.T) {
+	in := "1,2,5\nbad,3,4\n"
+	if _, err := ParseCSV(strings.NewReader(in)); err == nil {
+		t.Error("non-numeric user on line 2 accepted")
+	}
+}
+
+func TestParseEdgeList(t *testing.T) {
+	in := "# DBLP co-authorship\n0\t1\n1 2\n3 3\n"
+	ratings, err := ParseEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two edges (self-loop dropped) → 4 ratings.
+	if len(ratings) != 4 {
+		t.Fatalf("got %d ratings, want 4", len(ratings))
+	}
+	for _, r := range ratings {
+		if r.Value != 5 {
+			t.Errorf("edge rating value = %g, want 5", r.Value)
+		}
+	}
+	// Symmetry: 0→1 and 1→0 both present.
+	found := map[[2]int32]bool{}
+	for _, r := range ratings {
+		found[[2]int32{r.User, int32(r.Item)}] = true
+	}
+	if !found[[2]int32{0, 1}] || !found[[2]int32{1, 0}] {
+		t.Error("edge 0-1 not symmetric")
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	for _, in := range []string{"1\n", "a b\n", "1 b\n"} {
+		if _, err := ParseEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestParseEdgeListPipelineMatchesPaperTreatment(t *testing.T) {
+	// A triangle of co-authors: every author has the two others in their
+	// profile after preparation (MinRatings disabled for the tiny case).
+	in := "0 1\n0 2\n1 2\n"
+	ratings, err := ParseEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := FromRatings("tri", ratings, Options{MinRatings: -1})
+	if d.NumUsers() != 3 {
+		t.Fatalf("users = %d, want 3", d.NumUsers())
+	}
+	for u, p := range d.Profiles {
+		if p.Len() != 2 {
+			t.Errorf("author %d profile = %v, want 2 co-authors", u, p)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"goldfinger/internal/profile"
+)
+
+func TestPresetsCoverTable2(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 6 {
+		t.Fatalf("got %d presets, want 6", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name] = true
+		if p.Users <= 0 || p.Items <= 0 || p.MeanProfile < float64(p.MinProfile) {
+			t.Errorf("preset %s has inconsistent shape: %+v", p.Name, p)
+		}
+		if p.ZipfS <= 1 {
+			t.Errorf("preset %s: ZipfS must be > 1 for rand.NewZipf", p.Name)
+		}
+	}
+	for _, want := range []string{"ml1M", "ml10M", "ml20M", "AM", "DBLP", "GW"} {
+		if !names[want] {
+			t.Errorf("missing preset %s", want)
+		}
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	p, err := PresetByName("DBLP")
+	if err != nil || p.Name != "DBLP" {
+		t.Errorf("PresetByName(DBLP) = %+v, %v", p, err)
+	}
+	if _, err := PresetByName("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	const scale = 0.05
+	d := Generate(ML1M, scale, 1)
+	wantUsers := int(math.Round(float64(ML1M.Users) * scale))
+	if d.NumUsers() != wantUsers {
+		t.Errorf("users = %d, want %d", d.NumUsers(), wantUsers)
+	}
+	wantItems := int(math.Round(float64(ML1M.Items) * math.Sqrt(scale)))
+	if d.NumItems != wantItems {
+		t.Errorf("items = %d, want %d (√scale item scaling)", d.NumItems, wantItems)
+	}
+	for u, p := range d.Profiles {
+		if p.Len() == 0 {
+			t.Fatalf("user %d has empty profile", u)
+		}
+		for _, it := range p {
+			if it < 0 || int(it) >= d.NumItems {
+				t.Fatalf("user %d has out-of-universe item %d", u, it)
+			}
+		}
+		if len(d.Values[u]) != p.Len() {
+			t.Fatalf("user %d: values misaligned", u)
+		}
+		for _, v := range d.Values[u] {
+			if v <= 3 {
+				t.Fatalf("user %d has non-positive rating %g in binarized data", u, v)
+			}
+		}
+	}
+}
+
+func TestGenerateMeanProfileSize(t *testing.T) {
+	d := Generate(ML1M, 0.1, 2)
+	s := d.ComputeStats()
+	// Exponential tail around the target mean: allow 20% tolerance.
+	if s.MeanProfile < ML1M.MeanProfile*0.8 || s.MeanProfile > ML1M.MeanProfile*1.2 {
+		t.Errorf("mean profile = %.1f, want ≈%.1f", s.MeanProfile, ML1M.MeanProfile)
+	}
+	if minLen := minProfileLen(d); minLen < ML1M.MinProfile {
+		t.Errorf("min profile length = %d, want ≥ %d", minLen, ML1M.MinProfile)
+	}
+}
+
+func minProfileLen(d *Dataset) int {
+	m := math.MaxInt
+	for _, p := range d.Profiles {
+		if p.Len() < m {
+			m = p.Len()
+		}
+	}
+	return m
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DBLP, 0.02, 99)
+	b := Generate(DBLP, 0.02, 99)
+	if a.NumUsers() != b.NumUsers() {
+		t.Fatal("same seed, different user counts")
+	}
+	for u := range a.Profiles {
+		if profile.IntersectionSize(a.Profiles[u], b.Profiles[u]) != a.Profiles[u].Len() {
+			t.Fatal("same seed produced different profiles")
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(ML1M, 0.02, 1)
+	b := Generate(ML1M, 0.02, 2)
+	same := 0
+	for u := range a.Profiles {
+		if profile.Jaccard(a.Profiles[u], b.Profiles[u]) == 1 {
+			same++
+		}
+	}
+	if same > a.NumUsers()/10 {
+		t.Errorf("%d/%d identical profiles across seeds", same, a.NumUsers())
+	}
+}
+
+func TestGenerateProfilesHaveNoDuplicates(t *testing.T) {
+	d := Generate(Gowalla, 0.02, 5)
+	for u, p := range d.Profiles {
+		for i := 1; i < p.Len(); i++ {
+			if p[i] <= p[i-1] {
+				t.Fatalf("user %d profile not strictly increasing at %d", u, i)
+			}
+		}
+	}
+}
+
+func TestGenerateCommunityStructure(t *testing.T) {
+	// Users sharing a community must on average be more similar than
+	// random pairs; this is the property that gives the greedy KNN
+	// algorithms something to converge on.
+	d := Generate(ML1M, 0.1, 3)
+	n := d.NumUsers()
+	sampled := 0
+	var bestSum, randSum float64
+	var randCount int
+	for u := 0; u < n && sampled < 50; u += 11 {
+		best := 0.0
+		for v := 0; v < n; v += 7 {
+			if u == v {
+				continue
+			}
+			j := profile.Jaccard(d.Profiles[u], d.Profiles[v])
+			if j > best {
+				best = j
+			}
+			randSum += j
+			randCount++
+		}
+		bestSum += best
+		sampled++
+	}
+	if sampled == 0 || randCount == 0 {
+		t.Skip("dataset too small")
+	}
+	meanBest := bestSum / float64(sampled)
+	meanRand := randSum / float64(randCount)
+	if meanRand == 0 {
+		t.Fatal("degenerate similarities: random pairs all disjoint")
+	}
+	// The best neighbour must be clearly more similar than a random user,
+	// otherwise the greedy KNN algorithms have nothing to converge on.
+	if meanBest < 1.5*meanRand {
+		t.Errorf("weak community structure: best ≈ %.4f vs random ≈ %.4f", meanBest, meanRand)
+	}
+}
+
+func TestGeneratePanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate(scale=0) did not panic")
+		}
+	}()
+	Generate(ML1M, 0, 1)
+}
+
+func TestGenerateRatingsRoundTrip(t *testing.T) {
+	ratings := GenerateRatings(ML1M, 0.02, 9)
+	if len(ratings) == 0 {
+		t.Fatal("no ratings generated")
+	}
+	neg := 0
+	for _, r := range ratings {
+		if r.Value <= 3 {
+			neg++
+		}
+	}
+	if neg == 0 {
+		t.Error("GenerateRatings produced no sub-threshold ratings")
+	}
+	d := FromRatings("ml1M", ratings, Options{})
+	if d.NumUsers() == 0 {
+		t.Fatal("pipeline dropped every user")
+	}
+	s := d.ComputeStats()
+	if s.MeanProfile < ML1M.MeanProfile*0.6 {
+		t.Errorf("round-trip mean profile %.1f too far below target %.1f", s.MeanProfile, ML1M.MeanProfile)
+	}
+}

@@ -1,0 +1,201 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/knn"
+	"goldfinger/internal/minhash"
+	"goldfinger/internal/profile"
+	"goldfinger/internal/sampling"
+)
+
+// CompactionRow compares one profile-compaction strategy on the same
+// workload: Brute Force construction time and quality versus the exact
+// graph, plus the per-user representation size.
+type CompactionRow struct {
+	Representation string
+	BytesPerUser   float64
+	Time           time.Duration
+	Quality        float64
+}
+
+// AblationCompaction runs the §6 comparison the paper argues from: exact
+// profiles, GoldFinger SHFs, b-bit minwise sketches and least-popular
+// truncation, all driving the same Brute Force construction on the
+// ml1M-shaped dataset.
+func AblationCompaction(cfg Config) ([]CompactionRow, error) {
+	d := datasetFor(cfg, dataset.ML1M)
+	exactP := knn.NewExplicitProvider(d.Profiles)
+	exact, _ := knn.BruteForce(exactP, cfg.k(), cfg.knnOptions())
+
+	var meanProfile float64
+	for _, p := range d.Profiles {
+		meanProfile += float64(p.Len())
+	}
+	meanProfile /= float64(len(d.Profiles))
+
+	var rows []CompactionRow
+	measure := func(name string, bytesPerUser float64, p knn.Provider) {
+		var g *knn.Graph
+		t := timeIt(func() { g, _ = knn.BruteForce(p, cfg.k(), cfg.knnOptions()) })
+		rows = append(rows, CompactionRow{
+			Representation: name,
+			BytesPerUser:   bytesPerUser,
+			Time:           t,
+			Quality:        knn.Quality(g, exact, exactP),
+		})
+	}
+
+	measure("native (exact)", meanProfile*4, exactP)
+
+	scheme := core.MustScheme(cfg.bits(), uint64(cfg.Seed))
+	measure(fmt.Sprintf("GoldFinger %d-bit", cfg.bits()), float64(cfg.bits())/8+8,
+		knn.NewSHFProvider(scheme, d.Profiles))
+
+	mhCfg := minhash.Config{Permutations: 256, Bits: 4, Mode: minhash.PermutationHashed, Seed: cfg.Seed}
+	sk, err := minhash.NewSketcher(mhCfg, d.NumItems)
+	if err != nil {
+		return nil, err
+	}
+	measure("b-bit MinHash 256×4", 256*4.0/8, minhash.NewProvider(sk, d.Profiles))
+
+	maxItems := int(math.Round(float64(cfg.bits()) / 8 / 4)) // same byte budget as the SHF
+	if maxItems < 1 {
+		maxItems = 1
+	}
+	trP, err := sampling.NewProvider(d.Profiles, maxItems)
+	if err != nil {
+		return nil, err
+	}
+	measure(fmt.Sprintf("least-popular top-%d", maxItems), float64(maxItems)*4, trP)
+
+	return rows, nil
+}
+
+// RenderAblationCompaction writes the comparison.
+func RenderAblationCompaction(w io.Writer, rows []CompactionRow) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Ablation — profile compaction strategies (Brute Force, ml1M-shaped)")
+	fmt.Fprintln(tw, "Representation\tbytes/user\ttime\tquality")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.0f\t%s\t%.3f\n", r.Representation, r.BytesPerUser, seconds(r.Time), r.Quality)
+	}
+	tw.Flush()
+}
+
+// MultiHashRow reports the estimator error and end-to-end quality of a
+// k-hash fingerprint.
+type MultiHashRow struct {
+	Hashes     int
+	MeanAbsErr float64
+	Quality    float64
+}
+
+// AblationMultiHash quantifies §2.3's argument that SHFs must use a single
+// hash function: for fixed b, more hashes per item degrade both the raw
+// estimator and the KNN graph built from it.
+func AblationMultiHash(cfg Config) ([]MultiHashRow, error) {
+	d := datasetFor(cfg, dataset.ML1M)
+	exactP := knn.NewExplicitProvider(d.Profiles)
+	exact, _ := knn.BruteForce(exactP, cfg.k(), cfg.knnOptions())
+
+	var rows []MultiHashRow
+	for _, k := range []int{1, 2, 4, 8} {
+		s, err := core.NewMultiHashScheme(cfg.bits(), k, uint64(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		fps := s.FingerprintAll(d.Profiles)
+
+		// Estimator error over sampled pairs.
+		var errSum float64
+		pairs := 0
+		for u := 0; u < d.NumUsers(); u += 3 {
+			for v := u + 1; v < d.NumUsers(); v += 17 {
+				est := core.Jaccard(fps[u], fps[v])
+				truth := profile.Jaccard(d.Profiles[u], d.Profiles[v])
+				errSum += math.Abs(est - truth)
+				pairs++
+			}
+		}
+
+		g, _ := knn.BruteForce(&knn.SHFProvider{Fingerprints: fps}, cfg.k(), cfg.knnOptions())
+		rows = append(rows, MultiHashRow{
+			Hashes:     k,
+			MeanAbsErr: errSum / float64(pairs),
+			Quality:    knn.Quality(g, exact, exactP),
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblationMultiHash writes the multi-hash study.
+func RenderAblationMultiHash(w io.Writer, rows []MultiHashRow) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Ablation — hash functions per item (fixed b, ml1M-shaped)")
+	fmt.Fprintln(tw, "hashes\tmean |Ĵ−J|\tKNN quality")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.4f\t%.3f\n", r.Hashes, r.MeanAbsErr, r.Quality)
+	}
+	tw.Flush()
+}
+
+// KIFFRow compares KIFF with the paper's four algorithms on one dataset.
+type KIFFRow struct {
+	Dataset           string
+	NativeTime        time.Duration
+	GoldFingerTime    time.Duration
+	NativeQuality     float64
+	GoldFingerQuality float64
+	ScanRate          float64
+}
+
+// AblationKIFF runs the KIFF extension (related work §6) on a dense and a
+// sparse dataset in both modes, showing where candidate filtering shines.
+func AblationKIFF(cfg Config) []KIFFRow {
+	var rows []KIFFRow
+	scheme := core.MustScheme(cfg.bits(), uint64(cfg.Seed))
+	for _, preset := range []dataset.Preset{dataset.ML1M, dataset.DBLP} {
+		d := datasetFor(cfg, preset)
+		exactP := knn.NewExplicitProvider(d.Profiles)
+		exact, _ := knn.BruteForce(exactP, cfg.k(), cfg.knnOptions())
+
+		var gNat *knn.Graph
+		var sNat knn.Stats
+		tNat := timeIt(func() {
+			gNat, sNat = knn.KIFF(d.Profiles, exactP, cfg.k(), knn.KIFFOptions{Workers: cfg.Workers})
+		})
+		shfP := knn.NewSHFProvider(scheme, d.Profiles)
+		var gGF *knn.Graph
+		tGF := timeIt(func() {
+			gGF, _ = knn.KIFF(d.Profiles, shfP, cfg.k(), knn.KIFFOptions{Workers: cfg.Workers})
+		})
+		rows = append(rows, KIFFRow{
+			Dataset:           d.Name,
+			NativeTime:        tNat,
+			GoldFingerTime:    tGF,
+			NativeQuality:     knn.Quality(gNat, exact, exactP),
+			GoldFingerQuality: knn.Quality(gGF, exact, exactP),
+			ScanRate:          sNat.ScanRate(d.NumUsers()),
+		})
+	}
+	return rows
+}
+
+// RenderAblationKIFF writes the KIFF study.
+func RenderAblationKIFF(w io.Writer, rows []KIFFRow) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Extension — KIFF (candidate filtering, §6) native vs GoldFinger")
+	fmt.Fprintln(tw, "Dataset\tnative\tGolFi\tq.nat\tq.GolFi\tscanrate")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\t%.2f\t%.3f\n",
+			r.Dataset, seconds(r.NativeTime), seconds(r.GoldFingerTime),
+			r.NativeQuality, r.GoldFingerQuality, r.ScanRate)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"goldfinger/internal/dataset"
+)
+
+func TestAblationCompaction(t *testing.T) {
+	cfg := tinyCfg()
+	rows, err := AblationCompaction(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 representations", len(rows))
+	}
+	if rows[0].Quality != 1 {
+		t.Errorf("native quality = %g, want 1", rows[0].Quality)
+	}
+	for _, r := range rows[1:] {
+		if r.Quality <= 0.3 || r.Quality > 1+1e-9 {
+			t.Errorf("%s quality = %.3f out of plausible range", r.Representation, r.Quality)
+		}
+		if r.BytesPerUser <= 0 {
+			t.Errorf("%s has non-positive size", r.Representation)
+		}
+	}
+	var buf bytes.Buffer
+	RenderAblationCompaction(&buf, rows)
+	if !strings.Contains(buf.String(), "GoldFinger") {
+		t.Error("render missing GoldFinger row")
+	}
+}
+
+func TestAblationMultiHashDegrades(t *testing.T) {
+	cfg := tinyCfg()
+	rows, err := AblationMultiHash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Hashes != 1 {
+		t.Fatal("first row should be the single-hash SHF")
+	}
+	// §2.3: error grows with the hash count; quality at k=8 clearly below
+	// k=1.
+	if rows[3].MeanAbsErr <= rows[0].MeanAbsErr {
+		t.Errorf("8-hash error %.4f not above 1-hash error %.4f", rows[3].MeanAbsErr, rows[0].MeanAbsErr)
+	}
+	if rows[3].Quality >= rows[0].Quality {
+		t.Errorf("8-hash quality %.3f not below 1-hash %.3f", rows[3].Quality, rows[0].Quality)
+	}
+	var buf bytes.Buffer
+	RenderAblationMultiHash(&buf, rows)
+	if !strings.Contains(buf.String(), "hashes") {
+		t.Error("render missing header")
+	}
+}
+
+func TestAblationKIFF(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Datasets = []dataset.Preset{dataset.ML1M, dataset.DBLP}
+	rows := AblationKIFF(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.NativeQuality < 0.7 {
+			t.Errorf("%s: KIFF native quality %.3f suspiciously low", r.Dataset, r.NativeQuality)
+		}
+		if r.ScanRate <= 0 || r.ScanRate > 1.5 {
+			t.Errorf("%s: scanrate %.3f out of range", r.Dataset, r.ScanRate)
+		}
+	}
+	var buf bytes.Buffer
+	RenderAblationKIFF(&buf, rows)
+	if !strings.Contains(buf.String(), "KIFF") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,140 @@
+// Package eval is the experiment harness: one function per table or figure
+// of the paper's evaluation (§3–§5), each returning typed rows and able to
+// render itself as text. The cmd/goldfinger binary and the repository-level
+// benchmarks are thin wrappers around this package.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/knn"
+)
+
+// Config selects the experimental setup. The zero value reproduces the
+// paper's parameters (§3.3) at a laptop-friendly dataset scale.
+type Config struct {
+	// Scale shrinks the six datasets' user/item counts (1.0 = the paper's
+	// full sizes). 0 means the default of 0.05.
+	Scale float64
+	// Bits is the SHF length; 0 means the paper's 1024.
+	Bits int
+	// K is the neighborhood size; 0 means the paper's 30.
+	K int
+	// Seed drives dataset generation and the randomized algorithms.
+	Seed int64
+	// Workers caps parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Datasets restricts the evaluated presets; nil means all six.
+	Datasets []dataset.Preset
+}
+
+func (c Config) scale() float64 {
+	if c.Scale == 0 {
+		return 0.05
+	}
+	return c.Scale
+}
+
+func (c Config) bits() int {
+	if c.Bits == 0 {
+		return 1024
+	}
+	return c.Bits
+}
+
+func (c Config) k() int {
+	if c.K == 0 {
+		return 30
+	}
+	return c.K
+}
+
+func (c Config) datasets() []dataset.Preset {
+	if len(c.Datasets) == 0 {
+		return dataset.Presets()
+	}
+	return c.Datasets
+}
+
+func (c Config) knnOptions() knn.Options {
+	return knn.Options{Workers: c.Workers, Seed: c.Seed}
+}
+
+// Algorithm is one KNN construction algorithm wired for the harness.
+type Algorithm struct {
+	Name string
+	// Run builds the graph for d using similarity provider p. d is passed
+	// because LSH buckets on the explicit profiles regardless of provider.
+	Run func(d *dataset.Dataset, p knn.Provider, k int, cfg Config) (*knn.Graph, knn.Stats)
+}
+
+// Algorithms returns the paper's four algorithms in Table 4 order.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		{Name: "Brute Force", Run: func(d *dataset.Dataset, p knn.Provider, k int, cfg Config) (*knn.Graph, knn.Stats) {
+			return knn.BruteForce(p, k, cfg.knnOptions())
+		}},
+		{Name: "Hyrec", Run: func(d *dataset.Dataset, p knn.Provider, k int, cfg Config) (*knn.Graph, knn.Stats) {
+			return knn.Hyrec(p, k, cfg.knnOptions())
+		}},
+		{Name: "NNDescent", Run: func(d *dataset.Dataset, p knn.Provider, k int, cfg Config) (*knn.Graph, knn.Stats) {
+			return knn.NNDescent(p, k, cfg.knnOptions())
+		}},
+		{Name: "LSH", Run: func(d *dataset.Dataset, p knn.Provider, k int, cfg Config) (*knn.Graph, knn.Stats) {
+			// NumItems selects the paper's explicit-permutation bucketing,
+			// whose O(hashes·m) setup explains LSH's limited GoldFinger
+			// gains on sparse datasets (§4.1).
+			return knn.LSH(d.Profiles, p, k, knn.LSHOptions{
+				Workers: cfg.Workers, Seed: cfg.Seed, NumItems: d.NumItems,
+			})
+		}},
+	}
+}
+
+// datasetFor generates a preset at the configured scale.
+func datasetFor(cfg Config, p dataset.Preset) *dataset.Dataset {
+	return dataset.Generate(p, cfg.scale(), cfg.Seed)
+}
+
+func datasetPresetML10M() dataset.Preset { return dataset.ML10M }
+
+// timeIt runs f once and returns its wall-clock duration.
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// timeOp measures the mean duration of op by running it repeatedly until
+// minDuration has elapsed (at least minIters times).
+func timeOp(op func(), minIters int, minDuration time.Duration) time.Duration {
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < minDuration || iters < minIters {
+		op()
+		iters++
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+// gainPct returns the paper's "gain %": how much faster b is than a.
+func gainPct(native, goldfinger time.Duration) float64 {
+	if native == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(goldfinger)/float64(native))
+}
+
+// newTable starts a tabwriter with the house style.
+func newTable(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// seconds renders a duration as the paper's seconds-with-one-decimal.
+func seconds(d time.Duration) string {
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}

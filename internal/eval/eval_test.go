@@ -1,0 +1,364 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"goldfinger/internal/dataset"
+)
+
+// tinyCfg keeps every experiment fast enough for the unit-test suite.
+func tinyCfg() Config {
+	return Config{Scale: 0.015, K: 5, Seed: 3, Datasets: []dataset.Preset{dataset.ML1M, dataset.DBLP}}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	if c.scale() != 0.05 || c.bits() != 1024 || c.k() != 30 {
+		t.Errorf("defaults: scale=%g bits=%d k=%d", c.scale(), c.bits(), c.k())
+	}
+	if len(c.datasets()) != 6 {
+		t.Errorf("default datasets = %d, want 6", len(c.datasets()))
+	}
+}
+
+func TestAlgorithmsOrder(t *testing.T) {
+	algos := Algorithms()
+	want := []string{"Brute Force", "Hyrec", "NNDescent", "LSH"}
+	if len(algos) != len(want) {
+		t.Fatalf("got %d algorithms", len(algos))
+	}
+	for i, a := range algos {
+		if a.Name != want[i] {
+			t.Errorf("algorithm %d = %q, want %q", i, a.Name, want[i])
+		}
+	}
+}
+
+func TestGainPct(t *testing.T) {
+	if g := gainPct(100*time.Millisecond, 25*time.Millisecond); g != 75 {
+		t.Errorf("gainPct = %g, want 75", g)
+	}
+	if gainPct(0, time.Second) != 0 {
+		t.Error("zero native should give 0")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	rows := Fig1([]int{10, 80}, 1)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Bigger profiles cost more.
+	if rows[1].PerOp <= rows[0].PerOp/4 {
+		t.Errorf("80-item cost %v suspiciously below 10-item cost %v", rows[1].PerOp, rows[0].PerOp)
+	}
+	var buf bytes.Buffer
+	RenderFig1(&buf, rows)
+	if !strings.Contains(buf.String(), "Fig 1") {
+		t.Error("render missing header")
+	}
+}
+
+func TestTable1SpeedupShape(t *testing.T) {
+	rows := Table1([]int{64, 4096}, 1)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// The paper's Table 1: smaller fingerprints are faster; every size
+	// beats the explicit computation on 80-item profiles.
+	if rows[0].PerOp >= rows[1].PerOp {
+		t.Errorf("64-bit op (%v) not faster than 4096-bit op (%v)", rows[0].PerOp, rows[1].PerOp)
+	}
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Errorf("b=%d: speedup %.1f ≤ 1", r.Bits, r.Speedup)
+		}
+	}
+	var buf bytes.Buffer
+	RenderTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("render missing header")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows := Table2(tinyCfg())
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Name != "ml1M" || rows[1].Name != "DBLP" {
+		t.Errorf("row names: %s, %s", rows[0].Name, rows[1].Name)
+	}
+	var buf bytes.Buffer
+	RenderTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "ml1M") {
+		t.Error("render missing dataset")
+	}
+}
+
+func TestTable3MinHashSlower(t *testing.T) {
+	rows, err := Table3(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The paper's claim: MinHash preparation is far slower than
+		// GoldFinger's (orders of magnitude at full scale).
+		if r.MinHash <= r.GoldFinger {
+			t.Errorf("%s: MinHash prep %v not above GoldFinger %v", r.Dataset, r.MinHash, r.GoldFinger)
+		}
+		if r.SpeedupVsMinHash <= 1 {
+			t.Errorf("%s: speedup %.1f ≤ 1", r.Dataset, r.SpeedupVsMinHash)
+		}
+	}
+	var buf bytes.Buffer
+	RenderTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "Table 3") {
+		t.Error("render missing header")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Datasets = []dataset.Preset{dataset.ML1M}
+	rows := Table4(cfg)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 algorithms", len(rows))
+	}
+	for _, r := range rows {
+		if r.Algorithm == "Brute Force" && r.NativeQuality != 1 {
+			t.Errorf("native Brute Force quality = %g, want exactly 1", r.NativeQuality)
+		}
+		if r.GoldFingerQuality < 0.5 {
+			t.Errorf("%s GoldFinger quality %.2f below 0.5", r.Algorithm, r.GoldFingerQuality)
+		}
+		if r.NativeStats.Comparisons == 0 || r.GoldFingerStats.Comparisons == 0 {
+			t.Errorf("%s: zero comparisons recorded", r.Algorithm)
+		}
+	}
+	var buf bytes.Buffer
+	RenderTable4(&buf, rows)
+	if !strings.Contains(buf.String(), "Brute Force") {
+		t.Error("render missing algorithm")
+	}
+}
+
+func TestTable4AvgMatchesStructure(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Datasets = []dataset.Preset{dataset.ML1M}
+	rows := Table4Avg(cfg, 2)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.GoldFingerQuality <= 0 || r.GoldFingerQuality > 1.001 {
+			t.Errorf("%s: averaged quality %g out of range", r.Algorithm, r.GoldFingerQuality)
+		}
+		if r.QualityLoss != r.NativeQuality-r.GoldFingerQuality {
+			t.Errorf("%s: loss not recomputed after averaging", r.Algorithm)
+		}
+	}
+	// repeats ≤ 1 degrades to the plain run.
+	single := Table4Avg(cfg, 1)
+	if len(single) != 4 {
+		t.Fatalf("repeats=1 returned %d rows", len(single))
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	cfg := tinyCfg()
+	rows := Table5(cfg)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.NativeLoads <= 0 || r.GoldFingerLoads <= 0 {
+			t.Errorf("%s: non-positive loads", r.Algorithm)
+		}
+		if r.Algorithm != "LSH" && r.LoadReductionPct <= 0 {
+			t.Errorf("%s: no load reduction (%f%%)", r.Algorithm, r.LoadReductionPct)
+		}
+	}
+	var buf bytes.Buffer
+	RenderTable5(&buf, rows)
+	if !strings.Contains(buf.String(), "Table 5") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig3Through5(t *testing.T) {
+	rows3, err := Fig3(2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows3) == 0 {
+		t.Fatal("Fig3 empty")
+	}
+	for _, r := range rows3 {
+		if r.Summary.Mean < r.TrueJ-0.05 {
+			t.Errorf("Fig3 %+v: mean below truth (bias should be positive)", r.Params)
+		}
+		// Monte Carlo must agree with the exact Theorem 1 evaluation.
+		if diff := r.Summary.Mean - r.ExactMean; diff > 0.02 || diff < -0.02 {
+			t.Errorf("Fig3 %+v: MC mean %.4f vs exact %.4f", r.Params, r.Summary.Mean, r.ExactMean)
+		}
+	}
+
+	r4, err := Fig4(5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.MisorderingPct > 3 {
+		t.Errorf("Fig4 misordering = %.2f%%, paper says < 2%%", r4.MisorderingPct)
+	}
+
+	rows5, err := Fig5(5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows5) != 3 {
+		t.Fatalf("Fig5: got %d rows", len(rows5))
+	}
+	spread := func(r EstimatorRow) float64 { return r.Summary.Q99 - r.Summary.Q01 }
+	if !(spread(rows5[0]) > spread(rows5[2])) {
+		t.Error("Fig5: spread should shrink as b grows")
+	}
+
+	var buf bytes.Buffer
+	RenderFig3(&buf, rows3)
+	RenderFig4(&buf, r4)
+	RenderFig5(&buf, rows5)
+	for _, want := range []string{"Fig 3", "Fig 4", "Fig 5"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render missing %s", want)
+		}
+	}
+}
+
+func TestFig8RecallParity(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Datasets = []dataset.Preset{dataset.ML1M}
+	rows, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 algorithms", len(rows))
+	}
+	for _, r := range rows {
+		if r.NativeRecall <= 0 {
+			t.Errorf("%s: native recall %g not positive", r.Algorithm, r.NativeRecall)
+		}
+		if r.GoldFingerRecall < r.NativeRecall*0.6 {
+			t.Errorf("%s: GoldFinger recall %.4f far below native %.4f", r.Algorithm, r.GoldFingerRecall, r.NativeRecall)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig8(&buf, rows)
+	if !strings.Contains(buf.String(), "Fig 8") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig10Sweep(t *testing.T) {
+	cfg := tinyCfg()
+	rows := Fig10(cfg, []int{128, 2048})
+	if len(rows) != 4 { // 2 algorithms × 2 sizes
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Quality improves with b for Brute Force.
+	if rows[0].Quality > rows[1].Quality {
+		t.Errorf("Brute Force quality at 128 bits (%.3f) above 2048 bits (%.3f)", rows[0].Quality, rows[1].Quality)
+	}
+	var buf bytes.Buffer
+	RenderFig10(&buf, rows)
+	if !strings.Contains(buf.String(), "Fig 10") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig11Distortion(t *testing.T) {
+	cfg := tinyCfg()
+	results, err := Fig11(cfg, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	// More bits → more mass near the diagonal.
+	if results[1].Within[0.05] < results[0].Within[0.05] {
+		t.Errorf("4096-bit within-0.05 (%.3f) below 1024-bit (%.3f)",
+			results[1].Within[0.05], results[0].Within[0.05])
+	}
+	var buf bytes.Buffer
+	RenderFig11(&buf, results)
+	if !strings.Contains(buf.String(), "Fig 11") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig12Convergence(t *testing.T) {
+	cfg := tinyCfg()
+	rows := Fig12(cfg, []int{128, 1024})
+	if len(rows) != 3 { // native + 2 sizes
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Bits != 0 {
+		t.Error("first row should be the native reference")
+	}
+	for _, r := range rows {
+		if r.Iterations <= 0 {
+			t.Errorf("b=%d: no iterations", r.Bits)
+		}
+		if r.ScanRate <= 0 {
+			t.Errorf("b=%d: zero scanrate", r.Bits)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig12(&buf, rows)
+	if !strings.Contains(buf.String(), "Fig 12") {
+		t.Error("render missing header")
+	}
+}
+
+func TestPrivacyReport(t *testing.T) {
+	cfg := tinyCfg()
+	rows := PrivacyReport(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.KAnonymityBits <= 0 || r.LDiversity <= 0 {
+			t.Errorf("%s: degenerate privacy accounting %+v", r.Dataset, r)
+		}
+	}
+	var buf bytes.Buffer
+	RenderPrivacy(&buf, cfg, rows)
+	if !strings.Contains(buf.String(), "171356") {
+		t.Error("render missing the paper's full-size reference")
+	}
+}
+
+func TestFig9Speedups(t *testing.T) {
+	cfg := tinyCfg()
+	rows := Fig9(cfg)
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Cost grows with b; small fingerprints beat explicit profiles.
+	if rows[0].PerOp >= rows[len(rows)-1].PerOp {
+		t.Errorf("64-bit cost %v not below 8192-bit cost %v", rows[0].PerOp, rows[len(rows)-1].PerOp)
+	}
+	if rows[0].Speedup <= 1 {
+		t.Errorf("64-bit speedup %.1f ≤ 1", rows[0].Speedup)
+	}
+	var buf bytes.Buffer
+	RenderFig9(&buf, rows)
+	if !strings.Contains(buf.String(), "Fig 9") {
+		t.Error("render missing header")
+	}
+}

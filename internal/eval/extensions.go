@@ -1,0 +1,206 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/gossip"
+	"goldfinger/internal/knn"
+)
+
+// GossipRow is one convergence point of the decentralized experiment.
+type GossipRow struct {
+	Mode              string
+	Round             int
+	AvgViewSimilarity float64
+	Quality           float64
+	Messages          int64
+}
+
+// Gossip runs the decentralized Gossple-style protocol on the ml1M-shaped
+// dataset in both modes and reports convergence (the paper's motivating
+// deployment: profiles never leave the device; only fingerprints are
+// gossiped).
+func Gossip(cfg Config, rounds int) ([]GossipRow, error) {
+	if rounds <= 0 {
+		rounds = 15
+	}
+	d := datasetFor(cfg, dataset.ML1M)
+	exactP := knn.NewExplicitProvider(d.Profiles)
+	k := cfg.k()
+	exact, _ := knn.BruteForce(exactP, k, cfg.knnOptions())
+
+	var rows []GossipRow
+	run := func(mode string, p knn.Provider) error {
+		// Re-run the protocol for increasing round counts so quality can
+		// be measured per round without exposing internal state.
+		for _, r := range []int{1, rounds / 3, rounds} {
+			if r < 1 {
+				r = 1
+			}
+			g, stats, err := gossip.Simulate(p, gossip.Config{K: k, Rounds: r, Seed: cfg.Seed})
+			if err != nil {
+				return err
+			}
+			last := stats[len(stats)-1]
+			rows = append(rows, GossipRow{
+				Mode:              mode,
+				Round:             last.Round,
+				AvgViewSimilarity: last.AvgViewSimilarity,
+				Quality:           knn.Quality(g, exact, exactP),
+				Messages:          last.Messages,
+			})
+		}
+		return nil
+	}
+	if err := run("native", exactP); err != nil {
+		return nil, err
+	}
+	shfP := knn.NewSHFProvider(core.MustScheme(cfg.bits(), uint64(cfg.Seed)), d.Profiles)
+	if err := run("goldfinger", shfP); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderGossip writes the convergence table.
+func RenderGossip(w io.Writer, rows []GossipRow) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Extension — decentralized gossip KNN (ml1M-shaped)")
+	fmt.Fprintln(tw, "mode\trounds\tavg view sim\tquality\tmessages")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.4f\t%.3f\t%d\n", r.Mode, r.Round, r.AvgViewSimilarity, r.Quality, r.Messages)
+	}
+	tw.Flush()
+}
+
+// DynamicRow reports the incremental-maintenance experiment.
+type DynamicRow struct {
+	Updates            int
+	RepairComparisons  int
+	RebuildComparisons int64
+	MaintainedQuality  float64
+	RebuildQuality     float64
+	RepairTime         time.Duration
+	RebuildTime        time.Duration
+}
+
+// Dynamic measures incremental KNN maintenance (the §6 dynamic-data
+// setting): apply a stream of new ratings through the local-repair
+// maintainer and compare its cost and quality against rebuilding from
+// scratch after every batch.
+func Dynamic(cfg Config, updates int) (DynamicRow, error) {
+	if updates <= 0 {
+		updates = 100
+	}
+	d := datasetFor(cfg, dataset.ML1M)
+	scheme := core.MustScheme(cfg.bits(), uint64(cfg.Seed))
+	k := cfg.k()
+
+	dyn, err := knn.NewDynamic(scheme, d.Profiles, k, cfg.knnOptions())
+	if err != nil {
+		return DynamicRow{}, err
+	}
+
+	repairs := 0
+	var repairTime time.Duration
+	for i := 0; i < updates; i++ {
+		u := (i * 7) % d.NumUsers()
+		src := (u + 13) % d.NumUsers()
+		item := d.Profiles[src][i%d.Profiles[src].Len()]
+		start := time.Now()
+		c, err := dyn.AddRating(u, item)
+		if err != nil {
+			return DynamicRow{}, err
+		}
+		repairTime += time.Since(start)
+		repairs += c
+	}
+
+	// Rebuild from the maintainer's current profiles for comparison.
+	currentProfiles := dyn.Profiles()
+	exactP := knn.NewExplicitProvider(currentProfiles)
+	exact, _ := knn.BruteForce(exactP, k, cfg.knnOptions())
+
+	var rebuilt *knn.Graph
+	var rebuildStats knn.Stats
+	rebuildTime := timeIt(func() {
+		rebuilt, rebuildStats = knn.BruteForce(knn.NewSHFProvider(scheme, currentProfiles), k, cfg.knnOptions())
+	})
+
+	return DynamicRow{
+		Updates:            updates,
+		RepairComparisons:  repairs,
+		RebuildComparisons: rebuildStats.Comparisons,
+		MaintainedQuality:  knn.Quality(dyn.Graph(), exact, exactP),
+		RebuildQuality:     knn.Quality(rebuilt, exact, exactP),
+		RepairTime:         repairTime,
+		RebuildTime:        rebuildTime,
+	}, nil
+}
+
+// ScalingRow is one point of the gain-vs-scale study.
+type ScalingRow struct {
+	Scale          float64
+	Users          int
+	NativeTime     time.Duration
+	GoldFingerTime time.Duration
+	GainPct        float64
+	Quality        float64
+}
+
+// Scaling runs Brute Force natively and with GoldFinger on ml1M-shaped
+// datasets of growing scale: both are O(n²), so the paper's per-comparison
+// speedup should appear as a scale-independent gain — the evidence that
+// laptop-scale results extrapolate.
+func Scaling(cfg Config, scales []float64) []ScalingRow {
+	if len(scales) == 0 {
+		scales = []float64{0.02, 0.05, 0.1}
+	}
+	scheme := core.MustScheme(cfg.bits(), uint64(cfg.Seed))
+	var rows []ScalingRow
+	for _, scale := range scales {
+		runCfg := cfg
+		runCfg.Scale = scale
+		d := datasetFor(runCfg, dataset.ML1M)
+		exactP := knn.NewExplicitProvider(d.Profiles)
+		var exact *knn.Graph
+		tNat := timeIt(func() { exact, _ = knn.BruteForce(exactP, cfg.k(), cfg.knnOptions()) })
+		shfP := knn.NewSHFProvider(scheme, d.Profiles)
+		var g *knn.Graph
+		tGF := timeIt(func() { g, _ = knn.BruteForce(shfP, cfg.k(), cfg.knnOptions()) })
+		rows = append(rows, ScalingRow{
+			Scale:          scale,
+			Users:          d.NumUsers(),
+			NativeTime:     tNat,
+			GoldFingerTime: tGF,
+			GainPct:        gainPct(tNat, tGF),
+			Quality:        knn.Quality(g, exact, exactP),
+		})
+	}
+	return rows
+}
+
+// RenderScaling writes the gain-vs-scale table.
+func RenderScaling(w io.Writer, rows []ScalingRow) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Extension — GoldFinger gain vs dataset scale (Brute Force, ml1M-shaped)")
+	fmt.Fprintln(tw, "scale\tusers\tnative\tGolFi\tgain%\tquality")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%d\t%s\t%s\t%.1f\t%.3f\n",
+			r.Scale, r.Users, seconds(r.NativeTime), seconds(r.GoldFingerTime), r.GainPct, r.Quality)
+	}
+	tw.Flush()
+}
+
+// RenderDynamic writes the maintenance comparison.
+func RenderDynamic(w io.Writer, r DynamicRow) {
+	fmt.Fprintf(w, "Extension — dynamic maintenance (ml1M-shaped, %d rating updates)\n", r.Updates)
+	fmt.Fprintf(w, "incremental repair: %d comparisons, %v, quality %.3f\n",
+		r.RepairComparisons, r.RepairTime.Round(time.Millisecond), r.MaintainedQuality)
+	fmt.Fprintf(w, "full rebuild:       %d comparisons, %v, quality %.3f\n",
+		r.RebuildComparisons, r.RebuildTime.Round(time.Millisecond), r.RebuildQuality)
+}

@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGossipExperiment(t *testing.T) {
+	cfg := tinyCfg()
+	rows, err := Gossip(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 round counts × 2 modes
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byMode := map[string][]GossipRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = append(byMode[r.Mode], r)
+	}
+	for mode, mrows := range byMode {
+		if len(mrows) != 3 {
+			t.Fatalf("%s: %d rows", mode, len(mrows))
+		}
+		// Quality improves (or holds) with more rounds.
+		if mrows[2].Quality < mrows[0].Quality-0.02 {
+			t.Errorf("%s: quality fell from %.3f (round %d) to %.3f (round %d)",
+				mode, mrows[0].Quality, mrows[0].Round, mrows[2].Quality, mrows[2].Round)
+		}
+		if mrows[2].Messages <= mrows[0].Messages {
+			t.Errorf("%s: message count not growing", mode)
+		}
+	}
+	// GoldFinger parity at the final round.
+	if gf, nat := byMode["goldfinger"][2].Quality, byMode["native"][2].Quality; gf < nat-0.2 {
+		t.Errorf("gossip GoldFinger quality %.3f far below native %.3f", gf, nat)
+	}
+	var buf bytes.Buffer
+	RenderGossip(&buf, rows)
+	if !strings.Contains(buf.String(), "gossip") {
+		t.Error("render missing header")
+	}
+}
+
+func TestDynamicExperiment(t *testing.T) {
+	cfg := tinyCfg()
+	row, err := Dynamic(cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Updates != 40 {
+		t.Errorf("updates = %d", row.Updates)
+	}
+	if row.RepairComparisons <= 0 {
+		t.Error("no repair comparisons recorded")
+	}
+	// The point of incremental maintenance: far fewer comparisons than a
+	// rebuild, at nearly the same quality.
+	if int64(row.RepairComparisons) >= row.RebuildComparisons {
+		t.Errorf("repair (%d) not cheaper than rebuild (%d)", row.RepairComparisons, row.RebuildComparisons)
+	}
+	if row.MaintainedQuality < row.RebuildQuality-0.05 {
+		t.Errorf("maintained quality %.3f fell more than 0.05 below rebuild %.3f",
+			row.MaintainedQuality, row.RebuildQuality)
+	}
+	var buf bytes.Buffer
+	RenderDynamic(&buf, row)
+	if !strings.Contains(buf.String(), "dynamic maintenance") {
+		t.Error("render missing header")
+	}
+}
+
+func TestScalingExperiment(t *testing.T) {
+	cfg := tinyCfg()
+	rows := Scaling(cfg, []float64{0.01, 0.02})
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[1].Users <= rows[0].Users {
+		t.Error("user count not growing with scale")
+	}
+	for _, r := range rows {
+		if r.GainPct <= 0 {
+			t.Errorf("scale %.2f: no GoldFinger gain (%.1f%%)", r.Scale, r.GainPct)
+		}
+		if r.Quality < 0.8 {
+			t.Errorf("scale %.2f: quality %.3f", r.Scale, r.Quality)
+		}
+	}
+	var buf bytes.Buffer
+	RenderScaling(&buf, rows)
+	if !strings.Contains(buf.String(), "scale") {
+		t.Error("render missing header")
+	}
+}

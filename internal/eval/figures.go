@@ -1,0 +1,364 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"goldfinger/internal/analysis"
+	"goldfinger/internal/combin"
+	"goldfinger/internal/core"
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/knn"
+	"goldfinger/internal/privacy"
+	"goldfinger/internal/recommend"
+)
+
+// EstimatorRow is one configuration of the Fig 3–5 study: the distribution
+// of Ĵ for a given overlap structure and fingerprint size.
+type EstimatorRow struct {
+	Params    combin.Params
+	TrueJ     float64
+	Summary   analysis.Summary
+	ExactMean float64 // from Theorem 1 when tractable, else NaN
+}
+
+// Fig3 reproduces the paper's estimator study: a 100-item profile against
+// profiles of 25, 100 and 300 items at several true similarities, b = 1024.
+// The mean and 1–99% interquantile of the Monte-Carlo distribution are the
+// plotted quantities.
+func Fig3(trials int, seed int64) ([]EstimatorRow, error) {
+	if trials <= 0 {
+		trials = 50000
+	}
+	// |P1| = 100 against |P2| ∈ {25, 100, 300}; the overlap sweeps 20–80%
+	// of the smaller profile so the true Jaccard spans the figure's x axis.
+	var rows []EstimatorRow
+	for _, size2 := range []int{25, 100, 300} {
+		smaller := size2
+		if smaller > 100 {
+			smaller = 100
+		}
+		for _, frac := range []float64{0.2, 0.4, 0.6, 0.8} {
+			alpha := int(frac * float64(smaller))
+			if alpha < 1 {
+				continue
+			}
+			p := combin.Params{Alpha: alpha, Gamma1: 100 - alpha, Gamma2: size2 - alpha, B: 1024}
+			samples, err := analysis.SampleEstimator(p, trials, seed)
+			if err != nil {
+				return nil, err
+			}
+			// The paper computes Fig 3 exactly from Theorem 1; the
+			// occupancy DP makes that tractable here too, and the
+			// Monte-Carlo column cross-checks it.
+			exact, err := combin.SummarizeDP(p, nil)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, EstimatorRow{
+				Params:    p,
+				TrueJ:     p.Jaccard(),
+				Summary:   analysis.Summarize(samples),
+				ExactMean: exact.Mean,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig3 writes the Fig 3 series.
+func RenderFig3(w io.Writer, rows []EstimatorRow) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Fig 3 — Ĵ distribution (b = 1024, |P1| = 100; exact = Theorem 1 via occupancy DP)")
+	fmt.Fprintln(tw, "|P2|\tJ\tmean Ĵ (MC)\texact mean\tQ1%\tQ99%")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			r.Params.Alpha+r.Params.Gamma2, r.TrueJ, r.Summary.Mean, r.ExactMean, r.Summary.Q01, r.Summary.Q99)
+	}
+	tw.Flush()
+}
+
+// Fig4Result is the misordering study of Fig 4.
+type Fig4Result struct {
+	JHigh, JLow    float64
+	MeanHigh       float64
+	MeanLow        float64
+	MisorderingPct float64
+	// ExactPct is the misordering probability computed exactly from the
+	// two Theorem 1 distributions (no sampling error).
+	ExactPct float64
+}
+
+// Fig4 reproduces the paper's misordering experiment: two 100-item profiles
+// with true similarities 0.25 and 0.17 to the same reference, b = 1024;
+// the probability of preferring the wrong one stays under 2%.
+func Fig4(trials int, seed int64) (Fig4Result, error) {
+	if trials <= 0 {
+		trials = 50000
+	}
+	pHigh := combin.Params{Alpha: 40, Gamma1: 60, Gamma2: 60, B: 1024} // J = 0.25
+	pLow := combin.Params{Alpha: 29, Gamma1: 71, Gamma2: 71, B: 1024}  // J ≈ 0.17
+	high, err := analysis.SampleEstimator(pHigh, trials, seed)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	low, err := analysis.SampleEstimator(pLow, trials, seed+1)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	exact, err := combin.MisorderExact(pHigh, pLow)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	return Fig4Result{
+		JHigh: pHigh.Jaccard(), JLow: pLow.Jaccard(),
+		MeanHigh:       analysis.Summarize(high).Mean,
+		MeanLow:        analysis.Summarize(low).Mean,
+		MisorderingPct: 100 * analysis.MisorderProbability(high, low, seed+2),
+		ExactPct:       100 * exact,
+	}, nil
+}
+
+// RenderFig4 writes the misordering result.
+func RenderFig4(w io.Writer, r Fig4Result) {
+	fmt.Fprintf(w, "Fig 4 — misordering: J=%.2f (mean Ĵ %.3f) vs J=%.2f (mean Ĵ %.3f): P(misorder) = %.2f%% (MC), %.2f%% (exact)\n",
+		r.JHigh, r.MeanHigh, r.JLow, r.MeanLow, r.MisorderingPct, r.ExactPct)
+}
+
+// Fig5 reproduces the spread-vs-b study: the same J = 0.25 pair summarized
+// for decreasing fingerprint sizes.
+func Fig5(trials int, seed int64) ([]EstimatorRow, error) {
+	if trials <= 0 {
+		trials = 50000
+	}
+	var rows []EstimatorRow
+	for _, b := range []int{256, 512, 1024} {
+		p := combin.Params{Alpha: 40, Gamma1: 60, Gamma2: 60, B: b}
+		samples, err := analysis.SampleEstimator(p, trials, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, EstimatorRow{Params: p, TrueJ: p.Jaccard(), Summary: analysis.Summarize(samples)})
+	}
+	return rows, nil
+}
+
+// RenderFig5 writes the Fig 5 series.
+func RenderFig5(w io.Writer, rows []EstimatorRow) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Fig 5 — Ĵ spread vs SHF size (J = 0.25, |P1| = |P2| = 100)")
+	fmt.Fprintln(tw, "b\tmean Ĵ\tQ1%\tQ99%\tspread")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			r.Params.B, r.Summary.Mean, r.Summary.Q01, r.Summary.Q99, r.Summary.Q99-r.Summary.Q01)
+	}
+	tw.Flush()
+}
+
+// Fig8Row is the recommendation recall of one algorithm on one dataset.
+type Fig8Row struct {
+	Dataset          string
+	Algorithm        string
+	NativeRecall     float64
+	GoldFingerRecall float64
+}
+
+// Fig8 reproduces the recommender case study: 30 recommendations per user,
+// 5-fold cross-validation, recall of native vs GoldFinger graphs. Only the
+// three algorithms shown in the figure are run (LSH is excluded there).
+func Fig8(cfg Config) ([]Fig8Row, error) {
+	var rows []Fig8Row
+	scheme := core.MustScheme(cfg.bits(), uint64(cfg.Seed))
+	for _, preset := range cfg.datasets() {
+		d := datasetFor(cfg, preset)
+		for _, algo := range Algorithms()[:3] { // Brute Force, Hyrec, NNDescent
+			native, err := recommend.CrossValidate(d, 5, cfg.Seed, recommend.DefaultN,
+				func(train *dataset.Dataset) *knn.Graph {
+					g, _ := algo.Run(train, knn.NewExplicitProvider(train.Profiles), cfg.k(), cfg)
+					return g
+				})
+			if err != nil {
+				return nil, err
+			}
+			golfi, err := recommend.CrossValidate(d, 5, cfg.Seed, recommend.DefaultN,
+				func(train *dataset.Dataset) *knn.Graph {
+					g, _ := algo.Run(train, knn.NewSHFProvider(scheme, train.Profiles), cfg.k(), cfg)
+					return g
+				})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig8Row{Dataset: d.Name, Algorithm: algo.Name,
+				NativeRecall: native, GoldFingerRecall: golfi})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig8 writes the recall comparison.
+func RenderFig8(w io.Writer, rows []Fig8Row) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Fig 8 — recommendation recall (30 recs, 5-fold CV)")
+	fmt.Fprintln(tw, "Dataset\tAlgorithm\tnative\tGolFi\tΔ")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.4f\t%.4f\t%+.4f\n",
+			r.Dataset, r.Algorithm, r.NativeRecall, r.GoldFingerRecall, r.GoldFingerRecall-r.NativeRecall)
+	}
+	tw.Flush()
+}
+
+// Fig10Row is one point of the time/quality trade-off sweep.
+type Fig10Row struct {
+	Algorithm string
+	Bits      int
+	Time      time.Duration
+	Quality   float64
+}
+
+// Fig10 sweeps the SHF size for Brute Force and Hyrec on the ml10M-shaped
+// dataset, reporting execution time and quality per size (the paper's
+// trade-off curves).
+func Fig10(cfg Config, bitSizes []int) []Fig10Row {
+	if len(bitSizes) == 0 {
+		bitSizes = []int{64, 128, 256, 512, 1024, 2048, 4096, 8192}
+	}
+	d := datasetFor(cfg, dataset.ML10M)
+	exactP := knn.NewExplicitProvider(d.Profiles)
+	exact, _ := knn.BruteForce(exactP, cfg.k(), cfg.knnOptions())
+
+	var rows []Fig10Row
+	for _, algo := range []Algorithm{Algorithms()[0], Algorithms()[1]} { // Brute Force, Hyrec
+		for _, bits := range bitSizes {
+			scheme := core.MustScheme(bits, uint64(cfg.Seed))
+			shfP := knn.NewSHFProvider(scheme, d.Profiles)
+			var g *knn.Graph
+			t := timeIt(func() { g, _ = algo.Run(d, shfP, cfg.k(), cfg) })
+			rows = append(rows, Fig10Row{Algorithm: algo.Name, Bits: bits,
+				Time: t, Quality: knn.Quality(g, exact, exactP)})
+		}
+	}
+	return rows
+}
+
+// RenderFig10 writes the trade-off sweep.
+func RenderFig10(w io.Writer, rows []Fig10Row) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Fig 10 — time vs quality per SHF size (ml10M-shaped)")
+	fmt.Fprintln(tw, "Algorithm\tb\ttime\tquality")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.3f\n", r.Algorithm, r.Bits, seconds(r.Time), r.Quality)
+	}
+	tw.Flush()
+}
+
+// Fig11Result is the similarity-distortion heatmap study.
+type Fig11Result struct {
+	Bits    int
+	Heatmap *analysis.Heatmap
+	// Within[d] is the fraction of pairs with |Ĵ−J| ≤ d, the paper's
+	// headline distortion numbers.
+	Within map[float64]float64
+}
+
+// Fig11 samples user pairs of the ml10M-shaped dataset and bins real vs
+// estimated similarity for b = 1024 and 4096.
+func Fig11(cfg Config, pairs int) ([]Fig11Result, error) {
+	if pairs <= 0 {
+		pairs = 200000
+	}
+	d := datasetFor(cfg, dataset.ML10M)
+	var out []Fig11Result
+	for _, bits := range []int{1024, 4096} {
+		h, err := analysis.ComputeHeatmap(d.Profiles, core.MustScheme(bits, uint64(cfg.Seed)), pairs, 100, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		within := map[float64]float64{}
+		for _, delta := range []float64{0.01, 0.02, 0.05, 0.1} {
+			within[delta] = h.DiagonalMass(delta)
+		}
+		out = append(out, Fig11Result{Bits: bits, Heatmap: h, Within: within})
+	}
+	return out, nil
+}
+
+// RenderFig11 writes the distortion summary.
+func RenderFig11(w io.Writer, results []Fig11Result) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Fig 11 — similarity distortion (ml10M-shaped pairs)")
+	fmt.Fprintln(tw, "b\t≤0.01\t≤0.02\t≤0.05\t≤0.10")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%d\t%.0f%%\t%.0f%%\t%.0f%%\t%.0f%%\n",
+			r.Bits, 100*r.Within[0.01], 100*r.Within[0.02], 100*r.Within[0.05], 100*r.Within[0.1])
+	}
+	tw.Flush()
+}
+
+// Fig12Row is one point of the Hyrec convergence sweep.
+type Fig12Row struct {
+	Bits       int
+	Iterations int
+	ScanRate   float64
+}
+
+// Fig12 sweeps the SHF size and reports Hyrec's iterations and scanrate on
+// the ml10M-shaped dataset, plus the native reference as Bits = 0.
+func Fig12(cfg Config, bitSizes []int) []Fig12Row {
+	if len(bitSizes) == 0 {
+		bitSizes = []int{64, 128, 256, 512, 1024, 2048, 4096, 8192}
+	}
+	d := datasetFor(cfg, dataset.ML10M)
+	n := d.NumUsers()
+
+	var rows []Fig12Row
+	_, sNat := knn.Hyrec(knn.NewExplicitProvider(d.Profiles), cfg.k(), cfg.knnOptions())
+	rows = append(rows, Fig12Row{Bits: 0, Iterations: sNat.Iterations, ScanRate: sNat.ScanRate(n)})
+	for _, bits := range bitSizes {
+		shfP := knn.NewSHFProvider(core.MustScheme(bits, uint64(cfg.Seed)), d.Profiles)
+		_, s := knn.Hyrec(shfP, cfg.k(), cfg.knnOptions())
+		rows = append(rows, Fig12Row{Bits: bits, Iterations: s.Iterations, ScanRate: s.ScanRate(n)})
+	}
+	return rows
+}
+
+// RenderFig12 writes the convergence sweep.
+func RenderFig12(w io.Writer, rows []Fig12Row) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Fig 12 — Hyrec convergence vs SHF size (b = 0 is native)")
+	fmt.Fprintln(tw, "b\titerations\tscanrate")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.3f\n", r.Bits, r.Iterations, r.ScanRate)
+	}
+	tw.Flush()
+}
+
+// PrivacyReport produces the §2.5 accounting for every dataset.
+func PrivacyReport(cfg Config) []privacy.Report {
+	scheme := core.MustScheme(cfg.bits(), uint64(cfg.Seed))
+	var rows []privacy.Report
+	for _, preset := range cfg.datasets() {
+		d := datasetFor(cfg, preset)
+		r := privacy.Assess(d.Name, d.Profiles, d.NumItems, scheme)
+		// Also report the full-size universe the paper quotes (m is not
+		// scaled down by the synthetic generator in the privacy sense).
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// RenderPrivacy writes the privacy accounting, including the paper's
+// full-size numbers for reference.
+func RenderPrivacy(w io.Writer, cfg Config, rows []privacy.Report) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Privacy (§2.5) — k-anonymity and ℓ-diversity, b =", cfg.bits())
+	fmt.Fprintln(tw, "Dataset\tm\tmean c\tk-anonymity\tℓ-diversity")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t2^%.0f\t%.0f\n", r.Dataset, r.Items, r.MeanCard, r.KAnonymityBits, r.LDiversity)
+	}
+	tw.Flush()
+	// The paper's reference point at full size.
+	full := privacy.KAnonymityLog2(171356, cfg.bits(), 1)
+	fmt.Fprintf(w, "(full-size AmazonMovies: m=171356 → 2^%.0f-anonymity per set bit, %.0f-diversity)\n",
+		full, privacy.LDiversity(171356, cfg.bits()))
+}

@@ -1,0 +1,185 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/profile"
+)
+
+// Fig1Row is one point of Fig 1: the cost of one explicit Jaccard
+// computation as a function of profile size.
+type Fig1Row struct {
+	ProfileSize int
+	PerOp       time.Duration
+}
+
+// Fig1 measures explicit Jaccard cost for profile sizes 10..200 over a
+// 1000-item universe, the setup of the paper's Fig 1.
+func Fig1(sizes []int, seed int64) []Fig1Row {
+	if len(sizes) == 0 {
+		sizes = []int{10, 20, 40, 80, 120, 160, 200}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]Fig1Row, 0, len(sizes))
+	for _, size := range sizes {
+		p1 := randomProfileOfSize(rng, size, 1000)
+		p2 := randomProfileOfSize(rng, size, 1000)
+		var sink float64
+		// Batch the kernel to amortize timer and closure overhead.
+		per := timeOp(func() {
+			for i := 0; i < microBatch; i++ {
+				sink += profile.Jaccard(p1, p2)
+			}
+		}, 100, 20*time.Millisecond) / microBatch
+		_ = sink
+		rows = append(rows, Fig1Row{ProfileSize: size, PerOp: per})
+	}
+	return rows
+}
+
+// microBatch is how many kernel invocations each timed operation batches;
+// without it, closure-call overhead (~40 ns) would dominate the fastest
+// fingerprint comparisons (~5 ns).
+const microBatch = 64
+
+// RenderFig1 writes the Fig 1 series.
+func RenderFig1(w io.Writer, rows []Fig1Row) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Fig 1 — explicit Jaccard cost vs profile size")
+	fmt.Fprintln(tw, "|P|\tns/op")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\n", r.ProfileSize, r.PerOp.Nanoseconds())
+	}
+	tw.Flush()
+}
+
+// Table1Row is one line of Table 1: SHF Jaccard cost and its speedup over
+// the explicit computation on 80-item profiles.
+type Table1Row struct {
+	Bits     int
+	PerOp    time.Duration
+	Explicit time.Duration
+	Speedup  float64
+}
+
+// Table1 reproduces the paper's Table 1 with profile size 80 (its |P|) and
+// SHF lengths 64..4096.
+func Table1(bitSizes []int, seed int64) []Table1Row {
+	if len(bitSizes) == 0 {
+		bitSizes = []int{64, 256, 1024, 4096}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p1 := randomProfileOfSize(rng, 80, 1000)
+	p2 := randomProfileOfSize(rng, 80, 1000)
+	var sink float64
+	explicit := timeOp(func() {
+		for i := 0; i < microBatch; i++ {
+			sink += profile.Jaccard(p1, p2)
+		}
+	}, 100, 20*time.Millisecond) / microBatch
+
+	rows := make([]Table1Row, 0, len(bitSizes))
+	for _, bits := range bitSizes {
+		s := core.MustScheme(bits, uint64(seed))
+		f1, f2 := s.Fingerprint(p1), s.Fingerprint(p2)
+		per := timeOp(func() {
+			for i := 0; i < microBatch; i++ {
+				sink += core.Jaccard(f1, f2)
+			}
+		}, 100, 20*time.Millisecond) / microBatch
+		rows = append(rows, Table1Row{
+			Bits:     bits,
+			PerOp:    per,
+			Explicit: explicit,
+			Speedup:  float64(explicit) / float64(per),
+		})
+	}
+	_ = sink
+	return rows
+}
+
+// RenderTable1 writes Table 1.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Table 1 — SHF Jaccard cost vs length (|P| = 80)")
+	fmt.Fprintln(tw, "SHF bits\tns/op\texplicit ns/op\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.0f×\n", r.Bits, r.PerOp.Nanoseconds(), r.Explicit.Nanoseconds(), r.Speedup)
+	}
+	tw.Flush()
+}
+
+// Fig9Row is one point of Fig 9: SHF similarity cost and speedup vs b on an
+// ml10M-shaped workload.
+type Fig9Row struct {
+	Bits     int
+	PerOp    time.Duration
+	Explicit time.Duration
+	Speedup  float64
+}
+
+// Fig9 measures one-similarity cost for SHF sizes 64..8192 against profiles
+// drawn from an ml10M-shaped dataset (the paper samples user pairs from
+// ml10M).
+func Fig9(cfg Config) []Fig9Row {
+	d := datasetFor(cfg, datasetPresetML10M())
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	// Sample pairs once; reuse for every b so the comparison is paired.
+	const pairs = 256
+	us := make([]int, pairs)
+	vs := make([]int, pairs)
+	for i := range us {
+		us[i] = rng.Intn(d.NumUsers())
+		vs[i] = rng.Intn(d.NumUsers())
+	}
+
+	var sink float64
+	explicit := timeOp(func() {
+		for i := range us {
+			sink += profile.Jaccard(d.Profiles[us[i]], d.Profiles[vs[i]])
+		}
+	}, 10, 50*time.Millisecond) / pairs
+
+	bitSizes := []int{64, 128, 256, 512, 1024, 2048, 4096, 8192}
+	rows := make([]Fig9Row, 0, len(bitSizes))
+	for _, bits := range bitSizes {
+		s := core.MustScheme(bits, uint64(cfg.Seed))
+		fps := s.FingerprintAll(d.Profiles)
+		per := timeOp(func() {
+			for i := range us {
+				sink += core.Jaccard(fps[us[i]], fps[vs[i]])
+			}
+		}, 10, 50*time.Millisecond) / pairs
+		rows = append(rows, Fig9Row{Bits: bits, PerOp: per, Explicit: explicit,
+			Speedup: float64(explicit) / float64(per)})
+	}
+	_ = sink
+	return rows
+}
+
+// RenderFig9 writes the Fig 9 series.
+func RenderFig9(w io.Writer, rows []Fig9Row) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Fig 9 — similarity cost vs SHF size (ml10M-shaped pairs)")
+	fmt.Fprintln(tw, "SHF bits\tns/op\texplicit ns/op\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f×\n", r.Bits, r.PerOp.Nanoseconds(), r.Explicit.Nanoseconds(), r.Speedup)
+	}
+	tw.Flush()
+}
+
+func randomProfileOfSize(rng *rand.Rand, size, universe int) profile.Profile {
+	picked := map[profile.ItemID]bool{}
+	for len(picked) < size && len(picked) < universe {
+		picked[profile.ItemID(rng.Intn(universe))] = true
+	}
+	items := make([]profile.ItemID, 0, len(picked))
+	for it := range picked {
+		items = append(items, it)
+	}
+	return profile.New(items...)
+}

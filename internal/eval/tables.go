@@ -1,0 +1,249 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/knn"
+	"goldfinger/internal/memtrack"
+	"goldfinger/internal/minhash"
+)
+
+// Table2 returns the dataset statistics (one row per preset, paper Table 2).
+func Table2(cfg Config) []dataset.Stats {
+	rows := make([]dataset.Stats, 0, len(cfg.datasets()))
+	for _, p := range cfg.datasets() {
+		rows = append(rows, datasetFor(cfg, p).ComputeStats())
+	}
+	return rows
+}
+
+// RenderTable2 writes the dataset statistics.
+func RenderTable2(w io.Writer, rows []dataset.Stats) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Table 2 — datasets (synthetic, scaled; see DESIGN.md §3)")
+	fmt.Fprintln(tw, "Dataset\tUsers\tItems\tRatings>3\t|Pu|\t|Pi|\tDensity")
+	for _, s := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.2f\t%.2f\t%.3f%%\n",
+			s.Name, s.Users, s.Items, s.Ratings, s.MeanProfile, s.MeanItemDeg, s.DensityPct)
+	}
+	tw.Flush()
+}
+
+// Table3Row is one line of Table 3: preparation time of the three dataset
+// representations.
+type Table3Row struct {
+	Dataset          string
+	Native           time.Duration
+	MinHash          time.Duration
+	GoldFinger       time.Duration
+	SpeedupVsMinHash float64
+}
+
+// Table3 measures preparation time per representation: native builds the
+// profiles from a raw rating stream; MinHash additionally materializes 256
+// explicit permutations of the item universe and sketches every profile
+// (b-bit minwise, the paper's configuration); GoldFinger fingerprints every
+// profile with 1024-bit SHFs.
+func Table3(cfg Config) ([]Table3Row, error) {
+	rows := make([]Table3Row, 0, len(cfg.datasets()))
+	for _, p := range cfg.datasets() {
+		ratings := dataset.GenerateRatings(p, cfg.scale(), cfg.Seed)
+
+		var d *dataset.Dataset
+		native := timeIt(func() {
+			d = dataset.FromRatings(p.Name, ratings, dataset.Options{})
+		})
+
+		mhCfg := minhash.DefaultConfig()
+		mhCfg.Seed = cfg.Seed
+		var mhErr error
+		mh := timeIt(func() {
+			sk, err := minhash.NewSketcher(mhCfg, d.NumItems)
+			if err != nil {
+				mhErr = err
+				return
+			}
+			sk.SketchAll(d.Profiles)
+		})
+		if mhErr != nil {
+			return nil, mhErr
+		}
+
+		scheme := core.MustScheme(cfg.bits(), uint64(cfg.Seed))
+		golfi := timeIt(func() { scheme.FingerprintAll(d.Profiles) })
+		// GoldFinger preparation includes building the profiles.
+		golfi += native
+
+		rows = append(rows, Table3Row{
+			Dataset:          p.Name,
+			Native:           native,
+			MinHash:          native + mh,
+			GoldFinger:       golfi,
+			SpeedupVsMinHash: float64(native+mh) / float64(golfi),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable3 writes Table 3.
+func RenderTable3(w io.Writer, rows []Table3Row) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Table 3 — dataset preparation time")
+	fmt.Fprintln(tw, "Dataset\tNative\tMinHash\tGoldFinger\tspeedup vs MinHash")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.1f×\n",
+			r.Dataset, seconds(r.Native), seconds(r.MinHash), seconds(r.GoldFinger), r.SpeedupVsMinHash)
+	}
+	tw.Flush()
+}
+
+// Table4Row is one line of Table 4 (and the bars of Figs 6–7): computation
+// time and KNN quality for one algorithm on one dataset, native vs
+// GoldFinger.
+type Table4Row struct {
+	Dataset           string
+	Algorithm         string
+	NativeTime        time.Duration
+	GoldFingerTime    time.Duration
+	GainPct           float64
+	NativeQuality     float64
+	GoldFingerQuality float64
+	QualityLoss       float64
+	NativeStats       knn.Stats
+	GoldFingerStats   knn.Stats
+}
+
+// Table4 runs every algorithm on every dataset in both modes. The native
+// Brute Force graph doubles as the exact reference for quality (Eq. 3).
+func Table4(cfg Config) []Table4Row {
+	var rows []Table4Row
+	for _, preset := range cfg.datasets() {
+		d := datasetFor(cfg, preset)
+		exactP := knn.NewExplicitProvider(d.Profiles)
+		scheme := core.MustScheme(cfg.bits(), uint64(cfg.Seed))
+
+		var shfP *knn.SHFProvider
+		prepGF := timeIt(func() { shfP = knn.NewSHFProvider(scheme, d.Profiles) })
+		_ = prepGF // preparation is Table 3's business; Table 4 times the algorithms
+
+		// The native Brute Force graph is the exact reference (Eq. 3);
+		// build it once up front and reuse it for its own Table 4 row.
+		var exact *knn.Graph
+		var exactStats knn.Stats
+		exactTime := timeIt(func() {
+			exact, exactStats = knn.BruteForce(exactP, cfg.k(), cfg.knnOptions())
+		})
+
+		for _, algo := range Algorithms() {
+			var gNat, gGF *knn.Graph
+			var sNat, sGF knn.Stats
+			var tNat time.Duration
+			if algo.Name == "Brute Force" {
+				gNat, sNat, tNat = exact, exactStats, exactTime
+			} else {
+				tNat = timeIt(func() { gNat, sNat = algo.Run(d, exactP, cfg.k(), cfg) })
+			}
+			tGF := timeIt(func() { gGF, sGF = algo.Run(d, shfP, cfg.k(), cfg) })
+			qNat := knn.Quality(gNat, exact, exactP)
+			qGF := knn.Quality(gGF, exact, exactP)
+			rows = append(rows, Table4Row{
+				Dataset:           d.Name,
+				Algorithm:         algo.Name,
+				NativeTime:        tNat,
+				GoldFingerTime:    tGF,
+				GainPct:           gainPct(tNat, tGF),
+				NativeQuality:     qNat,
+				GoldFingerQuality: qGF,
+				QualityLoss:       qNat - qGF,
+				NativeStats:       sNat,
+				GoldFingerStats:   sGF,
+			})
+		}
+	}
+	return rows
+}
+
+// Table4Avg averages Table4 over repeats runs with distinct seeds — the
+// paper averages every Table 4 number over its 5 cross-validation runs;
+// this is the analogous noise reduction for the synthetic datasets.
+func Table4Avg(cfg Config, repeats int) []Table4Row {
+	if repeats <= 1 {
+		return Table4(cfg)
+	}
+	var acc []Table4Row
+	for r := 0; r < repeats; r++ {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + int64(r)*1000
+		rows := Table4(runCfg)
+		if acc == nil {
+			acc = rows
+			continue
+		}
+		for i := range rows {
+			acc[i].NativeTime += rows[i].NativeTime
+			acc[i].GoldFingerTime += rows[i].GoldFingerTime
+			acc[i].NativeQuality += rows[i].NativeQuality
+			acc[i].GoldFingerQuality += rows[i].GoldFingerQuality
+		}
+	}
+	for i := range acc {
+		acc[i].NativeTime /= time.Duration(repeats)
+		acc[i].GoldFingerTime /= time.Duration(repeats)
+		acc[i].NativeQuality /= float64(repeats)
+		acc[i].GoldFingerQuality /= float64(repeats)
+		acc[i].GainPct = gainPct(acc[i].NativeTime, acc[i].GoldFingerTime)
+		acc[i].QualityLoss = acc[i].NativeQuality - acc[i].GoldFingerQuality
+	}
+	return acc
+}
+
+// RenderTable4 writes Table 4.
+func RenderTable4(w io.Writer, rows []Table4Row) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Table 4 — computation time and KNN quality (native vs GoldFinger)")
+	fmt.Fprintln(tw, "Dataset\tAlgorithm\tnative\tGolFi\tgain%\tq.nat\tq.GolFi\tloss")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.1f\t%.2f\t%.2f\t%+.2f\n",
+			r.Dataset, r.Algorithm, seconds(r.NativeTime), seconds(r.GoldFingerTime),
+			r.GainPct, r.NativeQuality, r.GoldFingerQuality, r.QualityLoss)
+	}
+	tw.Flush()
+}
+
+// Table5 models the memory traffic of every algorithm on the ml10M-shaped
+// dataset, native vs GoldFinger (see internal/memtrack for the substitution
+// of the paper's hardware counters).
+func Table5(cfg Config) []memtrack.Row {
+	d := datasetFor(cfg, dataset.ML10M)
+	exactP := knn.NewExplicitProvider(d.Profiles)
+	scheme := core.MustScheme(cfg.bits(), uint64(cfg.Seed))
+	shfP := knn.NewSHFProvider(scheme, d.Profiles)
+
+	nativeModel := memtrack.ExplicitModel(d.Profiles)
+	gfModel := memtrack.SHFModel(cfg.bits())
+
+	var rows []memtrack.Row
+	for _, algo := range Algorithms() {
+		_, sNat := algo.Run(d, exactP, cfg.k(), cfg)
+		_, sGF := algo.Run(d, shfP, cfg.k(), cfg)
+		rows = append(rows, memtrack.NewRow(algo.Name, nativeModel.ForRun(sNat), gfModel.ForRun(sGF)))
+	}
+	return rows
+}
+
+// RenderTable5 writes Table 5.
+func RenderTable5(w io.Writer, rows []memtrack.Row) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Table 5 — modeled memory traffic on ml10M (loads/stores, 4-byte ops)")
+	fmt.Fprintln(tw, "Algorithm\tnat.loads\tGolFi.loads\tgain%\tnat.stores\tGolFi.stores\tgain%")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%d\t%d\t%.1f\n",
+			r.Algorithm, r.NativeLoads, r.GoldFingerLoads, r.LoadReductionPct,
+			r.NativeStores, r.GoldFingerStores, r.StoreReductionPct)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,219 @@
+// Package gossip implements a decentralized KNN graph construction protocol
+// in the style of Gossple (Bertier et al., Middleware 2010), the setting
+// that motivates the paper's privacy story: every user keeps their profile
+// on their own device, exchanges only fingerprints with peers, and
+// converges to their k nearest neighbors by greedy gossiping — no central
+// service ever holds the clear-text data.
+//
+// The simulation is synchronous: in every round, each node gossips with one
+// peer from its clustering view and one from a random-peer-sampling (RPS)
+// layer, merges the peer's view into its candidate set, and keeps the k
+// most similar nodes. Similarities go through a knn.Provider, so the native
+// and GoldFinger variants are the same protocol — the paper's drop-in claim
+// in a decentralized deployment.
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+
+	"goldfinger/internal/knn"
+)
+
+// Config parametrizes the protocol.
+type Config struct {
+	// K is the view (neighborhood) size. Must be positive.
+	K int
+	// Rounds is the number of synchronous gossip rounds. 0 means 15.
+	Rounds int
+	// RPSSize is how many uniform random peers the RPS layer serves each
+	// round. 0 means 3.
+	RPSSize int
+	// Seed drives view initialization, peer selection and the RPS layer.
+	Seed int64
+}
+
+func (c Config) rounds() int {
+	if c.Rounds == 0 {
+		return 15
+	}
+	return c.Rounds
+}
+
+func (c Config) rpsSize() int {
+	if c.RPSSize == 0 {
+		return 3
+	}
+	return c.RPSSize
+}
+
+// RoundStats reports the network state after one gossip round.
+type RoundStats struct {
+	Round int
+	// AvgViewSimilarity is the mean similarity of all view edges — the
+	// convergence signal a deployment can observe without ground truth.
+	AvgViewSimilarity float64
+	// Messages is the cumulative number of view exchanges so far.
+	Messages int64
+	// Comparisons is the cumulative number of similarity computations.
+	Comparisons int64
+}
+
+// Simulate runs the protocol and returns the final KNN graph along with
+// per-round convergence statistics.
+func Simulate(p knn.Provider, cfg Config) (*knn.Graph, []RoundStats, error) {
+	n := p.NumUsers()
+	if cfg.K <= 0 {
+		return nil, nil, fmt.Errorf("gossip: view size K must be positive, got %d", cfg.K)
+	}
+	if n == 0 {
+		return &knn.Graph{K: cfg.K, Neighbors: nil}, nil, nil
+	}
+
+	cp := knn.NewCountingProvider(p)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// views[u] holds u's current neighbors, unordered, no duplicates.
+	views := make([][]knn.Neighbor, n)
+	for u := 0; u < n; u++ {
+		views[u] = randomView(cp, rng, u, n, cfg.K)
+	}
+
+	var messages int64
+	stats := make([]RoundStats, 0, cfg.rounds())
+	for round := 1; round <= cfg.rounds(); round++ {
+		// Synchronous round: every node gossips once, reading the views
+		// of the previous round (copy-on-read keeps it well-defined).
+		prev := make([][]knn.Neighbor, n)
+		for u := range views {
+			prev[u] = append([]knn.Neighbor(nil), views[u]...)
+		}
+		for u := 0; u < n; u++ {
+			cands := map[int32]float64{}
+			for _, nb := range prev[u] {
+				cands[nb.ID] = nb.Sim
+			}
+
+			// Gossip with the most similar peer of the view (Gossple's
+			// clustering heuristic) and merge its view.
+			if len(prev[u]) > 0 {
+				peer := bestPeer(prev[u])
+				messages++
+				for _, nb := range prev[peer] {
+					if int(nb.ID) != u {
+						if _, ok := cands[nb.ID]; !ok {
+							cands[nb.ID] = cp.Similarity(u, int(nb.ID))
+						}
+					}
+				}
+			}
+
+			// RPS layer: a few uniform random peers keep the network
+			// connected and let isolated nodes escape local optima.
+			for i := 0; i < cfg.rpsSize(); i++ {
+				v := rng.Intn(n)
+				if v == u {
+					continue
+				}
+				messages++
+				if _, ok := cands[int32(v)]; !ok {
+					cands[int32(v)] = cp.Similarity(u, v)
+				}
+			}
+
+			views[u] = topK(cands, cfg.K)
+		}
+
+		stats = append(stats, RoundStats{
+			Round:             round,
+			AvgViewSimilarity: avgSim(views),
+			Messages:          messages,
+			Comparisons:       cp.Comparisons(),
+		})
+	}
+
+	g := &knn.Graph{K: cfg.K, Neighbors: make([][]knn.Neighbor, n)}
+	for u := range views {
+		g.Neighbors[u] = topK(toMap(views[u]), cfg.K)
+	}
+	return g, stats, nil
+}
+
+// randomView draws up to k distinct random peers with their similarities.
+func randomView(cp *knn.CountingProvider, rng *rand.Rand, u, n, k int) []knn.Neighbor {
+	if n < 2 {
+		return nil
+	}
+	picked := map[int]bool{}
+	view := make([]knn.Neighbor, 0, k)
+	for len(view) < k && len(picked) < n-1 {
+		v := rng.Intn(n)
+		if v == u || picked[v] {
+			continue
+		}
+		picked[v] = true
+		view = append(view, knn.Neighbor{ID: int32(v), Sim: cp.Similarity(u, v)})
+	}
+	return view
+}
+
+// bestPeer returns the index (into the global user space) of the most
+// similar node in the view.
+func bestPeer(view []knn.Neighbor) int {
+	best := 0
+	for i := 1; i < len(view); i++ {
+		if view[i].Sim > view[best].Sim {
+			best = i
+		}
+	}
+	return int(view[best].ID)
+}
+
+// topK selects the k best candidates, sorted by decreasing similarity with
+// IDs as ties.
+func topK(cands map[int32]float64, k int) []knn.Neighbor {
+	out := make([]knn.Neighbor, 0, len(cands))
+	for id, sim := range cands {
+		out = append(out, knn.Neighbor{ID: id, Sim: sim})
+	}
+	// Insertion sort is fine at view sizes.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j-1], out[j]); j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func less(a, b knn.Neighbor) bool {
+	if a.Sim != b.Sim {
+		return a.Sim < b.Sim
+	}
+	return a.ID > b.ID
+}
+
+func toMap(view []knn.Neighbor) map[int32]float64 {
+	m := make(map[int32]float64, len(view))
+	for _, nb := range view {
+		m[nb.ID] = nb.Sim
+	}
+	return m
+}
+
+func avgSim(views [][]knn.Neighbor) float64 {
+	var sum float64
+	edges := 0
+	for _, view := range views {
+		for _, nb := range view {
+			sum += nb.Sim
+			edges++
+		}
+	}
+	if edges == 0 {
+		return 0
+	}
+	return sum / float64(edges)
+}

@@ -1,0 +1,148 @@
+package gossip
+
+import (
+	"testing"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/knn"
+)
+
+func TestSimulateValidation(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.01, 1)
+	p := knn.NewExplicitProvider(d.Profiles)
+	if _, _, err := Simulate(p, Config{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+func TestSimulateEmptyNetwork(t *testing.T) {
+	g, stats, err := Simulate(knn.NewExplicitProvider(nil), Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumUsers() != 0 || len(stats) != 0 {
+		t.Errorf("empty network produced %d users, %d stats", g.NumUsers(), len(stats))
+	}
+}
+
+func TestSimulateConvergesTowardExact(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.03, 2)
+	p := knn.NewExplicitProvider(d.Profiles)
+	const k = 8
+	exact, _ := knn.BruteForce(p, k, knn.Options{})
+
+	g, stats, err := Simulate(p, Config{K: k, Rounds: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q := knn.Quality(g, exact, p); q < 0.85 {
+		t.Errorf("gossip quality after 20 rounds = %.3f, want ≥ 0.85", q)
+	}
+	// Convergence signal: late rounds beat early rounds.
+	if stats[len(stats)-1].AvgViewSimilarity <= stats[0].AvgViewSimilarity {
+		t.Errorf("no convergence: round 1 avg %.4f, final %.4f",
+			stats[0].AvgViewSimilarity, stats[len(stats)-1].AvgViewSimilarity)
+	}
+}
+
+func TestSimulateStatsMonotone(t *testing.T) {
+	d := dataset.Generate(dataset.DBLP, 0.02, 3)
+	p := knn.NewExplicitProvider(d.Profiles)
+	_, stats, err := Simulate(p, Config{K: 5, Rounds: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 8 {
+		t.Fatalf("got %d rounds of stats", len(stats))
+	}
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Messages < stats[i-1].Messages {
+			t.Error("message counter decreased")
+		}
+		if stats[i].Comparisons < stats[i-1].Comparisons {
+			t.Error("comparison counter decreased")
+		}
+		if stats[i].Round != i+1 {
+			t.Errorf("round numbering off: %d at index %d", stats[i].Round, i)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.015, 4)
+	p := knn.NewExplicitProvider(d.Profiles)
+	g1, _, err := Simulate(p, Config{K: 5, Rounds: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := Simulate(p, Config{K: 5, Rounds: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range g1.Neighbors {
+		if len(g1.Neighbors[u]) != len(g2.Neighbors[u]) {
+			t.Fatal("same seed, different view sizes")
+		}
+		for i := range g1.Neighbors[u] {
+			if g1.Neighbors[u][i] != g2.Neighbors[u][i] {
+				t.Fatal("same seed, different views")
+			}
+		}
+	}
+}
+
+// TestSimulateGoldFingerParity is the decentralized version of the paper's
+// claim: gossiping fingerprints converges to nearly the same quality as
+// gossiping explicit profiles — with the privacy benefits of never sending
+// the profile.
+func TestSimulateGoldFingerParity(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.03, 5)
+	exactP := knn.NewExplicitProvider(d.Profiles)
+	const k = 8
+	exact, _ := knn.BruteForce(exactP, k, knn.Options{})
+
+	gNat, _, err := Simulate(exactP, Config{K: k, Rounds: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shfP := knn.NewSHFProvider(core.MustScheme(1024, 5), d.Profiles)
+	gGF, _, err := Simulate(shfP, Config{K: k, Rounds: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qNat := knn.Quality(gNat, exact, exactP)
+	qGF := knn.Quality(gGF, exact, exactP)
+	if qGF < qNat-0.15 {
+		t.Errorf("gossip GoldFinger quality %.3f fell more than 0.15 below native %.3f", qGF, qNat)
+	}
+}
+
+func TestTopKOrderingAndTies(t *testing.T) {
+	cands := map[int32]float64{1: 0.5, 2: 0.9, 3: 0.5, 4: 0.1}
+	out := topK(cands, 3)
+	if len(out) != 3 || out[0].ID != 2 {
+		t.Fatalf("topK = %v", out)
+	}
+	// Ties broken by smaller ID first.
+	if out[1].ID != 1 || out[2].ID != 3 {
+		t.Errorf("tie order = %v, want 1 before 3", out)
+	}
+}
+
+func TestSimulateTinyNetworks(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		profiles := dataset.Generate(dataset.ML1M, 0.01, 6).Profiles[:n]
+		p := knn.NewExplicitProvider(profiles)
+		g, _, err := Simulate(p, Config{K: 5, Rounds: 3, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package hashing
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkOneAtATime(b *testing.B) {
+	data := []byte("a typical short key for fingerprinting")
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += OneAtATime(data)
+	}
+	_ = sink
+}
+
+func BenchmarkLookup3(b *testing.B) {
+	for _, n := range []int{4, 16, 64, 256} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			var sink uint32
+			for i := 0; i < b.N; i++ {
+				sink += Lookup3(data, 42)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkMix64(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Mix64(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkSeeded(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Seeded(uint64(i), 7)
+	}
+	_ = sink
+}
+
+func BenchmarkUniversalHash(b *testing.B) {
+	u := NewUniversal(3)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += u.Hash(uint64(i))
+	}
+	_ = sink
+}

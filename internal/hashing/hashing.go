@@ -1,0 +1,194 @@
+// Package hashing collects the hash functions the GoldFinger paper relies
+// on: Bob Jenkins' hashes (the paper fingerprints items with "Jenkins' hash
+// function"), a 64-bit integer finalizer used to derive independent seeded
+// hash functions cheaply, and a classic universal family ((a·x+b) mod p)
+// used as the min-wise permutations of MinHash and LSH.
+package hashing
+
+// OneAtATime is Bob Jenkins' one-at-a-time hash over a byte string. It is
+// the simplest of Jenkins' functions and is adequate for fingerprinting
+// short keys.
+func OneAtATime(data []byte) uint32 {
+	var h uint32
+	for _, b := range data {
+		h += uint32(b)
+		h += h << 10
+		h ^= h >> 6
+	}
+	h += h << 3
+	h ^= h >> 11
+	h += h << 15
+	return h
+}
+
+// rot is a left rotation, the primitive of Jenkins' lookup3.
+func rot(x uint32, k uint) uint32 { return x<<k | x>>(32-k) }
+
+// Lookup3 is Bob Jenkins' 2006 lookup3 hash (hashlittle) of a byte string
+// with the given seed. It processes 12-byte blocks with his mix/final
+// schedule and is the "Jenkins hash" most implementations mean.
+func Lookup3(data []byte, seed uint32) uint32 {
+	a := 0xdeadbeef + uint32(len(data)) + seed
+	b, c := a, a
+
+	for len(data) > 12 {
+		a += le32(data[0:4])
+		b += le32(data[4:8])
+		c += le32(data[8:12])
+		// mix(a,b,c)
+		a -= c
+		a ^= rot(c, 4)
+		c += b
+		b -= a
+		b ^= rot(a, 6)
+		a += c
+		c -= b
+		c ^= rot(b, 8)
+		b += a
+		a -= c
+		a ^= rot(c, 16)
+		c += b
+		b -= a
+		b ^= rot(a, 19)
+		a += c
+		c -= b
+		c ^= rot(b, 4)
+		b += a
+		data = data[12:]
+	}
+
+	// Tail: the C original switches on the remaining 0..12 bytes with
+	// deliberate fallthrough; accumulating each 4-byte lane little-endian
+	// from whatever bytes remain is equivalent.
+	n := len(data)
+	if n == 0 {
+		return c
+	}
+	a += lePartial(data[0:minInt(4, n)])
+	if n > 4 {
+		b += lePartial(data[4:minInt(8, n)])
+	}
+	if n > 8 {
+		c += lePartial(data[8:n])
+	}
+
+	// final(a,b,c)
+	c ^= b
+	c -= rot(b, 14)
+	a ^= c
+	a -= rot(c, 11)
+	b ^= a
+	b -= rot(a, 25)
+	c ^= b
+	c -= rot(b, 16)
+	a ^= c
+	a -= rot(c, 4)
+	b ^= a
+	b -= rot(a, 14)
+	c ^= b
+	c -= rot(b, 24)
+	return c
+}
+
+func le32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// lePartial reads 1 to 4 bytes little-endian, zero-padding the high bytes.
+func lePartial(b []byte) uint32 {
+	var v uint32
+	for i := len(b) - 1; i >= 0; i-- {
+		v = v<<8 | uint32(b[i])
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Mix64 is a SplitMix64-style finalizer: a fast bijective mixer on 64-bit
+// integers with strong avalanche behaviour. Combined with a seed it yields
+// an inexpensive family of independent hash functions on integer item IDs.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Seeded returns Mix64 applied to x perturbed by seed; distinct seeds give
+// (empirically) independent hash functions.
+func Seeded(x, seed uint64) uint64 {
+	return Mix64(x + 0x9e3779b97f4a7c15*(seed+1))
+}
+
+// mersennePrime61 = 2^61 - 1, prime; arithmetic mod p can be done without
+// big integers because products of 61-bit values fit in 128 bits (via
+// math/bits) — here we keep operands below p and use the classic
+// fold-the-high-bits reduction.
+const mersennePrime61 = (1 << 61) - 1
+
+// Universal is a hash function from the Carter–Wegman universal family
+// h(x) = ((a·x + b) mod p) with p = 2^61−1. The family is 2-independent,
+// which is the property min-wise permutation sketches (MinHash, LSH) need.
+type Universal struct {
+	a, b uint64
+}
+
+// NewUniversal derives a Universal function from a seed; the multiplier a is
+// guaranteed non-zero.
+func NewUniversal(seed uint64) Universal {
+	a := Seeded(1, seed) % mersennePrime61
+	if a == 0 {
+		a = 1
+	}
+	b := Seeded(2, seed) % mersennePrime61
+	return Universal{a: a, b: b}
+}
+
+// Hash evaluates h(x) in [0, 2^61-1).
+func (u Universal) Hash(x uint64) uint64 {
+	// Compute a*x mod (2^61-1) using 128-bit multiply + Mersenne folding.
+	hi, lo := mul64(u.a, x%mersennePrime61)
+	// a*x = hi*2^64 + lo. 2^64 ≡ 2^3 (mod 2^61-1), so fold twice.
+	r := (lo & mersennePrime61) + (lo >> 61) + (hi << 3 & mersennePrime61) + (hi >> 58)
+	r = (r & mersennePrime61) + (r >> 61)
+	if r >= mersennePrime61 {
+		r -= mersennePrime61
+	}
+	r += u.b
+	if r >= mersennePrime61 {
+		r -= mersennePrime61
+	}
+	return r
+}
+
+// Bucket maps x to [0, m). It panics if m is not positive.
+func (u Universal) Bucket(x uint64, m int) int {
+	if m <= 0 {
+		panic("hashing: Bucket needs m > 0")
+	}
+	return int(u.Hash(x) % uint64(m))
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aLo * bLo
+	lo = t & mask32
+	carry := t >> 32
+	t = aHi*bLo + carry
+	tLo, tHi := t&mask32, t>>32
+	t = aLo*bHi + tLo
+	lo |= t << 32
+	hi = aHi*bHi + tHi + t>>32
+	return hi, lo
+}

@@ -1,0 +1,260 @@
+package hashing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOneAtATimeKnownVectors(t *testing.T) {
+	// Published reference values for Jenkins' one-at-a-time hash.
+	cases := []struct {
+		in   string
+		want uint32
+	}{
+		{"a", 0xca2e9442},
+		{"The quick brown fox jumps over the lazy dog", 0x519e91f5},
+	}
+	for _, c := range cases {
+		if got := OneAtATime([]byte(c.in)); got != c.want {
+			t.Errorf("OneAtATime(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestOneAtATimeDeterministic(t *testing.T) {
+	in := []byte("determinism")
+	if OneAtATime(in) != OneAtATime(in) {
+		t.Error("OneAtATime not deterministic")
+	}
+}
+
+func TestLookup3EmptyIsSeedDependent(t *testing.T) {
+	if got := Lookup3(nil, 0); got != 0xdeadbeef {
+		t.Errorf("Lookup3(nil, 0) = %#x, want 0xdeadbeef", got)
+	}
+	if Lookup3(nil, 1) == Lookup3(nil, 0) {
+		t.Error("seed must change the hash of the empty string")
+	}
+}
+
+func TestLookup3KnownVectors(t *testing.T) {
+	// Self-test values from Bob Jenkins' lookup3.c driver.
+	in := []byte("Four score and seven years ago")
+	cases := []struct {
+		seed uint32
+		want uint32
+	}{
+		{0, 0x17770551},
+		{1, 0xcd628161},
+	}
+	for _, c := range cases {
+		if got := Lookup3(in, c.seed); got != c.want {
+			t.Errorf("Lookup3(%q, %d) = %#x, want %#x", in, c.seed, got, c.want)
+		}
+	}
+}
+
+func TestLookup3AllLengths(t *testing.T) {
+	// Exercise every tail length 0..40 and check stability plus byte
+	// sensitivity at each position.
+	base := make([]byte, 40)
+	for i := range base {
+		base[i] = byte(i * 7)
+	}
+	for n := 0; n <= len(base); n++ {
+		h1 := Lookup3(base[:n], 42)
+		h2 := Lookup3(append([]byte(nil), base[:n]...), 42)
+		if h1 != h2 {
+			t.Fatalf("len %d: unstable hash", n)
+		}
+		for i := 0; i < n; i++ {
+			mut := append([]byte(nil), base[:n]...)
+			mut[i] ^= 0x01
+			if Lookup3(mut, 42) == h1 {
+				t.Fatalf("len %d: flipping byte %d did not change hash", n, i)
+			}
+		}
+	}
+}
+
+func TestLookup3SeedSensitivity(t *testing.T) {
+	in := []byte("seed sensitivity")
+	seen := map[uint32]bool{}
+	for seed := uint32(0); seed < 64; seed++ {
+		seen[Lookup3(in, seed)] = true
+	}
+	if len(seen) < 64 {
+		t.Errorf("64 seeds produced only %d distinct hashes", len(seen))
+	}
+}
+
+func TestMix64KnownVector(t *testing.T) {
+	// First output of splitmix64 with seed 0: Mix64 applied to the golden
+	// gamma. Reference value from the xoshiro/splitmix64 test suite.
+	if got := Mix64(0x9e3779b97f4a7c15); got != 0xe220a8397b1dcdaf {
+		t.Errorf("Mix64(gamma) = %#x, want 0xe220a8397b1dcdaf", got)
+	}
+}
+
+func TestMix64Injective(t *testing.T) {
+	seen := make(map[uint64]uint64, 200000)
+	for i := uint64(0); i < 200000; i++ {
+		h := Mix64(i)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Mix64 collision: Mix64(%d) == Mix64(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	r := rand.New(rand.NewSource(7))
+	totalBits, totalFlips := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		x := r.Uint64()
+		bit := uint(r.Intn(64))
+		d := Mix64(x) ^ Mix64(x^(1<<bit))
+		for ; d != 0; d &= d - 1 {
+			totalFlips++
+		}
+		totalBits += 64
+	}
+	frac := float64(totalFlips) / float64(totalBits)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("avalanche fraction = %.3f, want ≈0.5", frac)
+	}
+}
+
+func TestSeededDistinctSeeds(t *testing.T) {
+	x := uint64(12345)
+	seen := map[uint64]bool{}
+	for seed := uint64(0); seed < 1000; seed++ {
+		seen[Seeded(x, seed)] = true
+	}
+	if len(seen) != 1000 {
+		t.Errorf("1000 seeds produced %d distinct values", len(seen))
+	}
+}
+
+func TestUniversalHashBelowPrime(t *testing.T) {
+	f := func(seed, x uint64) bool {
+		return NewUniversal(seed).Hash(x) < mersennePrime61
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniversalHashMatchesBigIntModel(t *testing.T) {
+	// Validate the Mersenne-fold arithmetic against direct modular math
+	// on values small enough that a*x fits the reduction path we trust.
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		u := NewUniversal(r.Uint64())
+		x := r.Uint64()
+		got := u.Hash(x)
+		want := mulMod(u.a, x%mersennePrime61)
+		want = (want + u.b) % mersennePrime61
+		if got != want {
+			t.Fatalf("Hash(a=%d,b=%d,x=%d) = %d, want %d", u.a, u.b, x, got, want)
+		}
+	}
+}
+
+// mulMod computes a*b mod 2^61-1 by splitting b into 30-bit halves, an
+// independent (slow) implementation used as the oracle.
+func mulMod(a, b uint64) uint64 {
+	const p = mersennePrime61
+	lo := b & ((1 << 30) - 1)
+	hi := b >> 30
+	// a*b = a*hi*2^30 + a*lo, computed with repeated reduction.
+	r := mulModSmall(a, hi)
+	for i := 0; i < 30; i++ {
+		r = r * 2 % p
+	}
+	return (r + mulModSmall(a, lo)) % p
+}
+
+// mulModSmall multiplies a (<2^61) by s (<2^31) mod p using 128-bit-safe
+// decomposition of a.
+func mulModSmall(a, s uint64) uint64 {
+	const p = mersennePrime61
+	aLo := a & ((1 << 31) - 1)
+	aHi := a >> 31
+	// a*s = aHi*2^31*s + aLo*s, each product < 2^61 or reducible.
+	r := aHi % p * (s % p) % p
+	for i := 0; i < 31; i++ {
+		r = r * 2 % p
+	}
+	return (r + aLo*s%p) % p
+}
+
+func TestUniversalBucketRange(t *testing.T) {
+	u := NewUniversal(99)
+	for _, m := range []int{1, 2, 7, 64, 1024} {
+		for x := uint64(0); x < 1000; x++ {
+			b := u.Bucket(x, m)
+			if b < 0 || b >= m {
+				t.Fatalf("Bucket(%d, %d) = %d out of range", x, m, b)
+			}
+		}
+	}
+}
+
+func TestUniversalBucketPanicsOnBadM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bucket(x, 0) did not panic")
+		}
+	}()
+	NewUniversal(1).Bucket(5, 0)
+}
+
+func TestUniversalBucketRoughlyUniform(t *testing.T) {
+	const m, n = 16, 64000
+	u := NewUniversal(5)
+	counts := make([]int, m)
+	for x := uint64(0); x < n; x++ {
+		counts[u.Bucket(x, m)]++
+	}
+	expect := float64(n) / m
+	for b, c := range counts {
+		if math.Abs(float64(c)-expect) > 0.15*expect {
+			t.Errorf("bucket %d has %d hits, expected ≈%.0f", b, c, expect)
+		}
+	}
+}
+
+func TestUniversalDifferentSeedsDisagree(t *testing.T) {
+	u1, u2 := NewUniversal(1), NewUniversal(2)
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if u1.Hash(x) == u2.Hash(x) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("independent functions agreed on %d of 1000 inputs", same)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package knn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/profile"
+)
+
+// naiveKNN computes the exact graph by sorting all similarities, as an
+// oracle independent of the neighborhood machinery.
+func naiveKNN(p Provider, k int) *Graph {
+	n := p.NumUsers()
+	g := &Graph{K: k, Neighbors: make([][]Neighbor, n)}
+	for u := 0; u < n; u++ {
+		all := make([]Neighbor, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v != u {
+				all = append(all, Neighbor{ID: int32(v), Sim: p.Similarity(u, v)})
+			}
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Sim != all[j].Sim {
+				return all[i].Sim > all[j].Sim
+			}
+			return all[i].ID < all[j].ID
+		})
+		if len(all) > k {
+			all = all[:k]
+		}
+		g.Neighbors[u] = all
+	}
+	return g
+}
+
+func smallDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	return dataset.Generate(dataset.ML1M, 0.03, 17) // ≈181 users
+}
+
+func TestBruteForceMatchesNaiveTopK(t *testing.T) {
+	d := smallDataset(t)
+	p := NewExplicitProvider(d.Profiles)
+	const k = 5
+	g, stats := BruteForce(p, k, Options{})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	oracle := naiveKNN(p, k)
+	n := p.NumUsers()
+	if want := int64(n) * int64(n-1) / 2; stats.Comparisons != want {
+		t.Errorf("Comparisons = %d, want %d", stats.Comparisons, want)
+	}
+	// Neighbor sets can legitimately differ on ties, so compare the
+	// similarity multisets, which must be identical.
+	for u := 0; u < n; u++ {
+		if len(g.Neighbors[u]) != len(oracle.Neighbors[u]) {
+			t.Fatalf("user %d: %d neighbors, oracle has %d", u, len(g.Neighbors[u]), len(oracle.Neighbors[u]))
+		}
+		for i := range g.Neighbors[u] {
+			if got, want := g.Neighbors[u][i].Sim, oracle.Neighbors[u][i].Sim; got != want {
+				t.Fatalf("user %d rank %d: sim %g, oracle %g", u, i, got, want)
+			}
+		}
+	}
+}
+
+func TestBruteForceSingleWorkerMatchesParallel(t *testing.T) {
+	d := smallDataset(t)
+	p := NewExplicitProvider(d.Profiles)
+	g1, _ := BruteForce(p, 4, Options{Workers: 1})
+	g8, _ := BruteForce(p, 4, Options{Workers: 8})
+	for u := range g1.Neighbors {
+		for i := range g1.Neighbors[u] {
+			if g1.Neighbors[u][i].Sim != g8.Neighbors[u][i].Sim {
+				t.Fatalf("user %d rank %d: similarities differ between worker counts", u, i)
+			}
+		}
+	}
+}
+
+func TestBruteForceTinyGraphs(t *testing.T) {
+	// n = 0, 1, 2 and k ≥ n−1 must all work.
+	for _, n := range []int{0, 1, 2, 3} {
+		ps := make([]profile.Profile, n)
+		for i := range ps {
+			ps[i] = profile.New(profile.ItemID(i), profile.ItemID(i+1))
+		}
+		g, _ := BruteForce(NewExplicitProvider(ps), 5, Options{})
+		if err := g.Validate(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		if g.NumUsers() != n {
+			t.Errorf("n=%d: graph has %d users", n, g.NumUsers())
+		}
+		for u, nbrs := range g.Neighbors {
+			if len(nbrs) != max(0, n-1) {
+				t.Errorf("n=%d user %d: %d neighbors, want %d", n, u, len(nbrs), max(0, n-1))
+			}
+		}
+	}
+}
+
+func TestApproxAlgorithmsTinyGraphs(t *testing.T) {
+	// Every approximate algorithm must handle n ∈ {0,1,2,3} and k ≥ n−1
+	// without panics or invalid graphs.
+	for _, n := range []int{0, 1, 2, 3} {
+		ps := make([]profile.Profile, n)
+		for i := range ps {
+			ps[i] = profile.New(profile.ItemID(i), profile.ItemID(i+1))
+		}
+		p := NewExplicitProvider(ps)
+		graphs := map[string]func() *Graph{
+			"hyrec":     func() *Graph { g, _ := Hyrec(p, 5, Options{Seed: 1}); return g },
+			"nndescent": func() *Graph { g, _ := NNDescent(p, 5, Options{Seed: 1}); return g },
+			"lsh":       func() *Graph { g, _ := LSH(ps, p, 5, LSHOptions{Seed: 1}); return g },
+			"kiff":      func() *Graph { g, _ := KIFF(ps, p, 5, KIFFOptions{}); return g },
+		}
+		for name, build := range graphs {
+			g := build()
+			if err := g.Validate(); err != nil {
+				t.Errorf("n=%d %s: %v", n, name, err)
+			}
+			if g.NumUsers() != n {
+				t.Errorf("n=%d %s: graph has %d users", n, name, g.NumUsers())
+			}
+		}
+	}
+}
+
+func TestHyrecQuality(t *testing.T) {
+	d := smallDataset(t)
+	p := NewExplicitProvider(d.Profiles)
+	const k = 10
+	exact, _ := BruteForce(p, k, Options{})
+	g, stats := Hyrec(p, k, Options{Seed: 1})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations == 0 {
+		t.Error("Hyrec did no iterations")
+	}
+	if q := Quality(g, exact, p); q < 0.9 {
+		t.Errorf("Hyrec quality = %.3f, want ≥ 0.9 on a small clustered dataset", q)
+	}
+}
+
+func TestHyrecTerminates(t *testing.T) {
+	d := smallDataset(t)
+	p := NewExplicitProvider(d.Profiles)
+	_, stats := Hyrec(p, 5, Options{Seed: 2, MaxIterations: 30})
+	if stats.Iterations >= 30 {
+		t.Errorf("Hyrec used all %d iterations on a tiny dataset (δ-rule broken?)", stats.Iterations)
+	}
+}
+
+func TestHyrecScanRateBelowBruteForce(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.08, 23) // bigger so greedy pays off
+	p := NewExplicitProvider(d.Profiles)
+	_, stats := Hyrec(p, 10, Options{Seed: 3})
+	if sr := stats.ScanRate(p.NumUsers()); sr >= 1 {
+		t.Errorf("Hyrec scanrate = %.2f, want < 1", sr)
+	}
+}
+
+func TestNNDescentQuality(t *testing.T) {
+	d := smallDataset(t)
+	p := NewExplicitProvider(d.Profiles)
+	const k = 10
+	exact, _ := BruteForce(p, k, Options{})
+	g, stats := NNDescent(p, k, Options{Seed: 4})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations == 0 || stats.Updates == 0 {
+		t.Errorf("NNDescent stats look dead: %+v", stats)
+	}
+	if q := Quality(g, exact, p); q < 0.9 {
+		t.Errorf("NNDescent quality = %.3f, want ≥ 0.9", q)
+	}
+}
+
+func TestNNDescentBeatsRandomInit(t *testing.T) {
+	d := smallDataset(t)
+	p := NewExplicitProvider(d.Profiles)
+	const k = 8
+	exact, _ := BruteForce(p, k, Options{})
+	// One-iteration run approximates "random + a bit"; full run must beat
+	// a random graph clearly.
+	g, _ := NNDescent(p, k, Options{Seed: 5})
+	random := randomGraph(p, k, 5)
+	if qg, qr := Quality(g, exact, p), Quality(random, exact, p); qg <= qr {
+		t.Errorf("NNDescent quality %.3f not above random graph %.3f", qg, qr)
+	}
+}
+
+func randomGraph(p Provider, k int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := p.NumUsers()
+	g := &Graph{K: k, Neighbors: make([][]Neighbor, n)}
+	for u := 0; u < n; u++ {
+		picked := map[int]bool{}
+		for len(picked) < k && len(picked) < n-1 {
+			v := rng.Intn(n)
+			if v == u || picked[v] {
+				continue
+			}
+			picked[v] = true
+			g.Neighbors[u] = append(g.Neighbors[u], Neighbor{ID: int32(v), Sim: p.Similarity(u, v)})
+		}
+		sort.Slice(g.Neighbors[u], func(i, j int) bool { return g.Neighbors[u][i].Sim > g.Neighbors[u][j].Sim })
+	}
+	return g
+}
+
+func TestLSHQuality(t *testing.T) {
+	d := smallDataset(t)
+	p := NewExplicitProvider(d.Profiles)
+	const k = 10
+	exact, _ := BruteForce(p, k, Options{})
+	g, stats := LSH(d.Profiles, p, k, LSHOptions{Seed: 6})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Comparisons == 0 {
+		t.Error("LSH compared nothing")
+	}
+	if q := Quality(g, exact, p); q < 0.7 {
+		t.Errorf("LSH quality = %.3f, want ≥ 0.7", q)
+	}
+}
+
+func TestLSHMoreHashesImproveQuality(t *testing.T) {
+	d := smallDataset(t)
+	p := NewExplicitProvider(d.Profiles)
+	const k = 10
+	exact, _ := BruteForce(p, k, Options{})
+	g1, _ := LSH(d.Profiles, p, k, LSHOptions{Hashes: 1, Seed: 7})
+	g16, _ := LSH(d.Profiles, p, k, LSHOptions{Hashes: 16, Seed: 7})
+	q1, q16 := Quality(g1, exact, p), Quality(g16, exact, p)
+	if q16 < q1 {
+		t.Errorf("16 hashes (%.3f) worse than 1 hash (%.3f)", q16, q1)
+	}
+}
+
+func TestLSHEmptyProfilesSkipped(t *testing.T) {
+	ps := []profile.Profile{profile.New(1, 2), nil, profile.New(1, 3)}
+	p := NewExplicitProvider(ps)
+	g, _ := LSH(ps, p, 2, LSHOptions{Seed: 8})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Neighbors[1]) != 0 {
+		t.Errorf("empty-profile user got neighbors: %v", g.Neighbors[1])
+	}
+}
+
+func TestLSHExplicitPermutationsMatchQuality(t *testing.T) {
+	// The paper-faithful explicit-permutation bucketing must produce
+	// comparable quality to hashed permutations — it only changes the
+	// setup cost profile, not the candidate semantics.
+	d := smallDataset(t)
+	p := NewExplicitProvider(d.Profiles)
+	const k = 10
+	exact, _ := BruteForce(p, k, Options{})
+	numItems := d.NumItems
+	gExp, sExp := LSH(d.Profiles, p, k, LSHOptions{Seed: 6, NumItems: numItems})
+	if err := gExp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sExp.Comparisons == 0 {
+		t.Error("explicit-permutation LSH compared nothing")
+	}
+	qExp := Quality(gExp, exact, p)
+	gHash, _ := LSH(d.Profiles, p, k, LSHOptions{Seed: 6})
+	qHash := Quality(gHash, exact, p)
+	if qExp < qHash-0.15 {
+		t.Errorf("explicit-permutation quality %.3f far below hashed %.3f", qExp, qHash)
+	}
+}
+
+func TestLSHUpdatesCounted(t *testing.T) {
+	d := smallDataset(t)
+	p := NewExplicitProvider(d.Profiles)
+	_, stats := LSH(d.Profiles, p, 5, LSHOptions{Seed: 7})
+	if stats.Updates == 0 {
+		t.Error("LSH recorded no neighborhood updates")
+	}
+	_, bfStats := BruteForce(p, 5, Options{})
+	if bfStats.Updates == 0 {
+		t.Error("BruteForce recorded no neighborhood updates")
+	}
+}
+
+func TestLSHProviderMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched provider accepted")
+		}
+	}()
+	LSH(fourUsers(), NewExplicitProvider(fourUsers()[:2]), 2, LSHOptions{})
+}
+
+// TestGoldFingerEndToEnd is the paper's headline result in miniature: every
+// algorithm run over SHFs must produce a graph whose quality (measured with
+// exact similarities) stays close to the native run.
+func TestGoldFingerEndToEnd(t *testing.T) {
+	d := smallDataset(t)
+	exactP := NewExplicitProvider(d.Profiles)
+	scheme := core.MustScheme(1024, 42)
+	shfP := NewSHFProvider(scheme, d.Profiles)
+	const k = 10
+	exact, _ := BruteForce(exactP, k, Options{})
+
+	runs := map[string]func() *Graph{
+		"bruteforce": func() *Graph { g, _ := BruteForce(shfP, k, Options{}); return g },
+		"hyrec":      func() *Graph { g, _ := Hyrec(shfP, k, Options{Seed: 9}); return g },
+		"nndescent":  func() *Graph { g, _ := NNDescent(shfP, k, Options{Seed: 9}); return g },
+		"lsh":        func() *Graph { g, _ := LSH(d.Profiles, shfP, k, LSHOptions{Seed: 9}); return g },
+	}
+	for name, run := range runs {
+		g := run()
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		q := Quality(g, exact, exactP)
+		if q < 0.75 {
+			t.Errorf("%s with GoldFinger: quality = %.3f, want ≥ 0.75", name, q)
+		}
+	}
+}

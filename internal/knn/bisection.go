@@ -1,0 +1,191 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+
+	"goldfinger/internal/profile"
+)
+
+// BisectionOptions configures the divide-and-conquer construction.
+type BisectionOptions struct {
+	// LeafSize is the block size below which the algorithm brute-forces
+	// all pairs. 0 means 200.
+	LeafSize int
+	// Overlap is the fraction of users near the split boundary that are
+	// assigned to both halves (the "overlap" glue of Chen et al. that
+	// recovers cross-boundary neighbors). 0 means 0.15; capped at 0.5.
+	Overlap float64
+	// PowerIterations drives the dominant-singular-vector estimate used
+	// to choose the split direction. 0 means 12.
+	PowerIterations int
+	// NumItems is the item-universe size; 0 derives it from the profiles.
+	NumItems int
+	// Seed drives the power iteration's random start.
+	Seed int64
+}
+
+func (o BisectionOptions) leafSize() int {
+	if o.LeafSize <= 0 {
+		return 200
+	}
+	return o.LeafSize
+}
+
+func (o BisectionOptions) overlap() float64 {
+	switch {
+	case o.Overlap == 0:
+		return 0.15
+	case o.Overlap < 0:
+		return 0
+	case o.Overlap > 0.5:
+		return 0.5
+	default:
+		return o.Overlap
+	}
+}
+
+func (o BisectionOptions) powerIterations() int {
+	if o.PowerIterations <= 0 {
+		return 12
+	}
+	return o.PowerIterations
+}
+
+// RecursiveBisection constructs an approximate KNN graph with the
+// divide-and-conquer strategy of Chen, Fang and Saad (JMLR 2009), the
+// other family of ANN algorithms the paper discusses (§6): recursively
+// split the users along the dominant singular direction of their
+// user–item matrix (estimated by power iteration), keep an overlap band
+// across the boundary, and brute-force each leaf block. Similarities go
+// through the provider, so GoldFinger accelerates the conquer phase
+// exactly as it does the other algorithms.
+func RecursiveBisection(profiles []profile.Profile, p Provider, k int, opts BisectionOptions) (*Graph, Stats) {
+	n := len(profiles)
+	if p.NumUsers() != n {
+		panic("knn: RecursiveBisection provider and profiles disagree on user count")
+	}
+	numItems := opts.NumItems
+	if numItems == 0 {
+		for _, prof := range profiles {
+			for _, it := range prof {
+				if int(it) >= numItems {
+					numItems = int(it) + 1
+				}
+			}
+		}
+	}
+
+	cp := NewCountingProvider(p)
+	nhs := make([]*neighborhood, n)
+	for u := range nhs {
+		nhs[u] = newNeighborhood(k)
+	}
+	var updates atomic.Int64
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	users := make([]int32, n)
+	for i := range users {
+		users[i] = int32(i)
+	}
+	bisect(users, profiles, cp, nhs, &updates, numItems, opts, rng)
+
+	return finalize(k, nhs), Stats{Comparisons: cp.Comparisons(), Updates: updates.Load()}
+}
+
+// bisect recursively splits block and brute-forces its leaves.
+func bisect(block []int32, profiles []profile.Profile, cp *CountingProvider,
+	nhs []*neighborhood, updates *atomic.Int64, numItems int, opts BisectionOptions, rng *rand.Rand) {
+
+	if len(block) <= opts.leafSize() {
+		for i, u := range block {
+			for _, v := range block[i+1:] {
+				s := cp.Similarity(int(u), int(v))
+				if nhs[u].insert(v, s) {
+					updates.Add(1)
+				}
+				if nhs[v].insert(u, s) {
+					updates.Add(1)
+				}
+			}
+		}
+		return
+	}
+
+	// Power iteration for the dominant singular direction of the block's
+	// user–item matrix A: x ← normalize(Aᵀ(A·x)).
+	x := make([]float64, numItems)
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+	}
+	score := make([]float64, len(block))
+	for iter := 0; iter < opts.powerIterations(); iter++ {
+		for bi, u := range block {
+			var s float64
+			for _, it := range profiles[u] {
+				s += x[it]
+			}
+			score[bi] = s
+		}
+		for i := range x {
+			x[i] = 0
+		}
+		for bi, u := range block {
+			for _, it := range profiles[u] {
+				x[it] += score[bi]
+			}
+		}
+		var norm float64
+		for _, v := range x {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			// Degenerate block (e.g. all-empty profiles): split in half
+			// arbitrarily rather than looping forever.
+			break
+		}
+		for i := range x {
+			x[i] /= norm
+		}
+	}
+
+	// Order the block by projection and split at the median with an
+	// overlap band on both sides.
+	order := make([]int, len(block))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return score[order[a]] < score[order[b]] })
+
+	mid := len(block) / 2
+	band := int(opts.overlap() * float64(len(block)) / 2)
+	loEnd := mid + band
+	hiStart := mid - band
+	if loEnd > len(block) {
+		loEnd = len(block)
+	}
+	if hiStart < 0 {
+		hiStart = 0
+	}
+
+	left := make([]int32, 0, loEnd)
+	for _, oi := range order[:loEnd] {
+		left = append(left, block[oi])
+	}
+	right := make([]int32, 0, len(block)-hiStart)
+	for _, oi := range order[hiStart:] {
+		right = append(right, block[oi])
+	}
+	// Guard against non-progress: if either side failed to shrink, fall
+	// back to a clean halving without overlap.
+	if len(left) >= len(block) || len(right) >= len(block) {
+		left = left[:mid]
+		right = right[len(right)-(len(block)-mid):]
+	}
+
+	bisect(left, profiles, cp, nhs, updates, numItems, opts, rng)
+	bisect(right, profiles, cp, nhs, updates, numItems, opts, rng)
+}

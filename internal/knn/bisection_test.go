@@ -1,0 +1,146 @@
+package knn
+
+import (
+	"fmt"
+	"testing"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/profile"
+)
+
+func TestRecursiveBisectionQuality(t *testing.T) {
+	d := smallDataset(t)
+	p := NewExplicitProvider(d.Profiles)
+	const k = 10
+	exact, _ := BruteForce(p, k, Options{})
+	g, stats := RecursiveBisection(d.Profiles, p, k, BisectionOptions{LeafSize: 40, Seed: 1})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Comparisons == 0 {
+		t.Fatal("no comparisons recorded")
+	}
+	if q := Quality(g, exact, p); q < 0.8 {
+		t.Errorf("bisection quality = %.3f, want ≥ 0.8", q)
+	}
+}
+
+func TestRecursiveBisectionScanRateBelowBruteForce(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.08, 2)
+	p := NewExplicitProvider(d.Profiles)
+	_, stats := RecursiveBisection(d.Profiles, p, 10, BisectionOptions{LeafSize: 60, Seed: 2})
+	if sr := stats.ScanRate(d.NumUsers()); sr >= 1 {
+		t.Errorf("scanrate = %.3f, want < 1 (that is the point of bisecting)", sr)
+	}
+}
+
+func TestRecursiveBisectionLeafOnly(t *testing.T) {
+	// A block below LeafSize degenerates to exact brute force.
+	d := smallDataset(t)
+	p := NewExplicitProvider(d.Profiles)
+	const k = 5
+	exact, _ := BruteForce(p, k, Options{})
+	g, stats := RecursiveBisection(d.Profiles, p, k, BisectionOptions{LeafSize: d.NumUsers() + 1})
+	if q := Quality(g, exact, p); q != 1 {
+		t.Errorf("leaf-only bisection quality = %g, want exactly 1", q)
+	}
+	n := int64(d.NumUsers())
+	if want := n * (n - 1) / 2; stats.Comparisons != want {
+		t.Errorf("comparisons = %d, want %d", stats.Comparisons, want)
+	}
+}
+
+func TestRecursiveBisectionOverlapImprovesQuality(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.08, 3)
+	p := NewExplicitProvider(d.Profiles)
+	const k = 10
+	exact, _ := BruteForce(p, k, Options{})
+	avg := func(overlap float64) float64 {
+		var sum float64
+		for seed := int64(0); seed < 3; seed++ {
+			g, _ := RecursiveBisection(d.Profiles, p, k, BisectionOptions{
+				LeafSize: 50, Overlap: overlap, Seed: seed,
+			})
+			sum += Quality(g, exact, p)
+		}
+		return sum / 3
+	}
+	qNone, qSome := avg(-1), avg(0.3)
+	if qSome < qNone {
+		t.Errorf("overlap 0.3 quality %.3f below no-overlap %.3f", qSome, qNone)
+	}
+}
+
+func TestRecursiveBisectionDegenerateProfiles(t *testing.T) {
+	// All-empty profiles: the power iteration has no signal; must still
+	// terminate and produce a valid (zero-similarity) graph.
+	ps := make([]profile.Profile, 50)
+	p := NewExplicitProvider(ps)
+	g, _ := RecursiveBisection(ps, p, 3, BisectionOptions{LeafSize: 10, Seed: 4})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecursiveBisectionTinyInputs(t *testing.T) {
+	for n := 0; n <= 3; n++ {
+		ps := make([]profile.Profile, n)
+		for i := range ps {
+			ps[i] = profile.New(profile.ItemID(i), profile.ItemID(i+1))
+		}
+		g, _ := RecursiveBisection(ps, NewExplicitProvider(ps), 5, BisectionOptions{})
+		if err := g.Validate(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestRecursiveBisectionWithGoldFinger(t *testing.T) {
+	d := smallDataset(t)
+	exactP := NewExplicitProvider(d.Profiles)
+	const k = 10
+	exact, _ := BruteForce(exactP, k, Options{})
+	shfP := NewSHFProvider(core.MustScheme(1024, 5), d.Profiles)
+	g, _ := RecursiveBisection(d.Profiles, shfP, k, BisectionOptions{LeafSize: 40, Seed: 5})
+	if q := Quality(g, exact, exactP); q < 0.7 {
+		t.Errorf("bisection+GoldFinger quality = %.3f, want ≥ 0.7", q)
+	}
+}
+
+func TestRecursiveBisectionProviderMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched provider accepted")
+		}
+	}()
+	RecursiveBisection(fourUsers(), NewExplicitProvider(fourUsers()[:2]), 2, BisectionOptions{})
+}
+
+func TestBisectionOptionsDefaults(t *testing.T) {
+	o := BisectionOptions{}
+	if o.leafSize() != 200 || o.powerIterations() != 12 {
+		t.Errorf("defaults: leaf=%d iters=%d", o.leafSize(), o.powerIterations())
+	}
+	if o.overlap() != 0.15 {
+		t.Errorf("default overlap = %g", o.overlap())
+	}
+	if (BisectionOptions{Overlap: -1}).overlap() != 0 {
+		t.Error("negative overlap should clamp to 0")
+	}
+	if (BisectionOptions{Overlap: 0.9}).overlap() != 0.5 {
+		t.Error("huge overlap should clamp to 0.5")
+	}
+}
+
+func ExampleRecursiveBisection() {
+	ps := []profile.Profile{
+		profile.New(1, 2, 3),
+		profile.New(1, 2, 4),
+		profile.New(100, 101, 102),
+		profile.New(100, 101, 103),
+	}
+	g, _ := RecursiveBisection(ps, NewExplicitProvider(ps), 1, BisectionOptions{LeafSize: 2, Seed: 42})
+	fmt.Println(len(g.Neighbors))
+	// Output: 4
+}

@@ -1,0 +1,50 @@
+package knn
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BruteForce computes the exact KNN graph with an exhaustive lower-triangle
+// scan: exactly n(n−1)/2 similarity computations, each updating both
+// endpoints' neighborhoods. Rows are distributed over workers; the
+// per-neighborhood mutex keeps symmetric updates safe.
+func BruteForce(p Provider, k int, opts Options) (*Graph, Stats) {
+	n := p.NumUsers()
+	nhs := make([]*neighborhood, n)
+	for u := range nhs {
+		nhs[u] = newNeighborhood(k)
+	}
+
+	cp := NewCountingProvider(p)
+	workers := opts.workers()
+	var updates atomic.Int64
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	go func() {
+		for u := 0; u < n; u++ {
+			next <- u
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range next {
+				for v := u + 1; v < n; v++ {
+					s := cp.Similarity(u, v)
+					if nhs[u].insert(int32(v), s) {
+						updates.Add(1)
+					}
+					if nhs[v].insert(int32(u), s) {
+						updates.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	return finalize(k, nhs), Stats{Comparisons: cp.Comparisons(), Updates: updates.Load()}
+}

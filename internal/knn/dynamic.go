@@ -1,0 +1,217 @@
+package knn
+
+import (
+	"fmt"
+	"sort"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/profile"
+)
+
+// Dynamic maintains a KNN graph under profile updates — the dynamic-data
+// setting the paper's related work points to (§6: temporal approaches
+// "remain computationally intensive"). GoldFinger makes the incremental
+// path cheap: when a user gains an item, only their own fingerprint changes
+// (one extra bit), and a local repair re-scores the user against their
+// current neighborhood, the reverse neighborhood and neighbors-of-neighbors
+// — the same locality assumption Hyrec exploits, applied to maintenance.
+//
+// Dynamic is not safe for concurrent use; callers serialize updates.
+type Dynamic struct {
+	scheme   *core.Scheme
+	k        int
+	profiles []profile.Profile
+	fps      []core.Fingerprint
+	nhs      []*neighborhood
+}
+
+// NewDynamic builds the initial graph (Brute Force over fingerprints) and
+// returns the maintainer.
+func NewDynamic(scheme *core.Scheme, profiles []profile.Profile, k int, opts Options) (*Dynamic, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("knn: k must be positive, got %d", k)
+	}
+	d := &Dynamic{
+		scheme:   scheme,
+		k:        k,
+		profiles: append([]profile.Profile(nil), profiles...),
+		fps:      scheme.FingerprintAll(profiles),
+	}
+	d.nhs = make([]*neighborhood, len(profiles))
+	for u := range d.nhs {
+		d.nhs[u] = newNeighborhood(k)
+	}
+	p := &SHFProvider{Fingerprints: d.fps}
+	g, _ := BruteForce(p, k, opts)
+	for u, nbrs := range g.Neighbors {
+		for _, nb := range nbrs {
+			d.nhs[u].insert(nb.ID, nb.Sim)
+		}
+	}
+	return d, nil
+}
+
+// NumUsers returns the current number of users.
+func (d *Dynamic) NumUsers() int { return len(d.profiles) }
+
+// Graph snapshots the current KNN graph.
+func (d *Dynamic) Graph() *Graph { return finalize(d.k, d.nhs) }
+
+// Profiles returns the maintainer's current profiles (shared, not copied;
+// callers must not mutate them).
+func (d *Dynamic) Profiles() []profile.Profile { return d.profiles }
+
+// sim estimates the similarity of two current users.
+func (d *Dynamic) sim(u, v int) float64 {
+	return core.Jaccard(d.fps[u], d.fps[v])
+}
+
+// AddRating records that user u now has item, refreshes u's fingerprint
+// and locally repairs the graph around u. It returns the number of
+// similarity computations spent. Adding an item the user already has is a
+// no-op.
+func (d *Dynamic) AddRating(u int, item profile.ItemID) (int, error) {
+	if u < 0 || u >= len(d.profiles) {
+		return 0, fmt.Errorf("knn: user %d out of range [0,%d)", u, len(d.profiles))
+	}
+	if d.profiles[u].Contains(item) {
+		return 0, nil
+	}
+	d.profiles[u] = profile.New(append(append([]profile.ItemID(nil), d.profiles[u]...), item)...)
+	d.fps[u] = d.scheme.Fingerprint(d.profiles[u])
+	return d.repair(u), nil
+}
+
+// AddUser introduces a new user with the given profile, connecting them via
+// comparison against a candidate pool: all current neighbors-of-neighbors
+// reachable from a seed set of size ~3k (falling back to a full scan for
+// small graphs). It returns the new user's index and the comparisons spent.
+func (d *Dynamic) AddUser(p profile.Profile) (int, int) {
+	u := len(d.profiles)
+	d.profiles = append(d.profiles, p)
+	d.fps = append(d.fps, d.scheme.Fingerprint(p))
+	d.nhs = append(d.nhs, newNeighborhood(d.k))
+
+	comparisons := 0
+	if u <= 3*d.k {
+		for v := 0; v < u; v++ {
+			s := d.sim(u, v)
+			comparisons++
+			d.nhs[u].insert(int32(v), s)
+			d.nhs[v].insert(int32(u), s)
+		}
+		return u, comparisons
+	}
+
+	// Beam search over the existing graph: keep a pool of the ef best
+	// candidates seen so far, repeatedly expand the best unexpanded one,
+	// and stop when the whole beam has been expanded. ef > k avoids the
+	// local optima a pure top-k greedy walk falls into on dense graphs.
+	ef := 3 * d.k
+	type cand struct {
+		id  int32
+		sim float64
+	}
+	seen := map[int32]bool{int32(u): true}
+	expanded := map[int32]bool{}
+	var pool []cand
+	score := func(v int32) {
+		if seen[v] {
+			return
+		}
+		seen[v] = true
+		s := d.sim(u, int(v))
+		comparisons++
+		pool = append(pool, cand{id: v, sim: s})
+	}
+	for i := 0; i < ef; i++ {
+		score(int32(i * (u - 1) / (ef - 1)))
+	}
+	for {
+		sort.Slice(pool, func(i, j int) bool { return pool[i].sim > pool[j].sim })
+		if len(pool) > ef {
+			pool = pool[:ef]
+		}
+		next := int32(-1)
+		for _, c := range pool {
+			if !expanded[c.id] {
+				next = c.id
+				break
+			}
+		}
+		if next < 0 {
+			break
+		}
+		expanded[next] = true
+		for _, nn := range d.nhs[next].snapshot() {
+			score(nn.ID)
+		}
+	}
+	for _, c := range pool {
+		if d.nhs[u].insert(c.id, c.sim) {
+			d.nhs[c.id].insert(int32(u), c.sim)
+		}
+	}
+	return u, comparisons
+}
+
+// repair re-scores u against its neighborhood, reverse neighbors and
+// neighbors-of-neighbors after u's profile changed.
+func (d *Dynamic) repair(u int) int {
+	comparisons := 0
+	// Refresh stored similarities of u's current edges and collect the
+	// two-hop candidate set.
+	cands := map[int32]bool{}
+	for _, nb := range d.nhs[u].snapshot() {
+		cands[nb.ID] = true
+		for _, nn := range d.nhs[nb.ID].snapshot() {
+			cands[nn.ID] = true
+		}
+	}
+	// Reverse edges: users that point at u must refresh too.
+	for v := range d.nhs {
+		if v == u {
+			continue
+		}
+		for _, nb := range d.nhs[v].snapshot() {
+			if int(nb.ID) == u {
+				cands[int32(v)] = true
+				break
+			}
+		}
+	}
+	delete(cands, int32(u))
+
+	// Rebuild u's neighborhood from the candidates and push the new
+	// similarity to both sides.
+	fresh := newNeighborhood(d.k)
+	ids := make([]int32, 0, len(cands))
+	for v := range cands {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, v := range ids {
+		s := d.sim(u, int(v))
+		comparisons++
+		fresh.insert(v, s)
+		d.refreshEdge(int(v), u, s)
+	}
+	d.nhs[u] = fresh
+	return comparisons
+}
+
+// refreshEdge updates v's stored similarity toward u (inserting if it now
+// qualifies).
+func (d *Dynamic) refreshEdge(v, u int, s float64) {
+	nh := d.nhs[v]
+	nh.mu.Lock()
+	for i := range nh.entries {
+		if int(nh.entries[i].ID) == u {
+			nh.entries[i].Sim = s
+			nh.mu.Unlock()
+			return
+		}
+	}
+	nh.mu.Unlock()
+	nh.insert(int32(u), s)
+}

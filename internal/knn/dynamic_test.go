@@ -1,0 +1,179 @@
+package knn
+
+import (
+	"testing"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/profile"
+)
+
+func newDynamicFixture(t *testing.T) (*Dynamic, *dataset.Dataset, *core.Scheme) {
+	t.Helper()
+	d := dataset.Generate(dataset.ML1M, 0.02, 41)
+	scheme := core.MustScheme(1024, 41)
+	dyn, err := NewDynamic(scheme, d.Profiles, 5, Options{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dyn, d, scheme
+}
+
+func TestNewDynamicValidation(t *testing.T) {
+	if _, err := NewDynamic(core.MustScheme(64, 1), nil, 0, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestDynamicInitialGraphMatchesBruteForce(t *testing.T) {
+	dyn, d, scheme := newDynamicFixture(t)
+	g := dyn.Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := BruteForce(NewSHFProvider(scheme, d.Profiles), 5, Options{})
+	for u := range g.Neighbors {
+		if len(g.Neighbors[u]) != len(want.Neighbors[u]) {
+			t.Fatalf("user %d: %d vs %d neighbors", u, len(g.Neighbors[u]), len(want.Neighbors[u]))
+		}
+		for i := range g.Neighbors[u] {
+			if g.Neighbors[u][i].Sim != want.Neighbors[u][i].Sim {
+				t.Fatalf("user %d rank %d: sims differ", u, i)
+			}
+		}
+	}
+}
+
+func TestDynamicAddRatingValidation(t *testing.T) {
+	dyn, _, _ := newDynamicFixture(t)
+	if _, err := dyn.AddRating(-1, 5); err == nil {
+		t.Error("negative user accepted")
+	}
+	if _, err := dyn.AddRating(dyn.NumUsers(), 5); err == nil {
+		t.Error("out-of-range user accepted")
+	}
+}
+
+func TestDynamicAddRatingNoOpForExistingItem(t *testing.T) {
+	dyn, d, _ := newDynamicFixture(t)
+	existing := d.Profiles[0][0]
+	comparisons, err := dyn.AddRating(0, existing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comparisons != 0 {
+		t.Errorf("re-adding an item cost %d comparisons", comparisons)
+	}
+}
+
+func TestDynamicAddRatingKeepsGraphValid(t *testing.T) {
+	dyn, d, _ := newDynamicFixture(t)
+	for i := 0; i < 20; i++ {
+		u := i % dyn.NumUsers()
+		if _, err := dyn.AddRating(u, profile.ItemID(d.NumItems+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dyn.Graph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDynamicTracksFullRebuild drives many updates and verifies the
+// maintained graph stays close (in quality) to a from-scratch rebuild.
+func TestDynamicTracksFullRebuild(t *testing.T) {
+	dyn, d, scheme := newDynamicFixture(t)
+
+	// Shift 30 users' profiles by adding items drawn from another user's
+	// profile (so similarities genuinely change).
+	for i := 0; i < 30; i++ {
+		u := i % d.NumUsers()
+		src := (u + 7) % d.NumUsers()
+		for _, it := range d.Profiles[src][:3] {
+			if _, err := dyn.AddRating(u, it); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Rebuild from the maintainer's current profiles.
+	current := make([]profile.Profile, dyn.NumUsers())
+	for u := range current {
+		current[u] = dyn.profiles[u]
+	}
+	exactP := NewExplicitProvider(current)
+	exact, _ := BruteForce(exactP, 5, Options{})
+	q := Quality(dyn.Graph(), exact, exactP)
+	rebuilt, _ := BruteForce(NewSHFProvider(scheme, current), 5, Options{})
+	qRebuilt := Quality(rebuilt, exact, exactP)
+	if q < qRebuilt-0.05 {
+		t.Errorf("maintained quality %.3f fell more than 0.05 below rebuild %.3f", q, qRebuilt)
+	}
+}
+
+func TestDynamicAddUserSmallGraph(t *testing.T) {
+	scheme := core.MustScheme(512, 42)
+	profiles := []profile.Profile{
+		profile.New(1, 2, 3),
+		profile.New(2, 3, 4),
+		profile.New(100, 101),
+	}
+	dyn, err := NewDynamic(scheme, profiles, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, comparisons := dyn.AddUser(profile.New(1, 2, 3, 4))
+	if u != 3 {
+		t.Fatalf("new user index = %d, want 3", u)
+	}
+	if comparisons != 3 {
+		t.Errorf("small-graph AddUser compared %d, want full scan of 3", comparisons)
+	}
+	g := dyn.Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Neighbors[3]) != 2 {
+		t.Errorf("new user has %d neighbors, want 2", len(g.Neighbors[3]))
+	}
+	// The new user's best neighbors must be the similar ones, not the
+	// disjoint one.
+	for _, nb := range g.Neighbors[3] {
+		if nb.ID == 2 {
+			t.Error("new user linked to the disjoint user despite better options")
+		}
+	}
+}
+
+func TestDynamicAddUserLargeGraphDescends(t *testing.T) {
+	// A sparse, clustered dataset: the similarity landscape has a
+	// gradient the beam search can follow. (On very dense tiny datasets
+	// the landscape is flat and no sublinear search can be expected to
+	// find an exact twin.)
+	d := dataset.Generate(dataset.DBLP, 0.03, 41)
+	scheme := core.MustScheme(1024, 41)
+	dyn, err := NewDynamic(scheme, d.Profiles, 5, Options{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := dyn.NumUsers()
+	// Clone an existing user's profile: the descent must find strong
+	// neighbors without a full scan.
+	u, comparisons := dyn.AddUser(d.Profiles[10])
+	if u != n {
+		t.Fatalf("index = %d, want %d", u, n)
+	}
+	if comparisons >= n {
+		t.Errorf("AddUser compared %d of %d users; expected a partial scan", comparisons, n)
+	}
+	g := dyn.Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Neighbors[u]) == 0 {
+		t.Fatal("new user has no neighbors")
+	}
+	if best := g.Neighbors[u][0]; best.Sim < 0.9 {
+		t.Errorf("clone's best neighbor similarity %.3f, expected ≈1 (its twin)", best.Sim)
+	}
+}

@@ -1,0 +1,53 @@
+package knn_test
+
+import (
+	"fmt"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/knn"
+	"goldfinger/internal/profile"
+)
+
+// ExampleBruteForce builds the exact KNN graph of four users.
+func ExampleBruteForce() {
+	profiles := []profile.Profile{
+		profile.New(1, 2, 3),
+		profile.New(2, 3, 4),
+		profile.New(1, 2, 3, 4),
+		profile.New(100, 200),
+	}
+	g, stats := knn.BruteForce(knn.NewExplicitProvider(profiles), 1, knn.Options{})
+	fmt.Printf("user 0's nearest neighbor: u%d (J=%.2f)\n", g.Neighbors[0][0].ID, g.Neighbors[0][0].Sim)
+	fmt.Printf("comparisons: %d\n", stats.Comparisons)
+	// Output:
+	// user 0's nearest neighbor: u2 (J=0.75)
+	// comparisons: 6
+}
+
+// ExampleHyrec shows the GoldFinger drop-in: the same algorithm runs on
+// fingerprints by swapping the provider.
+func ExampleHyrec() {
+	profiles := []profile.Profile{
+		profile.New(1, 2, 3, 4, 5),
+		profile.New(1, 2, 3, 4, 6),
+		profile.New(50, 60, 70, 80, 90),
+		profile.New(50, 60, 70, 80, 91),
+	}
+	scheme := core.MustScheme(1024, 1)
+	g, _ := knn.Hyrec(knn.NewSHFProvider(scheme, profiles), 1, knn.Options{Seed: 1})
+	fmt.Printf("u0 ↔ u%d, u2 ↔ u%d\n", g.Neighbors[0][0].ID, g.Neighbors[2][0].ID)
+	// Output: u0 ↔ u1, u2 ↔ u3
+}
+
+// ExampleQuality scores an approximation against the exact graph.
+func ExampleQuality() {
+	profiles := []profile.Profile{
+		profile.New(1, 2, 3),
+		profile.New(1, 2, 4),
+		profile.New(1, 5, 6),
+	}
+	p := knn.NewExplicitProvider(profiles)
+	exact, _ := knn.BruteForce(p, 1, knn.Options{})
+	fmt.Printf("exact vs itself: %.2f\n", knn.Quality(exact, exact, p))
+	// Output: exact vs itself: 1.00
+}

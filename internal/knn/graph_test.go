@@ -1,0 +1,212 @@
+package knn
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"goldfinger/internal/profile"
+)
+
+// fourUsers is a tiny dataset with hand-checkable similarities.
+//
+//	u0 = {1,2,3}, u1 = {2,3,4}, u2 = {1,2,3,4}, u3 = {10,11}
+//
+// J(0,1)=2/4, J(0,2)=3/4, J(0,3)=0, J(1,2)=3/4, J(1,3)=0, J(2,3)=0.
+func fourUsers() []profile.Profile {
+	return []profile.Profile{
+		profile.New(1, 2, 3),
+		profile.New(2, 3, 4),
+		profile.New(1, 2, 3, 4),
+		profile.New(10, 11),
+	}
+}
+
+func TestExplicitProviderMatchesProfileJaccard(t *testing.T) {
+	ps := fourUsers()
+	p := NewExplicitProvider(ps)
+	if p.NumUsers() != 4 {
+		t.Fatalf("NumUsers = %d", p.NumUsers())
+	}
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			want := profile.Jaccard(ps[u], ps[v])
+			if got := p.Similarity(u, v); got != want {
+				t.Errorf("Similarity(%d,%d) = %g, want %g", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestCountingProvider(t *testing.T) {
+	cp := NewCountingProvider(NewExplicitProvider(fourUsers()))
+	if cp.Comparisons() != 0 {
+		t.Fatal("fresh counter not zero")
+	}
+	cp.Similarity(0, 1)
+	cp.Similarity(2, 3)
+	if cp.Comparisons() != 2 {
+		t.Errorf("Comparisons = %d, want 2", cp.Comparisons())
+	}
+	cp.Reset()
+	if cp.Comparisons() != 0 {
+		t.Error("Reset did not zero the counter")
+	}
+}
+
+func TestNeighborhoodInsert(t *testing.T) {
+	nh := newNeighborhood(2)
+	if !nh.insert(1, 0.5) || !nh.insert(2, 0.3) {
+		t.Fatal("inserts below capacity rejected")
+	}
+	if nh.insert(1, 0.9) {
+		t.Error("duplicate ID accepted")
+	}
+	if nh.insert(3, 0.1) {
+		t.Error("worse-than-worst candidate accepted at capacity")
+	}
+	if !nh.insert(3, 0.4) {
+		t.Error("better-than-worst candidate rejected")
+	}
+	got := nh.snapshot()
+	ids := map[int32]bool{}
+	for _, nb := range got {
+		ids[nb.ID] = true
+	}
+	if !ids[1] || !ids[3] || ids[2] {
+		t.Errorf("final neighborhood = %v, want {1, 3}", got)
+	}
+}
+
+func TestNeighborhoodFlags(t *testing.T) {
+	nh := newNeighborhood(3)
+	nh.insert(1, 0.5)
+	nh.insert(2, 0.6)
+	fresh, old := nh.snapshotFlags()
+	if len(fresh) != 2 || len(old) != 0 {
+		t.Fatalf("first snapshot: fresh=%d old=%d, want 2, 0", len(fresh), len(old))
+	}
+	fresh, old = nh.snapshotFlags()
+	if len(fresh) != 0 || len(old) != 2 {
+		t.Fatalf("second snapshot: fresh=%d old=%d, want 0, 2", len(fresh), len(old))
+	}
+	nh.insert(3, 0.7)
+	fresh, old = nh.snapshotFlags()
+	if len(fresh) != 1 || fresh[0].ID != 3 || len(old) != 2 {
+		t.Fatalf("after new insert: fresh=%v old=%v", fresh, old)
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	ok := &Graph{K: 2, Neighbors: [][]Neighbor{
+		{{ID: 1, Sim: 0.9}, {ID: 2, Sim: 0.5}},
+		{{ID: 0, Sim: 0.9}},
+		{},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+	bad := []*Graph{
+		{K: 1, Neighbors: [][]Neighbor{{{ID: 1, Sim: 1}, {ID: 2, Sim: 1}}, {}, {}}},     // too many
+		{K: 2, Neighbors: [][]Neighbor{{{ID: 0, Sim: 1}}}},                              // self-loop
+		{K: 2, Neighbors: [][]Neighbor{{{ID: 1, Sim: 1}, {ID: 1, Sim: 0.5}}, {}}},       // duplicate
+		{K: 2, Neighbors: [][]Neighbor{{{ID: 1, Sim: 0.2}, {ID: 2, Sim: 0.8}}, {}, {}}}, // unsorted
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad graph %d accepted", i)
+		}
+	}
+}
+
+func TestAvgSimilarityAndQuality(t *testing.T) {
+	ps := fourUsers()
+	p := NewExplicitProvider(ps)
+	exact := &Graph{K: 1, Neighbors: [][]Neighbor{
+		{{ID: 2, Sim: 0.75}},
+		{{ID: 2, Sim: 0.75}},
+		{{ID: 0, Sim: 0.75}},
+		{},
+	}}
+	if got := exact.AvgSimilarity(p); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("AvgSimilarity = %g, want 0.75", got)
+	}
+	// An approximation picking u1 (sim 0.5) instead of u2 for u0.
+	approx := &Graph{K: 1, Neighbors: [][]Neighbor{
+		{{ID: 1, Sim: 0.5}},
+		{{ID: 2, Sim: 0.75}},
+		{{ID: 0, Sim: 0.75}},
+		{},
+	}}
+	want := ((0.5 + 0.75 + 0.75) / 3) / 0.75
+	if got := Quality(approx, exact, p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Quality = %g, want %g", got, want)
+	}
+	if got := Quality(exact, exact, p); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Quality(exact, exact) = %g, want 1", got)
+	}
+}
+
+func TestNumEdges(t *testing.T) {
+	g := &Graph{K: 2, Neighbors: [][]Neighbor{
+		{{ID: 1, Sim: 1}, {ID: 2, Sim: 0.5}},
+		{{ID: 0, Sim: 1}},
+		{},
+	}}
+	if got := g.NumEdges(); got != 3 {
+		t.Errorf("NumEdges = %d, want 3", got)
+	}
+	if got := g.NumUsers(); got != 3 {
+		t.Errorf("NumUsers = %d, want 3", got)
+	}
+}
+
+func TestAvgSimilarityEmptyGraph(t *testing.T) {
+	g := &Graph{K: 3, Neighbors: make([][]Neighbor, 4)}
+	if got := g.AvgSimilarity(NewExplicitProvider(fourUsers())); got != 0 {
+		t.Errorf("AvgSimilarity of edgeless graph = %g", got)
+	}
+}
+
+func TestRecall(t *testing.T) {
+	exact := &Graph{K: 2, Neighbors: [][]Neighbor{
+		{{ID: 1, Sim: 1}, {ID: 2, Sim: 0.5}},
+		{{ID: 0, Sim: 1}},
+	}}
+	approx := &Graph{K: 2, Neighbors: [][]Neighbor{
+		{{ID: 1, Sim: 1}, {ID: 3, Sim: 0.4}},
+		{{ID: 0, Sim: 1}},
+	}}
+	// u0 recalls 1/2, u1 recalls 1/1 → macro average 0.75.
+	if got := Recall(approx, exact); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Recall = %g, want 0.75", got)
+	}
+	if got := Recall(exact, exact); got != 1 {
+		t.Errorf("Recall(exact, exact) = %g, want 1", got)
+	}
+}
+
+func TestStatsScanRate(t *testing.T) {
+	s := Stats{Comparisons: 45}
+	if got := s.ScanRate(10); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ScanRate = %g, want 1 (45 of 45 pairs)", got)
+	}
+	if got := (Stats{}).ScanRate(1); got != 0 {
+		t.Errorf("ScanRate(n=1) = %g, want 0", got)
+	}
+}
+
+func TestFinalizeSortsNeighbors(t *testing.T) {
+	nh := newNeighborhood(3)
+	nh.insert(5, 0.1)
+	nh.insert(6, 0.9)
+	nh.insert(7, 0.5)
+	g := finalize(3, []*neighborhood{nh})
+	nbrs := g.Neighbors[0]
+	if !sort.SliceIsSorted(nbrs, func(i, j int) bool { return nbrs[i].Sim > nbrs[j].Sim }) {
+		t.Errorf("neighbors not sorted: %v", nbrs)
+	}
+	if nbrs[0].ID != 6 || nbrs[2].ID != 5 {
+		t.Errorf("order = %v", nbrs)
+	}
+}

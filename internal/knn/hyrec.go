@@ -1,0 +1,90 @@
+package knn
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Hyrec constructs an approximate KNN graph with the greedy strategy of
+// Boutet et al. (Middleware 2014): starting from a random graph, each
+// iteration compares every user u with its neighbors' neighbors — a
+// neighbor of a neighbor is likely a neighbor — and keeps the best k. The
+// algorithm stops when an iteration performs fewer than δ·k·n updates or
+// after MaxIterations.
+func Hyrec(p Provider, k int, opts Options) (*Graph, Stats) {
+	n := p.NumUsers()
+	cp := NewCountingProvider(p)
+	nhs := make([]*neighborhood, n)
+	for u := range nhs {
+		nhs[u] = newNeighborhood(k)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	randomInit(cp, nhs, k, rng)
+
+	stats := Stats{}
+	threshold := int64(opts.delta() * float64(k) * float64(n))
+	workers := opts.workers()
+
+	// seen[u] remembers every candidate already compared with u, across
+	// iterations: recomputing a previously rejected pair can never change
+	// the graph, so skipping it is pure scanrate savings. Each entry is
+	// touched only by the worker currently processing u (phases are
+	// separated by the WaitGroup), so no locking is needed.
+	seen := make([]map[int32]bool, n)
+	for u := range seen {
+		seen[u] = map[int32]bool{int32(u): true}
+	}
+
+	for iter := 0; iter < opts.maxIterations(); iter++ {
+		stats.Iterations++
+		var updates atomic.Int64
+
+		var wg sync.WaitGroup
+		next := make(chan int, workers)
+		go func() {
+			for u := 0; u < n; u++ {
+				next <- u
+			}
+			close(next)
+		}()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for u := range next {
+					nbrs := nhs[u].snapshot()
+					for _, nb := range nbrs {
+						seen[u][nb.ID] = true // current neighbors: nothing to learn
+					}
+					for _, nb := range nbrs {
+						for _, nn := range nhs[nb.ID].snapshot() {
+							if seen[u][nn.ID] {
+								continue
+							}
+							seen[u][nn.ID] = true
+							s := cp.Similarity(u, int(nn.ID))
+							if nhs[u].insert(nn.ID, s) {
+								updates.Add(1)
+							}
+							// The pair was paid for; let the candidate
+							// benefit too (symmetric similarity).
+							if nhs[nn.ID].insert(int32(u), s) {
+								updates.Add(1)
+							}
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+
+		stats.Updates += updates.Load()
+		if updates.Load() <= threshold {
+			break
+		}
+	}
+
+	stats.Comparisons = cp.Comparisons()
+	return finalize(k, nhs), stats
+}

@@ -1,0 +1,33 @@
+package knn
+
+import "math/rand"
+
+// randomInit fills every neighborhood with k distinct random users (the
+// random graph both greedy algorithms start from), computing their
+// similarities through cp so the comparisons are accounted for.
+func randomInit(cp *CountingProvider, nhs []*neighborhood, k int, rng *rand.Rand) {
+	n := len(nhs)
+	for u := 0; u < n; u++ {
+		if n < 2 {
+			return
+		}
+		// Sample without replacement; for k ≥ n−1 take everyone.
+		if k >= n-1 {
+			for v := 0; v < n; v++ {
+				if v != u {
+					nhs[u].insert(int32(v), cp.Similarity(u, v))
+				}
+			}
+			continue
+		}
+		picked := map[int]bool{}
+		for len(picked) < k {
+			v := rng.Intn(n)
+			if v == u || picked[v] {
+				continue
+			}
+			picked[v] = true
+			nhs[u].insert(int32(v), cp.Similarity(u, v))
+		}
+	}
+}

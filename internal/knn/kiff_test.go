@@ -1,0 +1,110 @@
+package knn
+
+import (
+	"testing"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/profile"
+)
+
+func TestKIFFQuality(t *testing.T) {
+	d := smallDataset(t)
+	p := NewExplicitProvider(d.Profiles)
+	const k = 10
+	exact, _ := BruteForce(p, k, Options{})
+	g, stats := KIFF(d.Profiles, p, k, KIFFOptions{})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Comparisons == 0 || stats.Updates == 0 {
+		t.Errorf("KIFF stats look dead: %+v", stats)
+	}
+	if q := Quality(g, exact, p); q < 0.85 {
+		t.Errorf("KIFF quality = %.3f, want ≥ 0.85", q)
+	}
+}
+
+func TestKIFFSparseAdvantage(t *testing.T) {
+	// On a sparse DBLP-shaped dataset, KIFF's candidate filter must
+	// examine far fewer pairs than brute force.
+	d := dataset.Generate(dataset.DBLP, 0.03, 19)
+	p := NewExplicitProvider(d.Profiles)
+	_, stats := KIFF(d.Profiles, p, 10, KIFFOptions{})
+	if sr := stats.ScanRate(d.NumUsers()); sr >= 0.6 {
+		t.Errorf("KIFF scanrate = %.2f on sparse data, want well below brute force", sr)
+	}
+}
+
+func TestKIFFOnlyComparesCoRatedUsers(t *testing.T) {
+	// Two disconnected components: KIFF must never link across them.
+	ps := []profile.Profile{
+		profile.New(1, 2, 3),
+		profile.New(2, 3, 4),
+		profile.New(100, 101),
+		profile.New(101, 102),
+	}
+	p := NewExplicitProvider(ps)
+	g, _ := KIFF(ps, p, 3, KIFFOptions{})
+	for u, nbrs := range g.Neighbors {
+		for _, nb := range nbrs {
+			if profile.IntersectionSize(ps[u], ps[nb.ID]) == 0 {
+				t.Errorf("user %d linked to non-co-rating user %d", u, nb.ID)
+			}
+		}
+	}
+	if len(g.Neighbors[0]) != 1 || g.Neighbors[0][0].ID != 1 {
+		t.Errorf("user 0 neighbors = %v, want just user 1", g.Neighbors[0])
+	}
+}
+
+func TestKIFFMaxItemDegree(t *testing.T) {
+	// A hub item shared by everyone; capping its degree must remove it
+	// from candidate generation, disconnecting users who share only it.
+	ps := []profile.Profile{
+		profile.New(1, 10),
+		profile.New(1, 20),
+		profile.New(1, 10, 30),
+	}
+	p := NewExplicitProvider(ps)
+	g, _ := KIFF(ps, p, 2, KIFFOptions{MaxItemDegree: 2})
+	// Item 1 (degree 3) is skipped; only item 10 links users 0 and 2.
+	if len(g.Neighbors[1]) != 0 {
+		t.Errorf("user 1 should be isolated with the hub capped, got %v", g.Neighbors[1])
+	}
+	if len(g.Neighbors[0]) != 1 || g.Neighbors[0][0].ID != 2 {
+		t.Errorf("user 0 neighbors = %v, want just user 2", g.Neighbors[0])
+	}
+}
+
+func TestKIFFCandidateFactorCapsWork(t *testing.T) {
+	d := smallDataset(t)
+	p := NewExplicitProvider(d.Profiles)
+	_, tight := KIFF(d.Profiles, p, 5, KIFFOptions{CandidateFactor: 1})
+	_, loose := KIFF(d.Profiles, p, 5, KIFFOptions{CandidateFactor: 10})
+	if tight.Comparisons >= loose.Comparisons {
+		t.Errorf("factor 1 compared %d, factor 10 compared %d; cap has no effect",
+			tight.Comparisons, loose.Comparisons)
+	}
+}
+
+func TestKIFFWithGoldFinger(t *testing.T) {
+	d := smallDataset(t)
+	exactP := NewExplicitProvider(d.Profiles)
+	const k = 10
+	exact, _ := BruteForce(exactP, k, Options{})
+	shfP := NewSHFProvider(core.MustScheme(1024, 20), d.Profiles)
+	g, _ := KIFF(d.Profiles, shfP, k, KIFFOptions{})
+	if q := Quality(g, exact, exactP); q < 0.75 {
+		t.Errorf("KIFF+GoldFinger quality = %.3f, want ≥ 0.75", q)
+	}
+}
+
+func TestKIFFProviderMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched provider accepted")
+		}
+	}()
+	KIFF(fourUsers(), NewExplicitProvider(fourUsers()[:2]), 2, KIFFOptions{})
+}

@@ -1,0 +1,153 @@
+package knn
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"goldfinger/internal/hashing"
+	"goldfinger/internal/profile"
+)
+
+// DefaultLSHHashes is the number of min-wise hash functions the paper uses
+// for LSH (§3.3).
+const DefaultLSHHashes = 10
+
+// LSHOptions configures the LSH construction.
+type LSHOptions struct {
+	// Hashes is the number of min-wise hash functions (buckets per user);
+	// 0 means the paper's 10.
+	Hashes int
+	// Workers is the number of parallel workers; 0 means GOMAXPROCS.
+	Workers int
+	// Seed derives the hash functions.
+	Seed int64
+	// NumItems is the size of the item universe. When positive, bucketing
+	// uses explicit min-wise permutations of the universe, as the paper's
+	// LSH does — an O(Hashes·NumItems) setup cost that dominates on
+	// sparse datasets and explains why GoldFinger speeds LSH up less
+	// there (§4.1). When 0, permutations are simulated by hashing and
+	// the setup cost disappears.
+	NumItems int
+}
+
+func (o LSHOptions) hashes() int {
+	if o.Hashes <= 0 {
+		return DefaultLSHHashes
+	}
+	return o.Hashes
+}
+
+// LSH constructs an approximate KNN graph with Locality-Sensitive Hashing
+// (Indyk–Motwani): every user is hashed into one bucket per min-wise
+// permutation of the item universe, and neighbors are selected among users
+// sharing a bucket. Bucketing always runs on the explicit profiles — that
+// preparation is proportional to the item universe, which is why GoldFinger
+// speeds LSH up less on sparse datasets (paper §4.1) — while candidate
+// similarities go through the provider (native or SHF).
+func LSH(profiles []profile.Profile, p Provider, k int, opts LSHOptions) (*Graph, Stats) {
+	n := len(profiles)
+	if p.NumUsers() != n {
+		panic("knn: LSH provider and profiles disagree on user count")
+	}
+	numHashes := opts.hashes()
+
+	// Min-wise bucketing: bucket key = the minimum rank of the profile's
+	// items under each permutation. With NumItems set, the permutations
+	// are materialized over the whole item universe (the paper's
+	// implementation); otherwise they are simulated with universal
+	// hashing.
+	var perms [][]uint32
+	var funcs []hashing.Universal
+	if opts.NumItems > 0 {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		perms = make([][]uint32, numHashes)
+		for i := range perms {
+			perm := make([]uint32, opts.NumItems)
+			for j := range perm {
+				perm[j] = uint32(j)
+			}
+			rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+			perms[i] = perm
+		}
+	} else {
+		funcs = make([]hashing.Universal, numHashes)
+		for i := range funcs {
+			funcs[i] = hashing.NewUniversal(uint64(opts.Seed) + uint64(i)*0x51_7c_c1_b7)
+		}
+	}
+	rank := func(i int, it profile.ItemID) uint64 {
+		if perms != nil {
+			return uint64(perms[i][int(it)%opts.NumItems])
+		}
+		return funcs[i].Hash(uint64(uint32(it)))
+	}
+
+	type bucketKey struct {
+		fn  int8
+		min uint64
+	}
+	buckets := map[bucketKey][]int32{}
+	keysOf := make([][]bucketKey, n)
+	for u, prof := range profiles {
+		if prof.Len() == 0 {
+			continue
+		}
+		for i := 0; i < numHashes; i++ {
+			minV := ^uint64(0)
+			for _, it := range prof {
+				if v := rank(i, it); v < minV {
+					minV = v
+				}
+			}
+			key := bucketKey{fn: int8(i), min: minV}
+			buckets[key] = append(buckets[key], int32(u))
+			keysOf[u] = append(keysOf[u], key)
+		}
+	}
+
+	cp := NewCountingProvider(p)
+	nhs := make([]*neighborhood, n)
+	for u := range nhs {
+		nhs[u] = newNeighborhood(k)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	var updates atomic.Int64
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	go func() {
+		for u := 0; u < n; u++ {
+			next <- u
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cand := map[int32]bool{}
+			for u := range next {
+				clear(cand)
+				cand[int32(u)] = true
+				for _, key := range keysOf[u] {
+					for _, v := range buckets[key] {
+						if cand[v] {
+							continue
+						}
+						cand[v] = true
+						if nhs[u].insert(v, cp.Similarity(u, int(v))) {
+							updates.Add(1)
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	return finalize(k, nhs), Stats{Comparisons: cp.Comparisons(), Updates: updates.Load()}
+}

@@ -1,0 +1,142 @@
+package knn
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// NNDescent constructs an approximate KNN graph with the local search of
+// Dong, Moses and Li (WWW 2011). Each iteration compares, for every user u,
+// the pairs among u's neighbors and reverse neighbors, updating both sides
+// of each pair. The implementation keeps the paper's optimizations: "new"
+// flags so a pair is only examined when at least one side changed since the
+// last iteration, the user-ID order to avoid examining a new-new pair
+// twice, and the reversed graph to widen the search. Termination follows
+// the δ·k·n rule or MaxIterations.
+func NNDescent(p Provider, k int, opts Options) (*Graph, Stats) {
+	n := p.NumUsers()
+	cp := NewCountingProvider(p)
+	nhs := make([]*neighborhood, n)
+	for u := range nhs {
+		nhs[u] = newNeighborhood(k)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	randomInit(cp, nhs, k, rng)
+
+	stats := Stats{}
+	threshold := int64(opts.delta() * float64(k) * float64(n))
+	workers := opts.workers()
+
+	for iter := 0; iter < opts.maxIterations(); iter++ {
+		stats.Iterations++
+
+		// Phase 1: split every neighborhood into new/old and build the
+		// reverse lists.
+		fresh := make([][]int32, n)
+		old := make([][]int32, n)
+		rFresh := make([][]int32, n)
+		rOld := make([][]int32, n)
+		for u := 0; u < n; u++ {
+			f, o := nhs[u].snapshotFlags()
+			for _, nb := range f {
+				fresh[u] = append(fresh[u], nb.ID)
+				rFresh[nb.ID] = append(rFresh[nb.ID], int32(u))
+			}
+			for _, nb := range o {
+				old[u] = append(old[u], nb.ID)
+				rOld[nb.ID] = append(rOld[nb.ID], int32(u))
+			}
+		}
+
+		// Phase 2: reverse lists can be long for popular users; sample
+		// them down to k as in the original algorithm (ρ = 1).
+		for u := 0; u < n; u++ {
+			fresh[u] = append(fresh[u], sampleIDs(rFresh[u], k, rng)...)
+			old[u] = append(old[u], sampleIDs(rOld[u], k, rng)...)
+			fresh[u] = dedupIDs(fresh[u])
+			old[u] = dedupIDs(old[u])
+		}
+
+		// Phase 3: compare new×new (ordered pairs once, by ID) and
+		// new×old for every user, updating both endpoints.
+		var updates atomic.Int64
+		var wg sync.WaitGroup
+		next := make(chan int, workers)
+		go func() {
+			for u := 0; u < n; u++ {
+				next <- u
+			}
+			close(next)
+		}()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for u := range next {
+					f, o := fresh[u], old[u]
+					for i, a := range f {
+						for _, b := range f[i+1:] {
+							if a == b {
+								continue
+							}
+							comparePair(cp, nhs, a, b, &updates)
+						}
+						for _, b := range o {
+							if a == b {
+								continue
+							}
+							comparePair(cp, nhs, a, b, &updates)
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+
+		stats.Updates += updates.Load()
+		if updates.Load() <= threshold {
+			break
+		}
+	}
+
+	stats.Comparisons = cp.Comparisons()
+	return finalize(k, nhs), stats
+}
+
+func comparePair(cp *CountingProvider, nhs []*neighborhood, a, b int32, updates *atomic.Int64) {
+	s := cp.Similarity(int(a), int(b))
+	if nhs[a].insert(b, s) {
+		updates.Add(1)
+	}
+	if nhs[b].insert(a, s) {
+		updates.Add(1)
+	}
+}
+
+// sampleIDs returns up to k elements of ids (without replacement); when
+// len(ids) ≤ k it returns ids unchanged.
+func sampleIDs(ids []int32, k int, rng *rand.Rand) []int32 {
+	if len(ids) <= k {
+		return ids
+	}
+	out := make([]int32, k)
+	perm := rng.Perm(len(ids))
+	for i := 0; i < k; i++ {
+		out[i] = ids[perm[i]]
+	}
+	return out
+}
+
+// dedupIDs removes duplicates in place, preserving first occurrences.
+func dedupIDs(ids []int32) []int32 {
+	seen := make(map[int32]bool, len(ids))
+	out := ids[:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}

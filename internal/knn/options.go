@@ -1,0 +1,60 @@
+package knn
+
+import "runtime"
+
+// Options configures the approximate KNN algorithms. The zero value selects
+// the paper's parameters (§3.3): δ = 0.001 and at most 30 iterations.
+type Options struct {
+	// Workers is the number of parallel workers; 0 means GOMAXPROCS.
+	Workers int
+	// Seed drives the random initial graph and all sampling.
+	Seed int64
+	// Delta is the termination threshold: an iteration performing fewer
+	// than Delta·k·n updates ends the algorithm. 0 means 0.001.
+	Delta float64
+	// MaxIterations bounds the number of refinement iterations. 0 means 30.
+	MaxIterations int
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return defaultWorkers()
+	}
+	return o.Workers
+}
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+func (o Options) delta() float64 {
+	if o.Delta == 0 {
+		return 0.001
+	}
+	return o.Delta
+}
+
+func (o Options) maxIterations() int {
+	if o.MaxIterations == 0 {
+		return 30
+	}
+	return o.MaxIterations
+}
+
+// Stats reports how an algorithm run unfolded.
+type Stats struct {
+	// Iterations is the number of refinement iterations performed (0 for
+	// one-shot algorithms such as Brute Force and LSH).
+	Iterations int
+	// Comparisons is the number of similarity computations.
+	Comparisons int64
+	// Updates is the number of successful neighborhood improvements.
+	Updates int64
+}
+
+// ScanRate returns Comparisons normalized by the n(n−1)/2 comparisons of an
+// exhaustive search — the metric of the paper's Fig. 12.
+func (s Stats) ScanRate(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return float64(s.Comparisons) / (float64(n) * float64(n-1) / 2)
+}

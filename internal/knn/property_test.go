@@ -1,0 +1,151 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"goldfinger/internal/dataset"
+)
+
+// TestNeighborhoodKeepsTopK: after an arbitrary insert sequence, the
+// neighborhood holds exactly the k best distinct candidates. The
+// similarity is a function of the candidate ID, as it is in every real
+// use (the same pair always has the same similarity).
+func TestNeighborhoodKeepsTopK(t *testing.T) {
+	simOf := func(id int32) float64 {
+		return float64((uint32(id)*2654435761)%1000) / 1000
+	}
+	f := func(ids []uint16, kRaw uint8) bool {
+		k := int(kRaw%20) + 1
+		nh := newNeighborhood(k)
+		seen := map[int32]float64{}
+		for _, idRaw := range ids {
+			id := int32(idRaw % 100)
+			sim := simOf(id)
+			seen[id] = sim
+			nh.insert(id, sim)
+		}
+		// Model: top-k of the distinct candidates by similarity.
+		want := make([]float64, 0, len(seen))
+		for _, s := range seen {
+			want = append(want, s)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := make([]float64, 0, k)
+		for _, nb := range nh.snapshot() {
+			got = append(got, nb.Sim)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(got)))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQualityBounds: any valid graph's quality against the exact graph is
+// in (0, 1] — the exact graph maximizes average similarity by definition.
+func TestQualityBounds(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.02, 31)
+	p := NewExplicitProvider(d.Profiles)
+	const k = 5
+	exact, _ := BruteForce(p, k, Options{})
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(p, k, rng.Int63())
+		q := Quality(g, exact, p)
+		if q <= 0 || q > 1+1e-9 {
+			t.Fatalf("random graph quality %g out of (0,1]", q)
+		}
+	}
+}
+
+// TestApproxAlgorithmsNeverExceedExactAvgSim: the exact graph's average
+// similarity upper-bounds every approximation (per-user top-k maximality).
+func TestApproxAlgorithmsNeverExceedExactAvgSim(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.03, 32)
+	p := NewExplicitProvider(d.Profiles)
+	const k = 8
+	exact, _ := BruteForce(p, k, Options{})
+	bound := exact.AvgSimilarity(p) + 1e-9
+	graphs := map[string]*Graph{}
+	graphs["hyrec"], _ = Hyrec(p, k, Options{Seed: 32})
+	graphs["nndescent"], _ = NNDescent(p, k, Options{Seed: 32})
+	graphs["lsh"], _ = LSH(d.Profiles, p, k, LSHOptions{Seed: 32})
+	graphs["kiff"], _ = KIFF(d.Profiles, p, k, KIFFOptions{})
+	graphs["bisection"], _ = RecursiveBisection(d.Profiles, p, k, BisectionOptions{LeafSize: 50, Seed: 32})
+	for name, g := range graphs {
+		if avg := g.AvgSimilarity(p); avg > bound {
+			t.Errorf("%s: avg similarity %.6f exceeds exact bound %.6f", name, avg, bound)
+		}
+	}
+}
+
+// TestStoredSimsMatchProvider: the similarity stored on each edge equals
+// the provider's value (no stale or corrupted caching anywhere).
+func TestStoredSimsMatchProvider(t *testing.T) {
+	d := dataset.Generate(dataset.DBLP, 0.02, 33)
+	p := NewExplicitProvider(d.Profiles)
+	const k = 6
+	graphs := map[string]*Graph{}
+	graphs["bruteforce"], _ = BruteForce(p, k, Options{})
+	graphs["hyrec"], _ = Hyrec(p, k, Options{Seed: 33})
+	graphs["nndescent"], _ = NNDescent(p, k, Options{Seed: 33})
+	graphs["lsh"], _ = LSH(d.Profiles, p, k, LSHOptions{Seed: 33})
+	graphs["kiff"], _ = KIFF(d.Profiles, p, k, KIFFOptions{})
+	for name, g := range graphs {
+		for u, nbrs := range g.Neighbors {
+			for _, nb := range nbrs {
+				if want := p.Similarity(u, int(nb.ID)); math.Abs(nb.Sim-want) > 1e-12 {
+					t.Fatalf("%s: edge (%d,%d) stores %g, provider says %g", name, u, nb.ID, nb.Sim, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDeterministicGivenSeed: all seeded algorithms reproduce identical
+// graphs for identical seeds (single worker removes scheduling races in
+// update order).
+func TestDeterministicGivenSeed(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.02, 34)
+	p := NewExplicitProvider(d.Profiles)
+	const k = 5
+	builders := map[string]func() *Graph{
+		"hyrec": func() *Graph {
+			g, _ := Hyrec(p, k, Options{Seed: 34, Workers: 1})
+			return g
+		},
+		"lsh": func() *Graph {
+			g, _ := LSH(d.Profiles, p, k, LSHOptions{Seed: 34, Workers: 1})
+			return g
+		},
+	}
+	for name, build := range builders {
+		a, b := build(), build()
+		for u := range a.Neighbors {
+			if len(a.Neighbors[u]) != len(b.Neighbors[u]) {
+				t.Fatalf("%s: user %d neighborhood size differs across runs", name, u)
+			}
+			for i := range a.Neighbors[u] {
+				if a.Neighbors[u][i] != b.Neighbors[u][i] {
+					t.Fatalf("%s: user %d differs across identical-seed runs", name, u)
+				}
+			}
+		}
+	}
+}

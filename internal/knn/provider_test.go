@@ -1,0 +1,68 @@
+package knn
+
+import (
+	"math"
+	"testing"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/profile"
+)
+
+func TestFuncProviderCosine(t *testing.T) {
+	ps := fourUsers()
+	p := NewCosineProvider(ps)
+	if p.NumUsers() != 4 {
+		t.Fatalf("NumUsers = %d", p.NumUsers())
+	}
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if got, want := p.Similarity(u, v), profile.Cosine(ps[u], ps[v]); got != want {
+				t.Errorf("cosine(%d,%d) = %g, want %g", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestFuncProviderCustomSim(t *testing.T) {
+	p := &FuncProvider{Profiles: fourUsers(), Sim: profile.Overlap}
+	if got, want := p.Similarity(0, 2), 1.0; got != want {
+		t.Errorf("overlap(0,2) = %g, want %g (u0 ⊂ u2)", got, want)
+	}
+}
+
+func TestSHFCosineProviderAccuracy(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.02, 5)
+	scheme := core.MustScheme(8192, 5)
+	est := NewSHFCosineProvider(scheme, d.Profiles)
+	exact := NewCosineProvider(d.Profiles)
+	if est.NumUsers() != exact.NumUsers() {
+		t.Fatal("user count mismatch")
+	}
+	var errSum float64
+	pairs := 0
+	for u := 0; u < est.NumUsers(); u += 3 {
+		for v := u + 1; v < est.NumUsers(); v += 7 {
+			errSum += math.Abs(est.Similarity(u, v) - exact.Similarity(u, v))
+			pairs++
+		}
+	}
+	if mean := errSum / float64(pairs); mean > 0.05 {
+		t.Errorf("mean |Ĉ−C| = %.4f with b=8192, want ≤ 0.05", mean)
+	}
+}
+
+// TestGoldFingerCosineEndToEnd confirms the paper's claim that fsim is
+// pluggable: a cosine-based KNN graph built on SHFs stays close to the
+// exact cosine graph.
+func TestGoldFingerCosineEndToEnd(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.03, 6)
+	exactP := NewCosineProvider(d.Profiles)
+	const k = 10
+	exact, _ := BruteForce(exactP, k, Options{})
+	shfP := NewSHFCosineProvider(core.MustScheme(1024, 6), d.Profiles)
+	g, _ := BruteForce(shfP, k, Options{})
+	if q := Quality(g, exact, exactP); q < 0.8 {
+		t.Errorf("cosine GoldFinger quality = %.3f, want ≥ 0.8", q)
+	}
+}

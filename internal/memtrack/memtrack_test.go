@@ -1,0 +1,86 @@
+package memtrack
+
+import (
+	"math"
+	"testing"
+
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/knn"
+	"goldfinger/internal/profile"
+)
+
+func TestExplicitModelMeanProfile(t *testing.T) {
+	ps := []profile.Profile{profile.New(1, 2, 3), profile.New(4)} // mean 2
+	m := ExplicitModel(ps)
+	if m.BytesPerComparison != 2*2*4 {
+		t.Errorf("BytesPerComparison = %g, want 16", m.BytesPerComparison)
+	}
+	if ExplicitModel(nil).BytesPerComparison != 0 {
+		t.Error("empty profile set should cost 0 per comparison")
+	}
+}
+
+func TestSHFModelIndependentOfProfiles(t *testing.T) {
+	m := SHFModel(1024)
+	want := 2 * (1024.0/8 + 8)
+	if m.BytesPerComparison != want {
+		t.Errorf("BytesPerComparison = %g, want %g", m.BytesPerComparison, want)
+	}
+}
+
+func TestForRun(t *testing.T) {
+	m := Model{BytesPerComparison: 100, BytesPerUpdate: 16}
+	tr := m.ForRun(knn.Stats{Comparisons: 10, Updates: 3})
+	if tr.LoadBytes != 1000 || tr.StoreBytes != 48 {
+		t.Errorf("traffic = %+v", tr)
+	}
+	if tr.Loads() != 250 || tr.Stores() != 12 {
+		t.Errorf("loads/stores = %d/%d", tr.Loads(), tr.Stores())
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(100, 10); math.Abs(got-90) > 1e-12 {
+		t.Errorf("Reduction = %g, want 90", got)
+	}
+	if Reduction(0, 10) != 0 {
+		t.Error("zero native should yield 0")
+	}
+	if got := Reduction(100, 120); math.Abs(got+20) > 1e-12 {
+		t.Errorf("Reduction with regression = %g, want -20", got)
+	}
+}
+
+func TestNewRowAndString(t *testing.T) {
+	r := NewRow("BruteForce", Traffic{LoadBytes: 4000, StoreBytes: 400}, Traffic{LoadBytes: 400, StoreBytes: 400})
+	if r.NativeLoads != 1000 || r.GoldFingerLoads != 100 {
+		t.Errorf("row loads = %d/%d", r.NativeLoads, r.GoldFingerLoads)
+	}
+	if math.Abs(r.LoadReductionPct-90) > 1e-9 {
+		t.Errorf("load reduction = %g", r.LoadReductionPct)
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// TestTable5Shape reproduces the direction of the paper's Table 5 finding:
+// on an ml10M-shaped workload, GoldFinger cuts the modeled load traffic of
+// Brute Force substantially. (The paper measures 86.9% on its Java
+// implementation, whose explicit profiles carry hash-set overhead; this
+// model prices our lean sorted-slice profiles, so the reduction is smaller
+// but the direction and order are the same.)
+func TestTable5Shape(t *testing.T) {
+	d := dataset.Generate(dataset.ML10M, 0.02, 3)
+	stats := knn.Stats{Comparisons: 1 << 20, Updates: 1 << 10}
+	native := ExplicitModel(d.Profiles).ForRun(stats)
+	golfi := SHFModel(1024).ForRun(stats)
+	red := Reduction(native.Loads(), golfi.Loads())
+	if red < 40 || red > 95 {
+		t.Errorf("modeled load reduction = %.1f%%, expected the 40–95%% regime", red)
+	}
+	// Stores are dominated by updates, identical in both modes.
+	if native.Stores() != golfi.Stores() {
+		t.Error("store traffic should not depend on the similarity representation")
+	}
+}

@@ -1,0 +1,61 @@
+package minhash
+
+import (
+	"testing"
+
+	"goldfinger/internal/profile"
+)
+
+func benchSketcher(b *testing.B, mode PermutationMode) *Sketcher {
+	b.Helper()
+	s, err := NewSketcher(Config{Permutations: 256, Bits: 4, Mode: mode, Seed: 1}, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func benchProfile() profile.Profile {
+	items := make([]profile.ItemID, 80)
+	for i := range items {
+		items[i] = profile.ItemID(i * 37 % 20000)
+	}
+	return profile.New(items...)
+}
+
+// BenchmarkSetupExplicit is the permutation-materialization cost Table 3
+// charges MinHash for.
+func BenchmarkSetupExplicit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSketcher(Config{Permutations: 256, Bits: 4, Mode: PermutationExplicit, Seed: 1}, 20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSketchExplicit(b *testing.B) {
+	s := benchSketcher(b, PermutationExplicit)
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		s.Sketch(p)
+	}
+}
+
+func BenchmarkSketchHashed(b *testing.B) {
+	s := benchSketcher(b, PermutationHashed)
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		s.Sketch(p)
+	}
+}
+
+func BenchmarkJaccardBBit(b *testing.B) {
+	s := benchSketcher(b, PermutationHashed)
+	sk1 := s.Sketch(benchProfile())
+	sk2 := s.Sketch(benchProfile())
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Jaccard(sk1, sk2)
+	}
+	_ = sink
+}

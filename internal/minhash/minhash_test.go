@@ -1,0 +1,162 @@
+package minhash
+
+import (
+	"math"
+	"testing"
+
+	"goldfinger/internal/profile"
+)
+
+func TestNewSketcherValidation(t *testing.T) {
+	bad := []Config{
+		{Permutations: 0, Bits: 4},
+		{Permutations: 16, Bits: 0},
+		{Permutations: 16, Bits: 17},
+		{Permutations: 16, Bits: 4, Mode: PermutationMode(99)},
+	}
+	for _, cfg := range bad {
+		if _, err := NewSketcher(cfg, 100); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := NewSketcher(DefaultConfig(), 0); err == nil {
+		t.Error("numItems=0 accepted")
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Permutations != 256 || cfg.Bits != 4 || cfg.Mode != PermutationExplicit {
+		t.Errorf("DefaultConfig = %+v, want 256 permutations × 4 bits, explicit", cfg)
+	}
+}
+
+func TestSketchPackingRoundTrip(t *testing.T) {
+	// value() must read back exactly what Sketch packed, across word
+	// boundaries, for several bit widths.
+	for _, bits := range []int{1, 3, 4, 7, 8, 13, 16} {
+		cfg := Config{Permutations: 64, Bits: bits, Mode: PermutationHashed, Seed: 5}
+		s, err := NewSketcher(cfg, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := profile.New(1, 50, 999, 123, 7)
+		sk := s.Sketch(p)
+		// Recompute the raw minima and compare with the unpacked values.
+		for ti := 0; ti < cfg.Permutations; ti++ {
+			minV := ^uint64(0)
+			for _, it := range p {
+				if v := s.rank(ti, it); v < minV {
+					minV = v
+				}
+			}
+			want := minV & ((1 << uint(bits)) - 1)
+			if got := s.value(sk, ti); got != want {
+				t.Fatalf("bits=%d perm=%d: value = %d, want %d", bits, ti, got, want)
+			}
+		}
+	}
+}
+
+func TestJaccardIdentical(t *testing.T) {
+	for _, mode := range []PermutationMode{PermutationExplicit, PermutationHashed} {
+		s, err := NewSketcher(Config{Permutations: 128, Bits: 8, Mode: mode, Seed: 1}, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := profile.New(1, 2, 3, 4, 5)
+		sk := s.Sketch(p)
+		if got := s.Jaccard(sk, sk); got != 1 {
+			t.Errorf("mode %d: Ĵ(P,P) = %g, want 1", mode, got)
+		}
+	}
+}
+
+func TestJaccardEmpty(t *testing.T) {
+	s, _ := NewSketcher(Config{Permutations: 32, Bits: 4, Mode: PermutationHashed}, 100)
+	e := s.Sketch(nil)
+	p := s.Sketch(profile.New(1))
+	if s.Jaccard(e, e) != 0 || s.Jaccard(e, p) != 0 {
+		t.Error("empty sketches must estimate 0")
+	}
+}
+
+func TestJaccardAccuracy(t *testing.T) {
+	// J = 1/3 by construction; 512 permutations should estimate within
+	// ±0.08 in both modes.
+	var items1, items2 []profile.ItemID
+	for i := 0; i < 100; i++ {
+		items1 = append(items1, profile.ItemID(i))
+		items2 = append(items2, profile.ItemID(i+50))
+	}
+	p1, p2 := profile.New(items1...), profile.New(items2...)
+	truth := profile.Jaccard(p1, p2)
+	for _, mode := range []PermutationMode{PermutationExplicit, PermutationHashed} {
+		s, err := NewSketcher(Config{Permutations: 512, Bits: 8, Mode: mode, Seed: 3}, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.Jaccard(s.Sketch(p1), s.Sketch(p2))
+		if math.Abs(got-truth) > 0.08 {
+			t.Errorf("mode %d: Ĵ = %g, want ≈%g", mode, got, truth)
+		}
+	}
+}
+
+func TestJaccardDisjoint(t *testing.T) {
+	s, _ := NewSketcher(Config{Permutations: 256, Bits: 8, Mode: PermutationHashed, Seed: 4}, 10000)
+	p1 := profile.New(1, 2, 3, 4, 5)
+	p2 := profile.New(9001, 9002, 9003, 9004, 9005)
+	if got := s.Jaccard(s.Sketch(p1), s.Sketch(p2)); got > 0.15 {
+		t.Errorf("Ĵ(disjoint) = %g, want ≈0", got)
+	}
+}
+
+func TestFewerBitsNeedCorrection(t *testing.T) {
+	// With b=1, half of all non-matching minima still collide; the
+	// corrected estimator must stay roughly unbiased.
+	var items1, items2 []profile.ItemID
+	for i := 0; i < 60; i++ {
+		items1 = append(items1, profile.ItemID(i))
+		items2 = append(items2, profile.ItemID(i+30))
+	}
+	p1, p2 := profile.New(items1...), profile.New(items2...)
+	truth := profile.Jaccard(p1, p2)
+	var sum float64
+	const trials = 30
+	for seed := int64(0); seed < trials; seed++ {
+		s, _ := NewSketcher(Config{Permutations: 512, Bits: 1, Mode: PermutationHashed, Seed: seed}, 200)
+		sum += s.Jaccard(s.Sketch(p1), s.Sketch(p2))
+	}
+	mean := sum / trials
+	if math.Abs(mean-truth) > 0.1 {
+		t.Errorf("b=1 corrected mean = %g, want ≈%g", mean, truth)
+	}
+}
+
+func TestProvider(t *testing.T) {
+	s, _ := NewSketcher(Config{Permutations: 128, Bits: 8, Mode: PermutationHashed, Seed: 6}, 100)
+	ps := []profile.Profile{
+		profile.New(1, 2, 3),
+		profile.New(1, 2, 3),
+		profile.New(50, 60, 70),
+	}
+	prov := NewProvider(s, ps)
+	if prov.NumUsers() != 3 {
+		t.Fatalf("NumUsers = %d", prov.NumUsers())
+	}
+	if prov.Similarity(0, 1) != 1 {
+		t.Errorf("identical profiles: sim = %g", prov.Similarity(0, 1))
+	}
+	if prov.Similarity(0, 2) > 0.2 {
+		t.Errorf("disjoint profiles: sim = %g", prov.Similarity(0, 2))
+	}
+}
+
+func TestSketchSizeBytes(t *testing.T) {
+	s, _ := NewSketcher(Config{Permutations: 256, Bits: 4, Mode: PermutationHashed}, 100)
+	sk := s.Sketch(profile.New(1))
+	if got := sk.SizeBytes(); got != 256*4/8 {
+		t.Errorf("SizeBytes = %d, want %d", got, 256*4/8)
+	}
+}

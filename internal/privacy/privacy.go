@@ -1,0 +1,180 @@
+// Package privacy quantifies the protection GoldFinger grants for free
+// (paper §2.5): k-anonymity — a fingerprint of cardinality c over an item
+// universe of size m with b bits is indistinguishable from (2^(m/b))^c
+// profiles (Theorem 2) — and ℓ-diversity with ℓ = m/b (Theorem 3). Beyond
+// the paper's average-case bounds, the package computes exact anonymity-set
+// sizes from the actual hash pre-images, and simulates the honest-but-
+// curious attacker the theorems defend against.
+package privacy
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/profile"
+)
+
+// KAnonymityLog2 returns log2 of the k-anonymity guaranteed by Theorem 2
+// for a fingerprint of the given cardinality: log2((2^(m/b))^c) = c·m/b.
+// For AmazonMovies (m = 171356, b = 1024, c = 1) this is ≈167, matching the
+// paper's 2^167 per set bit.
+func KAnonymityLog2(m, b, cardinality int) float64 {
+	if m <= 0 || b <= 0 || cardinality < 0 {
+		return 0
+	}
+	return float64(cardinality) * float64(m) / float64(b)
+}
+
+// LDiversity returns the ℓ of Theorem 3: m/b pairwise-disjoint profiles are
+// indistinguishable from the true one (167 for AmazonMovies at b = 1024).
+func LDiversity(m, b int) float64 {
+	if m <= 0 || b <= 0 {
+		return 0
+	}
+	return float64(m) / float64(b)
+}
+
+// Preimages returns, for every bit position x, the set H_x = h⁻¹(x) of
+// items hashing to x under the scheme, over the item universe [0, m).
+func Preimages(s *core.Scheme, m int) [][]profile.ItemID {
+	pre := make([][]profile.ItemID, s.NumBits())
+	for it := 0; it < m; it++ {
+		x := s.BitOf(profile.ItemID(it))
+		pre[x] = append(pre[x], profile.ItemID(it))
+	}
+	return pre
+}
+
+// AnonymitySet returns the exact number of profiles P ⊆ I mapping to the
+// given fingerprint under the scheme's pre-images: every set bit x can be
+// produced by any non-empty subset of H_x, independently, so the count is
+// ∏_{x set} (2^|H_x| − 1). A zero result means the fingerprint is
+// infeasible (some set bit has an empty pre-image in [0, m)).
+func AnonymitySet(fp core.Fingerprint, preimages [][]profile.ItemID) *big.Int {
+	total := big.NewInt(1)
+	two := big.NewInt(2)
+	for _, x := range fp.Bits().Ones() {
+		n := len(preimages[x])
+		if n == 0 {
+			return big.NewInt(0)
+		}
+		choices := new(big.Int).Exp(two, big.NewInt(int64(n)), nil)
+		choices.Sub(choices, big.NewInt(1))
+		total.Mul(total, choices)
+	}
+	return total
+}
+
+// DiversityLowerBound returns the exact counterpart of Theorem 3's ℓ for a
+// specific fingerprint: the construction in the proof picks one fresh item
+// per set bit, so min_{x set} |H_x| pairwise-disjoint candidate profiles
+// exist. Returns 0 for an empty fingerprint.
+func DiversityLowerBound(fp core.Fingerprint, preimages [][]profile.ItemID) int {
+	ones := fp.Bits().Ones()
+	if len(ones) == 0 {
+		return 0
+	}
+	minPre := math.MaxInt
+	for _, x := range ones {
+		if n := len(preimages[x]); n < minPre {
+			minPre = n
+		}
+	}
+	return minPre
+}
+
+// Report is the privacy accounting for one dataset configuration.
+type Report struct {
+	Dataset        string
+	Items          int // m
+	Bits           int // b
+	MeanCard       float64
+	KAnonymityBits float64 // log2 k for the mean cardinality
+	LDiversity     float64
+}
+
+// Assess produces the paper's §2.5 numbers for a dataset: m from the item
+// universe, the mean fingerprint cardinality under the scheme, and the
+// resulting k-anonymity (in bits) and ℓ-diversity.
+func Assess(name string, profiles []profile.Profile, numItems int, s *core.Scheme) Report {
+	var cardSum float64
+	for _, p := range profiles {
+		cardSum += float64(s.Fingerprint(p).Cardinality())
+	}
+	mean := 0.0
+	if len(profiles) > 0 {
+		mean = cardSum / float64(len(profiles))
+	}
+	return Report{
+		Dataset:        name,
+		Items:          numItems,
+		Bits:           s.NumBits(),
+		MeanCard:       mean,
+		KAnonymityBits: KAnonymityLog2(numItems, s.NumBits(), int(math.Round(mean))),
+		LDiversity:     LDiversity(numItems, s.NumBits()),
+	}
+}
+
+// String renders the report in the paper's terms.
+func (r Report) String() string {
+	return fmt.Sprintf("%s: m=%d b=%d mean c=%.1f → 2^%.0f-anonymity, %.0f-diversity",
+		r.Dataset, r.Items, r.Bits, r.MeanCard, r.KAnonymityBits, r.LDiversity)
+}
+
+// GuessProfile simulates the honest-but-curious attacker of §2.5: knowing
+// the scheme, the item universe and item popularity, it guesses the profile
+// behind a fingerprint by picking the most popular item of each set bit's
+// pre-image. The fraction of correct guesses (precision) is what the
+// anonymity bounds keep low.
+func GuessProfile(fp core.Fingerprint, preimages [][]profile.ItemID, popularity []int) profile.Profile {
+	var guesses []profile.ItemID
+	for _, x := range fp.Bits().Ones() {
+		var best profile.ItemID = -1
+		bestPop := -1
+		for _, it := range preimages[x] {
+			pop := 0
+			if int(it) < len(popularity) {
+				pop = popularity[it]
+			}
+			if pop > bestPop {
+				bestPop = pop
+				best = it
+			}
+		}
+		if best >= 0 {
+			guesses = append(guesses, best)
+		}
+	}
+	return profile.New(guesses...)
+}
+
+// AttackPrecision runs GuessProfile against every profile and returns the
+// mean fraction of guessed items actually present in the true profile.
+func AttackPrecision(profiles []profile.Profile, numItems int, s *core.Scheme) float64 {
+	pre := Preimages(s, numItems)
+	popularity := make([]int, numItems)
+	for _, p := range profiles {
+		for _, it := range p {
+			popularity[it]++
+		}
+	}
+	var sum float64
+	users := 0
+	for _, p := range profiles {
+		if p.Len() == 0 {
+			continue
+		}
+		guess := GuessProfile(s.Fingerprint(p), pre, popularity)
+		if guess.Len() == 0 {
+			continue
+		}
+		sum += float64(profile.IntersectionSize(guess, p)) / float64(guess.Len())
+		users++
+	}
+	if users == 0 {
+		return 0
+	}
+	return sum / float64(users)
+}

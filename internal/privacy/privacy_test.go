@@ -1,0 +1,214 @@
+package privacy
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/profile"
+)
+
+func TestKAnonymityLog2PaperNumbers(t *testing.T) {
+	// AmazonMovies: m = 171356, b = 1024 → ≈167 bits per set bit (the
+	// paper's "2^167-anonymity" for c = 1).
+	got := KAnonymityLog2(171356, 1024, 1)
+	if math.Abs(got-167.34) > 0.1 {
+		t.Errorf("KAnonymityLog2(AM) = %.2f, want ≈167.3", got)
+	}
+	// Anonymity scales linearly with cardinality.
+	if got2 := KAnonymityLog2(171356, 1024, 2); math.Abs(got2-2*got) > 1e-9 {
+		t.Errorf("c=2 anonymity %.2f not double c=1 %.2f", got2, got)
+	}
+}
+
+func TestKAnonymityDegenerate(t *testing.T) {
+	if KAnonymityLog2(0, 1024, 1) != 0 || KAnonymityLog2(100, 0, 1) != 0 || KAnonymityLog2(100, 10, -1) != 0 {
+		t.Error("degenerate inputs should yield 0")
+	}
+}
+
+func TestLDiversityPaperNumber(t *testing.T) {
+	if got := LDiversity(171356, 1024); math.Abs(got-167.34) > 0.1 {
+		t.Errorf("LDiversity(AM) = %.2f, want ≈167.3", got)
+	}
+	if LDiversity(0, 10) != 0 {
+		t.Error("degenerate m accepted")
+	}
+}
+
+func TestPreimagesPartitionUniverse(t *testing.T) {
+	s := core.MustScheme(16, 3)
+	const m = 200
+	pre := Preimages(s, m)
+	if len(pre) != 16 {
+		t.Fatalf("got %d pre-image sets", len(pre))
+	}
+	seen := map[profile.ItemID]bool{}
+	total := 0
+	for x, items := range pre {
+		for _, it := range items {
+			if s.BitOf(it) != x {
+				t.Fatalf("item %d in wrong pre-image %d", it, x)
+			}
+			if seen[it] {
+				t.Fatalf("item %d in two pre-images", it)
+			}
+			seen[it] = true
+			total++
+		}
+	}
+	if total != m {
+		t.Errorf("pre-images cover %d of %d items", total, m)
+	}
+}
+
+// TestAnonymitySetByEnumeration checks the exact anonymity count against a
+// brute-force enumeration of all non-empty profiles over a tiny universe.
+func TestAnonymitySetByEnumeration(t *testing.T) {
+	const m, b = 10, 4
+	s := core.MustScheme(b, 11)
+	pre := Preimages(s, m)
+
+	// Count, for every possible fingerprint, how many profiles map to it.
+	counts := map[string]int64{}
+	for mask := 1; mask < 1<<m; mask++ {
+		var items []profile.ItemID
+		for i := 0; i < m; i++ {
+			if mask&(1<<i) != 0 {
+				items = append(items, profile.ItemID(i))
+			}
+		}
+		fp := s.Fingerprint(profile.New(items...))
+		counts[fp.Bits().String()]++
+	}
+
+	// Spot-check several profiles: the formula must equal the enumeration.
+	for _, items := range [][]profile.ItemID{{0}, {1, 2}, {0, 3, 7}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}} {
+		fp := s.Fingerprint(profile.New(items...))
+		want := counts[fp.Bits().String()]
+		got := AnonymitySet(fp, pre)
+		if got.Cmp(big.NewInt(want)) != 0 {
+			t.Errorf("profile %v: anonymity set = %s, enumeration says %d", items, got, want)
+		}
+	}
+}
+
+func TestAnonymitySetEmptyFingerprint(t *testing.T) {
+	s := core.MustScheme(8, 1)
+	pre := Preimages(s, 64)
+	got := AnonymitySet(s.Fingerprint(nil), pre)
+	if got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("empty fingerprint anonymity = %s, want 1 (only the empty profile)", got)
+	}
+}
+
+func TestAnonymitySetInfeasibleBit(t *testing.T) {
+	s := core.MustScheme(1024, 1)
+	// Universe of 4 items: most bits have empty pre-images. A fingerprint
+	// from outside the universe can be infeasible.
+	pre := Preimages(s, 4)
+	fp := s.Fingerprint(profile.New(1000)) // item outside [0,4)
+	if got := AnonymitySet(fp, pre); got.Sign() != 0 && !feasible(fp, pre) {
+		t.Errorf("infeasible fingerprint got anonymity %s", got)
+	}
+}
+
+func feasible(fp core.Fingerprint, pre [][]profile.ItemID) bool {
+	for _, x := range fp.Bits().Ones() {
+		if len(pre[x]) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDiversityLowerBound(t *testing.T) {
+	const m, b = 64, 8
+	s := core.MustScheme(b, 5)
+	pre := Preimages(s, m)
+	p := profile.New(0, 1, 2, 3)
+	fp := s.Fingerprint(p)
+	got := DiversityLowerBound(fp, pre)
+	want := math.MaxInt
+	for _, x := range fp.Bits().Ones() {
+		if len(pre[x]) < want {
+			want = len(pre[x])
+		}
+	}
+	if got != want {
+		t.Errorf("DiversityLowerBound = %d, want %d", got, want)
+	}
+	if DiversityLowerBound(s.Fingerprint(nil), pre) != 0 {
+		t.Error("empty fingerprint should have diversity 0")
+	}
+}
+
+func TestDiversityConstructionIsValid(t *testing.T) {
+	// Build the proof's Q_j profiles and verify they are pairwise
+	// disjoint, differ from P, and are indistinguishable from P.
+	const m, b = 60, 6
+	s := core.MustScheme(b, 9)
+	pre := Preimages(s, m)
+	p := profile.New(0, 7, 13)
+	fp := s.Fingerprint(p)
+	ell := DiversityLowerBound(fp, pre)
+	if ell < 2 {
+		t.Skip("pre-images too small for a meaningful construction")
+	}
+	ones := fp.Bits().Ones()
+	qs := make([]profile.Profile, 0, ell-1)
+	for j := 1; j < ell; j++ {
+		var items []profile.ItemID
+		for _, x := range ones {
+			items = append(items, pre[x][j])
+		}
+		qs = append(qs, profile.New(items...))
+	}
+	for i, q := range qs {
+		if !s.Fingerprint(q).Bits().Equal(fp.Bits()) {
+			t.Fatalf("Q_%d maps to a different fingerprint", i+1)
+		}
+		for jj := i + 1; jj < len(qs); jj++ {
+			if profile.IntersectionSize(q, qs[jj]) != 0 {
+				t.Fatalf("Q_%d and Q_%d intersect", i+1, jj+1)
+			}
+		}
+	}
+}
+
+func TestAssessReport(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.02, 3)
+	s := core.MustScheme(1024, 1)
+	r := Assess(d.Name, d.Profiles, d.NumItems, s)
+	if r.Dataset != "ml1M" || r.Items != d.NumItems || r.Bits != 1024 {
+		t.Errorf("report header wrong: %+v", r)
+	}
+	if r.MeanCard <= 0 {
+		t.Error("mean cardinality should be positive")
+	}
+	wantK := KAnonymityLog2(d.NumItems, 1024, int(math.Round(r.MeanCard)))
+	if math.Abs(r.KAnonymityBits-wantK) > 1e-9 {
+		t.Errorf("KAnonymityBits = %g, want %g", r.KAnonymityBits, wantK)
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestAttackPrecisionDropsWithUniverse(t *testing.T) {
+	// With a small b relative to m, each bit has many candidate items and
+	// the attacker's precision should be visibly below 1; a large b makes
+	// pre-images nearly singleton and the attack accurate. The gap is the
+	// obfuscation the paper claims.
+	d := dataset.Generate(dataset.DBLP, 0.01, 5)
+	small := AttackPrecision(d.Profiles, d.NumItems, core.MustScheme(64, 2))
+	large := AttackPrecision(d.Profiles, d.NumItems, core.MustScheme(1<<16, 2))
+	if small >= large {
+		t.Errorf("attack precision with b=64 (%.3f) not below b=65536 (%.3f)", small, large)
+	}
+	if small > 0.8 {
+		t.Errorf("b=64 attack precision %.3f too high: obfuscation broken", small)
+	}
+}

@@ -1,0 +1,63 @@
+package profile
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchPair(size int) (Profile, Profile) {
+	r := rand.New(rand.NewSource(int64(size)))
+	mk := func() Profile {
+		items := make([]ItemID, size)
+		for i := range items {
+			items[i] = ItemID(r.Intn(size * 12))
+		}
+		return New(items...)
+	}
+	return mk(), mk()
+}
+
+func BenchmarkJaccard(b *testing.B) {
+	for _, size := range []int{20, 80, 320, 1280} {
+		p, q := benchPair(size)
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += Jaccard(p, q)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkIntersectionSize(b *testing.B) {
+	p, q := benchPair(80)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += IntersectionSize(p, q)
+	}
+	_ = sink
+}
+
+func BenchmarkContains(b *testing.B) {
+	p, _ := benchPair(320)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		if p.Contains(ItemID(i % 4000)) {
+			sink++
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkNew(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	items := make([]ItemID, 80)
+	for i := range items {
+		items[i] = ItemID(r.Intn(1000))
+	}
+	for i := 0; i < b.N; i++ {
+		New(items...)
+	}
+}

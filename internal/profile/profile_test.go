@@ -1,0 +1,217 @@
+package profile
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSortsAndDedups(t *testing.T) {
+	p := New(5, 3, 5, 1, 3, 9)
+	want := []ItemID{1, 3, 5, 9}
+	if len(p) != len(want) {
+		t.Fatalf("New = %v, want %v", p, want)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("New = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestNewEmpty(t *testing.T) {
+	if p := New(); p.Len() != 0 {
+		t.Errorf("New() = %v, want empty", p)
+	}
+}
+
+func TestFromSortedAccepts(t *testing.T) {
+	p := FromSorted([]ItemID{1, 2, 10})
+	if p.Len() != 3 {
+		t.Errorf("FromSorted lost items: %v", p)
+	}
+}
+
+func TestFromSortedRejectsUnsorted(t *testing.T) {
+	for _, bad := range [][]ItemID{{2, 1}, {1, 1}, {5, 4, 6}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FromSorted(%v) did not panic", bad)
+				}
+			}()
+			FromSorted(bad)
+		}()
+	}
+}
+
+func TestContains(t *testing.T) {
+	p := New(2, 4, 6, 8)
+	for _, it := range []ItemID{2, 4, 6, 8} {
+		if !p.Contains(it) {
+			t.Errorf("Contains(%d) = false", it)
+		}
+	}
+	for _, it := range []ItemID{1, 3, 5, 7, 9, 100, -1} {
+		if p.Contains(it) {
+			t.Errorf("Contains(%d) = true", it)
+		}
+	}
+	if (Profile{}).Contains(1) {
+		t.Error("empty profile contains 1")
+	}
+}
+
+// mapModel computes the same quantities with maps, as an oracle.
+func mapModel(p, q Profile) (inter, union int) {
+	set := map[ItemID]int{}
+	for _, v := range p {
+		set[v] |= 1
+	}
+	for _, v := range q {
+		set[v] |= 2
+	}
+	for _, m := range set {
+		union++
+		if m == 3 {
+			inter++
+		}
+	}
+	return inter, union
+}
+
+func randProfile(r *rand.Rand, maxLen, universe int) Profile {
+	n := r.Intn(maxLen + 1)
+	items := make([]ItemID, n)
+	for i := range items {
+		items[i] = ItemID(r.Intn(universe))
+	}
+	return New(items...)
+}
+
+func TestSetOpsAgainstMapModel(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := randProfile(r, 50, 80)
+		q := randProfile(r, 50, 80)
+		wInter, wUnion := mapModel(p, q)
+		if got := IntersectionSize(p, q); got != wInter {
+			t.Fatalf("IntersectionSize(%v,%v) = %d, want %d", p, q, got, wInter)
+		}
+		if got := UnionSize(p, q); got != wUnion {
+			t.Fatalf("UnionSize = %d, want %d", UnionSize(p, q), wUnion)
+		}
+		if got := Intersection(p, q); len(got) != wInter {
+			t.Fatalf("Intersection length = %d, want %d", len(got), wInter)
+		}
+		if got := Union(p, q); len(got) != wUnion {
+			t.Fatalf("Union length = %d, want %d", len(got), wUnion)
+		}
+	}
+}
+
+func TestIntersectionAndUnionSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		p := randProfile(r, 40, 60)
+		q := randProfile(r, 40, 60)
+		for _, res := range []Profile{Intersection(p, q), Union(p, q)} {
+			if !sort.SliceIsSorted(res, func(i, j int) bool { return res[i] < res[j] }) {
+				t.Fatalf("result not sorted: %v", res)
+			}
+			for i := 1; i < len(res); i++ {
+				if res[i] == res[i-1] {
+					t.Fatalf("result has duplicates: %v", res)
+				}
+			}
+		}
+	}
+}
+
+func TestJaccardKnownValues(t *testing.T) {
+	cases := []struct {
+		p, q Profile
+		want float64
+	}{
+		{New(1, 2, 3), New(1, 2, 3), 1},
+		{New(1, 2), New(3, 4), 0},
+		{New(1, 2, 3), New(2, 3, 4), 0.5},
+		{New(1), New(1, 2, 3, 4), 0.25},
+		{New(), New(), 0},
+		{New(), New(1), 0},
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.p, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jaccard(%v,%v) = %g, want %g", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestSimilaritiesProperties(t *testing.T) {
+	gen := func(vals []uint16) Profile {
+		items := make([]ItemID, len(vals))
+		for i, v := range vals {
+			items[i] = ItemID(v % 200)
+		}
+		return New(items...)
+	}
+	f := func(av, bv []uint16) bool {
+		p, q := gen(av), gen(bv)
+		for _, sim := range []func(Profile, Profile) float64{Jaccard, Cosine, Overlap} {
+			s := sim(p, q)
+			if s < 0 || s > 1+1e-12 {
+				return false
+			}
+			if math.Abs(s-sim(q, p)) > 1e-12 { // symmetry
+				return false
+			}
+		}
+		if len(p) > 0 && Jaccard(p, p) != 1 {
+			return false
+		}
+		// Jaccard ≤ Cosine ≤ Overlap for non-empty sets.
+		if len(p) > 0 && len(q) > 0 {
+			j, c, o := Jaccard(p, q), Cosine(p, q), Overlap(p, q)
+			if j > c+1e-12 || c > o+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineKnown(t *testing.T) {
+	// |∩|=1, |p|=1, |q|=4 → 1/sqrt(4) = 0.5
+	if got := Cosine(New(1), New(1, 2, 3, 4)); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Cosine = %g, want 0.5", got)
+	}
+}
+
+func TestOverlapKnown(t *testing.T) {
+	// |∩|=1, min = 1 → 1.0
+	if got := Overlap(New(1), New(1, 2, 3, 4)); got != 1 {
+		t.Errorf("Overlap = %g, want 1", got)
+	}
+}
+
+func TestJaccardTriangleOnDistance(t *testing.T) {
+	// 1 - Jaccard is a metric; check the triangle inequality on random
+	// triples (a classic sanity check of the implementation).
+	r := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 200; trial++ {
+		a := randProfile(r, 30, 40)
+		b := randProfile(r, 30, 40)
+		c := randProfile(r, 30, 40)
+		dab := 1 - Jaccard(a, b)
+		dbc := 1 - Jaccard(b, c)
+		dac := 1 - Jaccard(a, c)
+		if dac > dab+dbc+1e-9 {
+			t.Fatalf("triangle violated: d(a,c)=%g > d(a,b)+d(b,c)=%g", dac, dab+dbc)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package recommend
+
+import (
+	"math"
+	"testing"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/knn"
+	"goldfinger/internal/profile"
+)
+
+// tinyTrain builds a 3-user dataset where user 0's neighbors are 1 and 2.
+//
+//	u0 rated {1}, u1 rated {1:5, 2:4}, u2 rated {2:5, 3:4}
+func tinyTrain() *dataset.Dataset {
+	return &dataset.Dataset{
+		Name: "tiny",
+		Profiles: []profile.Profile{
+			profile.New(1),
+			profile.New(1, 2),
+			profile.New(2, 3),
+		},
+		Values: [][]float32{
+			{5},
+			{5, 4},
+			{5, 4},
+		},
+		NumItems: 4,
+	}
+}
+
+func tinyGraph() *knn.Graph {
+	return &knn.Graph{K: 2, Neighbors: [][]knn.Neighbor{
+		{{ID: 1, Sim: 0.5}, {ID: 2, Sim: 0.25}},
+		{{ID: 0, Sim: 0.5}, {ID: 2, Sim: 0.33}},
+		{{ID: 1, Sim: 0.33}, {ID: 0, Sim: 0.25}},
+	}}
+}
+
+func TestForUserScores(t *testing.T) {
+	train := tinyTrain()
+	recs := ForUser(train, tinyGraph(), 0, 10)
+	// Candidates for u0: item 2 (from u1 value 4, sim .5; from u2 value 5,
+	// sim .25) and item 3 (from u2 value 4, sim .25). Item 1 excluded (u0
+	// has it).
+	// score(2) = (4·.5 + 5·.25)/.75 = 3.25/.75; score(3) = (4·.25)/.75.
+	if len(recs) != 2 {
+		t.Fatalf("got %d recommendations: %v", len(recs), recs)
+	}
+	if recs[0].Item != 2 || recs[1].Item != 3 {
+		t.Fatalf("order = %v, want item 2 then 3", recs)
+	}
+	if math.Abs(recs[0].Score-3.25/0.75) > 1e-12 {
+		t.Errorf("score(2) = %g, want %g", recs[0].Score, 3.25/0.75)
+	}
+	if math.Abs(recs[1].Score-1.0/0.75) > 1e-12 {
+		t.Errorf("score(3) = %g, want %g", recs[1].Score, 1.0/0.75)
+	}
+}
+
+func TestForUserRespectsN(t *testing.T) {
+	recs := ForUser(tinyTrain(), tinyGraph(), 0, 1)
+	if len(recs) != 1 || recs[0].Item != 2 {
+		t.Errorf("top-1 = %v, want item 2", recs)
+	}
+}
+
+func TestForUserNoNeighbors(t *testing.T) {
+	g := &knn.Graph{K: 2, Neighbors: [][]knn.Neighbor{{}, {}, {}}}
+	if recs := ForUser(tinyTrain(), g, 0, 5); recs != nil {
+		t.Errorf("no neighbors should give no recommendations, got %v", recs)
+	}
+}
+
+func TestForUserSkipsNonPositiveSims(t *testing.T) {
+	g := &knn.Graph{K: 2, Neighbors: [][]knn.Neighbor{
+		{{ID: 1, Sim: 0}},
+		{}, {},
+	}}
+	if recs := ForUser(tinyTrain(), g, 0, 5); recs != nil {
+		t.Errorf("zero-sim neighbor contributed: %v", recs)
+	}
+}
+
+func TestRecall(t *testing.T) {
+	train := tinyTrain()
+	g := tinyGraph()
+	// u0's top recommendation is item 2; hide {2} for u0, nothing else.
+	test := []profile.Profile{profile.New(2), nil, nil}
+	r, err := Recall(train, test, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("recall = %g, want 1", r)
+	}
+	// Hidden item that is never recommended → recall 0.
+	test = []profile.Profile{profile.New(3), nil, nil}
+	r, err = Recall(train, test, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Errorf("recall = %g, want 0", r)
+	}
+}
+
+func TestRecallValidation(t *testing.T) {
+	if _, err := Recall(tinyTrain(), nil, tinyGraph(), 5); err == nil {
+		t.Error("mismatched test length accepted")
+	}
+	short := &knn.Graph{K: 1, Neighbors: [][]knn.Neighbor{{}}}
+	if _, err := Recall(tinyTrain(), make([]profile.Profile, 3), short, 5); err == nil {
+		t.Error("mismatched graph accepted")
+	}
+}
+
+func TestRecallEmptyTest(t *testing.T) {
+	r, err := Recall(tinyTrain(), make([]profile.Profile, 3), tinyGraph(), 5)
+	if err != nil || r != 0 {
+		t.Errorf("recall with empty test = %g, %v; want 0, nil", r, err)
+	}
+}
+
+// TestCrossValidateNativeVsGoldFinger reproduces Fig. 8's claim in
+// miniature: the recall of GoldFinger-built graphs stays close to native.
+func TestCrossValidateNativeVsGoldFinger(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.04, 13)
+	const k, n = 10, 10
+
+	native, err := CrossValidate(d, 5, 1, n, func(train *dataset.Dataset) *knn.Graph {
+		g, _ := knn.BruteForce(knn.NewExplicitProvider(train.Profiles), k, knn.Options{})
+		return g
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := core.MustScheme(1024, 7)
+	golfi, err := CrossValidate(d, 5, 1, n, func(train *dataset.Dataset) *knn.Graph {
+		g, _ := knn.BruteForce(knn.NewSHFProvider(scheme, train.Profiles), k, knn.Options{})
+		return g
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if native <= 0 {
+		t.Fatalf("native recall = %g, expected positive signal", native)
+	}
+	if golfi < native*0.7 {
+		t.Errorf("GoldFinger recall %.4f fell far below native %.4f", golfi, native)
+	}
+}
+
+func TestCrossValidatePropagatesSplitError(t *testing.T) {
+	d := tinyTrain()
+	if _, err := CrossValidate(d, 1, 0, 5, nil); err == nil {
+		t.Error("nfolds=1 accepted")
+	}
+}

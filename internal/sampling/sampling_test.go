@@ -1,0 +1,96 @@
+package sampling
+
+import (
+	"testing"
+
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/knn"
+	"goldfinger/internal/profile"
+)
+
+func TestPopularity(t *testing.T) {
+	ps := []profile.Profile{
+		profile.New(1, 2),
+		profile.New(2, 3),
+		profile.New(2),
+	}
+	pop := Popularity(ps)
+	if pop[1] != 1 || pop[2] != 3 || pop[3] != 1 {
+		t.Errorf("popularity = %v", pop)
+	}
+}
+
+func TestTruncateValidation(t *testing.T) {
+	if _, err := TruncateLeastPopular(nil, 0); err == nil {
+		t.Error("maxSize=0 accepted")
+	}
+}
+
+func TestTruncateKeepsLeastPopular(t *testing.T) {
+	// Item 9 is in every profile (most popular); truncation to 2 items
+	// must drop it first.
+	ps := []profile.Profile{
+		profile.New(1, 2, 9),
+		profile.New(3, 4, 9),
+		profile.New(5, 6, 9),
+	}
+	tr, err := TruncateLeastPopular(ps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range tr {
+		if p.Len() != 2 {
+			t.Errorf("profile %d length = %d, want 2", i, p.Len())
+		}
+		if p.Contains(9) {
+			t.Errorf("profile %d kept the popular item 9: %v", i, p)
+		}
+	}
+}
+
+func TestTruncateShortProfilesUntouched(t *testing.T) {
+	ps := []profile.Profile{profile.New(1, 2)}
+	tr, err := TruncateLeastPopular(ps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr[0].Len() != 2 {
+		t.Errorf("short profile modified: %v", tr[0])
+	}
+}
+
+func TestTruncateDeterministic(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.02, 21)
+	a, _ := TruncateLeastPopular(d.Profiles, 20)
+	b, _ := TruncateLeastPopular(d.Profiles, 20)
+	for i := range a {
+		if profile.IntersectionSize(a[i], b[i]) != a[i].Len() || a[i].Len() != b[i].Len() {
+			t.Fatal("truncation not deterministic")
+		}
+	}
+}
+
+// TestBaselineComparison reproduces the §6 comparison: the truncation
+// baseline approximates the exact graph, but for the same representation
+// budget GoldFinger does not do worse — and the truncated similarity still
+// costs time proportional to the (truncated) profile size, which is the
+// structural reason the paper prefers fingerprints.
+func TestBaselineComparison(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.03, 22)
+	exactP := knn.NewExplicitProvider(d.Profiles)
+	const k = 10
+	exact, _ := knn.BruteForce(exactP, k, knn.Options{})
+
+	trP, err := NewProvider(d.Profiles, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gTr, _ := knn.BruteForce(trP, k, knn.Options{})
+	qTr := knn.Quality(gTr, exact, exactP)
+	if qTr < 0.6 {
+		t.Errorf("truncation baseline quality = %.3f, implausibly low", qTr)
+	}
+	if qTr >= 1.0+1e-9 {
+		t.Errorf("truncation baseline quality = %.3f above exact", qTr)
+	}
+}

@@ -1,0 +1,284 @@
+// Package service implements the untrusted KNN-construction service of the
+// paper's deployment story (§2.5): clients fingerprint their profiles
+// locally and upload only the SHFs; the server never sees a profile in
+// clear text, yet can build the KNN graph, serve neighborhoods, and answer
+// top-k similarity queries. Transport is HTTP with the binary fingerprint
+// codec as payload and JSON responses.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/knn"
+)
+
+// Server is the KNN-construction service. It is safe for concurrent use.
+type Server struct {
+	bits int
+
+	mu    sync.RWMutex
+	users []string // dense index → external user id
+	index map[string]int
+	fps   []core.Fingerprint
+	graph *knn.Graph
+	k     int
+	stale bool
+}
+
+// NewServer creates a service accepting fingerprints of the given length.
+func NewServer(bits int) (*Server, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("service: fingerprint length must be positive, got %d", bits)
+	}
+	return &Server{bits: bits, index: map[string]int{}}, nil
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/users/", s.handleUsers) // PUT fingerprint, GET neighbors
+	mux.HandleFunc("/graph/build", s.handleBuild)
+	mux.HandleFunc("/query", s.handleQuery)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// Stats is the /stats response.
+type Stats struct {
+	Users      int  `json:"users"`
+	Bits       int  `json:"bits"`
+	GraphK     int  `json:"graph_k"`
+	GraphBuilt bool `json:"graph_built"`
+	GraphStale bool `json:"graph_stale"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	st := Stats{
+		Users:      len(s.users),
+		Bits:       s.bits,
+		GraphK:     s.k,
+		GraphBuilt: s.graph != nil,
+		GraphStale: s.stale,
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleUsers routes /users/{id}/fingerprint and /users/{id}/neighbors.
+func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/users/")
+	parts := strings.Split(rest, "/")
+	if len(parts) != 2 || parts[0] == "" {
+		httpError(w, http.StatusNotFound, "want /users/{id}/fingerprint or /users/{id}/neighbors")
+		return
+	}
+	id, action := parts[0], parts[1]
+	switch {
+	case action == "fingerprint" && r.Method == http.MethodPut:
+		s.putFingerprint(w, r, id)
+	case action == "neighbors" && r.Method == http.MethodGet:
+		s.getNeighbors(w, r, id)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "unsupported method or action")
+	}
+}
+
+func (s *Server) putFingerprint(w http.ResponseWriter, r *http.Request, id string) {
+	fp, err := core.ReadFingerprint(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad fingerprint: %v", err)
+		return
+	}
+	if fp.NumBits() != s.bits {
+		httpError(w, http.StatusBadRequest, "fingerprint has %d bits, server expects %d", fp.NumBits(), s.bits)
+		return
+	}
+	s.mu.Lock()
+	if i, ok := s.index[id]; ok {
+		s.fps[i] = fp
+	} else {
+		s.index[id] = len(s.users)
+		s.users = append(s.users, id)
+		s.fps = append(s.fps, fp)
+	}
+	s.stale = true
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// BuildResult is the /graph/build response.
+type BuildResult struct {
+	Users       int    `json:"users"`
+	K           int    `json:"k"`
+	Algorithm   string `json:"algorithm"`
+	Comparisons int64  `json:"comparisons"`
+	Iterations  int    `json:"iterations"`
+}
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	k := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			httpError(w, http.StatusBadRequest, "bad k %q", v)
+			return
+		}
+		k = parsed
+	}
+	algo := r.URL.Query().Get("algo")
+	if algo == "" {
+		algo = "hyrec"
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.users) < 2 {
+		httpError(w, http.StatusConflict, "need at least 2 fingerprints, have %d", len(s.users))
+		return
+	}
+	provider := &knn.SHFProvider{Fingerprints: s.fps}
+	var g *knn.Graph
+	var stats knn.Stats
+	switch algo {
+	case "bruteforce":
+		g, stats = knn.BruteForce(provider, k, knn.Options{})
+	case "hyrec":
+		g, stats = knn.Hyrec(provider, k, knn.Options{})
+	case "nndescent":
+		g, stats = knn.NNDescent(provider, k, knn.Options{})
+	default:
+		httpError(w, http.StatusBadRequest, "unknown algorithm %q (bruteforce, hyrec, nndescent)", algo)
+		return
+	}
+	s.graph = g
+	s.k = k
+	s.stale = false
+	writeJSON(w, http.StatusOK, BuildResult{
+		Users:       len(s.users),
+		K:           k,
+		Algorithm:   algo,
+		Comparisons: stats.Comparisons,
+		Iterations:  stats.Iterations,
+	})
+}
+
+// NeighborJSON is one edge of a served neighborhood.
+type NeighborJSON struct {
+	User       string  `json:"user"`
+	Similarity float64 `json:"similarity"`
+}
+
+func (s *Server) getNeighbors(w http.ResponseWriter, r *http.Request, id string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, ok := s.index[id]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown user %q", id)
+		return
+	}
+	if s.graph == nil {
+		httpError(w, http.StatusConflict, "graph not built; POST /graph/build first")
+		return
+	}
+	out := make([]NeighborJSON, 0, len(s.graph.Neighbors[i]))
+	for _, nb := range s.graph.Neighbors[i] {
+		out = append(out, NeighborJSON{User: s.users[nb.ID], Similarity: nb.Sim})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	k := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			httpError(w, http.StatusBadRequest, "bad k %q", v)
+			return
+		}
+		k = parsed
+	}
+	fp, err := core.ReadFingerprint(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad fingerprint: %v", err)
+		return
+	}
+	if fp.NumBits() != s.bits {
+		httpError(w, http.StatusBadRequest, "fingerprint has %d bits, server expects %d", fp.NumBits(), s.bits)
+		return
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type scored struct {
+		idx int
+		sim float64
+	}
+	best := make([]scored, 0, k)
+	for i := range s.fps {
+		sim := core.Jaccard(fp, s.fps[i])
+		if len(best) < k {
+			best = append(best, scored{idx: i, sim: sim})
+			continue
+		}
+		worst := 0
+		for j := 1; j < len(best); j++ {
+			if best[j].sim < best[worst].sim {
+				worst = j
+			}
+		}
+		if sim > best[worst].sim {
+			best[worst] = scored{idx: i, sim: sim}
+		}
+	}
+	// Sort descending for a stable response.
+	for i := 0; i < len(best); i++ {
+		for j := i + 1; j < len(best); j++ {
+			if best[j].sim > best[i].sim ||
+				(best[j].sim == best[i].sim && s.users[best[j].idx] < s.users[best[i].idx]) {
+				best[i], best[j] = best[j], best[i]
+			}
+		}
+	}
+	out := make([]NeighborJSON, 0, len(best))
+	for _, b := range best {
+		out = append(out, NeighborJSON{User: s.users[b.idx], Similarity: b.sim})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), status)
+}
