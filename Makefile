@@ -2,14 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments fuzz clean
+.PHONY: all build check test race cover bench experiments fuzz clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test:
+# Static analysis plus race-enabled tests of the concurrency-sensitive
+# packages (the HTTP service and the KNN builders).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/service/... ./internal/knn/...
+
+test: check
 	$(GO) test ./...
 
 race:

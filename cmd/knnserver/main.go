@@ -11,6 +11,30 @@
 //	POST /query?k=10               top-k users for an uploaded fingerprint
 //	GET  /stats, GET /healthz
 //
+// # Graph epochs
+//
+// Each successful POST /graph/build produces a new immutable graph epoch —
+// the KNN graph pinned to the exact user set and fingerprints it was built
+// from. Construction runs outside any lock, so uploads, neighborhood reads
+// and queries all proceed at full speed while a build is running. The
+// contract:
+//
+//   - A stale epoch keeps serving the user set it was built from: users who
+//     re-upload a fingerprint see their *old* neighborhood until the next
+//     build (GET /stats reports graph_stale: true).
+//   - GET /users/{id}/neighbors for a user registered after the current
+//     epoch was built returns 409 Conflict ("registered after epoch N";
+//     rebuild to include them) — never an error page or a crash.
+//   - At most one build runs at a time: a concurrent POST /graph/build gets
+//     409 Conflict with a Retry-After header instead of queuing.
+//   - GET /stats exposes the epoch sequence number, the user count, the
+//     algorithm, the build duration and comparison count of the current
+//     epoch, and build_running while a construction is in flight.
+//
+// Fingerprint bodies (uploads and queries) are bounded to the exact wire
+// size of one fingerprint at the configured -bits; oversized bodies get
+// 413 and trailing bytes after a valid SHF get 400.
+//
 // Usage:
 //
 //	knnserver -addr :8080 -bits 1024

@@ -6,7 +6,11 @@ package goldfinger
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"goldfinger/internal/core"
@@ -15,6 +19,7 @@ import (
 	"goldfinger/internal/privacy"
 	"goldfinger/internal/profile"
 	"goldfinger/internal/recommend"
+	"goldfinger/internal/service"
 )
 
 // TestFullPipelineNativeVsGoldFinger drives the complete system: generate
@@ -203,5 +208,104 @@ func TestScaleInvariantsAcrossPresets(t *testing.T) {
 		if math.IsNaN(avg) || avg <= 0 {
 			t.Errorf("%s: degenerate graph similarity %g", preset.Name, avg)
 		}
+	}
+}
+
+// TestServiceEpochLifecycleOverHTTP drives the deployed service end to end
+// through its HTTP surface: clients upload serialized SHFs, trigger a
+// build, keep uploading while the epoch is live, and observe the epoch
+// contract (pinned user set, 409 for post-epoch users, epoch advance on
+// rebuild) — the §2.5 deployment under churn rather than one-shot.
+func TestServiceEpochLifecycleOverHTTP(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.01, 11)
+	scheme := core.MustScheme(1024, 11)
+	srv, err := service.NewServer(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	upload := func(id string, p profile.Profile) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := core.WriteFingerprint(&buf, scheme.Fingerprint(p)); err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/users/"+id+"/fingerprint", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("upload %s: status %d", id, resp.StatusCode)
+		}
+	}
+
+	const initial = 20
+	for i := 0; i < initial; i++ {
+		upload(fmt.Sprintf("u%03d", i), d.Profiles[i])
+	}
+	resp, err := http.Post(ts.URL+"/graph/build?k=5&algo=bruteforce", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var build service.BuildResult
+	if err := json.NewDecoder(resp.Body).Decode(&build); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if build.Epoch != 1 || build.Users != initial {
+		t.Fatalf("first build = %+v", build)
+	}
+
+	// Churn: more users arrive after the build. The live epoch keeps
+	// serving the original cohort and refuses the newcomers cleanly.
+	upload("late-a", d.Profiles[initial])
+	upload("late-b", d.Profiles[initial+1])
+	resp, err = http.Get(ts.URL + "/users/u000/neighbors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nbrs []service.NeighborJSON
+	if err := json.NewDecoder(resp.Body).Decode(&nbrs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(nbrs) != 5 {
+		t.Fatalf("epoch user got %d neighbors, want 5", len(nbrs))
+	}
+	resp, err = http.Get(ts.URL + "/users/late-a/neighbors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("post-epoch user: status %d, want 409", resp.StatusCode)
+	}
+
+	// Rebuild folds the newcomers in and advances the epoch.
+	resp, err = http.Post(ts.URL+"/graph/build?k=5&algo=bruteforce", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&build); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if build.Epoch != 2 || build.Users != initial+2 {
+		t.Fatalf("second build = %+v", build)
+	}
+	resp, err = http.Get(ts.URL + "/users/late-a/neighbors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("late user after rebuild: status %d, want 200", resp.StatusCode)
 	}
 }

@@ -105,7 +105,14 @@ func ReadFingerprintSet(r io.Reader) ([]Fingerprint, error) {
 	if n > 1<<28 {
 		return nil, fmt.Errorf("core: implausible fingerprint count %d", n)
 	}
-	out := make([]Fingerprint, 0, n)
+	// The count is attacker-controlled: cap the initial allocation and let
+	// append grow as entries actually parse, so a forged header cannot
+	// reserve gigabytes up front.
+	capHint := n
+	if capHint > 1024 {
+		capHint = 1024
+	}
+	out := make([]Fingerprint, 0, capHint)
 	for i := uint32(0); i < n; i++ {
 		f, err := ReadFingerprint(r)
 		if err != nil {

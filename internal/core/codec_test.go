@@ -169,3 +169,24 @@ func TestCodecPreservesSimilarity(t *testing.T) {
 		t.Error("similarity changed across the wire")
 	}
 }
+
+func TestFingerprintSetForgedCountCapsAllocation(t *testing.T) {
+	// A 4-byte header claiming 2^28 entries followed by no data must fail
+	// on the first missing entry without reserving entry-count capacity up
+	// front (2^28 Fingerprints would be multiple GiB).
+	data := []byte{0, 0, 0, 0x10} // count = 1<<28, little-endian
+	if _, err := ReadFingerprintSet(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated set with forged count accepted")
+	}
+
+	// A large-but-plausible claimed count with one valid entry still
+	// parses what is actually present before hitting the truncation.
+	var buf bytes.Buffer
+	if err := WriteFingerprint(&buf, MustScheme(64, 1).Fingerprint(profile.New(1))); err != nil {
+		t.Fatal(err)
+	}
+	data = append([]byte{0, 0, 0x10, 0}, buf.Bytes()...) // count = 1<<20
+	if _, err := ReadFingerprintSet(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated set accepted")
+	}
+}

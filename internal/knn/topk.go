@@ -1,0 +1,87 @@
+package knn
+
+import (
+	"sort"
+	"sync"
+)
+
+// ranksBelow is the strict (sim desc, id asc) total order of TopK: a ranks
+// below b when its similarity is lower, or equal with a higher id. Unlike
+// neighborhood.insert — whose tie handling is free to be arbitrary because
+// the graph builders only need *some* top-k set — a total order makes the
+// selected set unique, so TopK is deterministic at the k-th-place boundary.
+func ranksBelow(a, b Neighbor) bool {
+	if a.Sim != b.Sim {
+		return a.Sim < b.Sim
+	}
+	return a.ID > b.ID
+}
+
+// TopK returns the (at most) k candidates among 0..n-1 with the highest
+// similarity under sim, using the same bounded linear-scan selection as
+// the graph builders' neighborhoods (O(k) per candidate, allocation-free
+// per shard). Candidates are scanned by `workers` goroutines (0 means
+// GOMAXPROCS) over contiguous index shards, so sim must be safe for
+// concurrent use.
+//
+// The result is sorted by decreasing similarity with ties broken by
+// increasing id, and the selection at the k-th-place boundary also prefers
+// lower ids — the output is therefore fully deterministic and independent
+// of the worker count.
+func TopK(n, k, workers int, sim func(i int) float64) []Neighbor {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Each worker selects its shard-local top-k under the total order;
+	// the union of shard winners contains every global winner.
+	locals := make([][]Neighbor, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			nh := make([]Neighbor, 0, k)
+			for i := lo; i < hi; i++ {
+				cand := Neighbor{ID: int32(i), Sim: sim(i)}
+				if len(nh) < k {
+					nh = append(nh, cand)
+					continue
+				}
+				worst := 0
+				for j := 1; j < len(nh); j++ {
+					if ranksBelow(nh[j], nh[worst]) {
+						worst = j
+					}
+				}
+				if ranksBelow(nh[worst], cand) {
+					nh[worst] = cand
+				}
+			}
+			locals[w] = nh
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	merged := make([]Neighbor, 0, workers*k)
+	for _, l := range locals {
+		merged = append(merged, l...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Sim != merged[j].Sim {
+			return merged[i].Sim > merged[j].Sim
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}

@@ -1,0 +1,100 @@
+package knn
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func bruteTopK(sims []float64, k int) []Neighbor {
+	all := make([]Neighbor, len(sims))
+	for i, s := range sims {
+		all[i] = Neighbor{ID: int32(i), Sim: s}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Sim != all[j].Sim {
+			return all[i].Sim > all[j].Sim
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestTopKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(20)
+		sims := make([]float64, n)
+		for i := range sims {
+			// Coarse quantization produces plenty of exact ties.
+			sims[i] = float64(rng.Intn(8)) / 8
+		}
+		want := bruteTopK(sims, k)
+		for _, workers := range []int{1, 2, 3, 7, 16} {
+			got := TopK(n, k, workers, func(i int) float64 { return sims[i] })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d k=%d workers=%d: got %v, want %v", n, k, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestTopKAllTies(t *testing.T) {
+	// Every candidate has the same similarity: the k lowest ids must win,
+	// in id order, for any worker count.
+	const n, k = 100, 7
+	for _, workers := range []int{0, 1, 4, 13} {
+		got := TopK(n, k, workers, func(int) float64 { return 0.5 })
+		if len(got) != k {
+			t.Fatalf("workers=%d: got %d entries, want %d", workers, len(got), k)
+		}
+		for i, nb := range got {
+			if nb.ID != int32(i) || nb.Sim != 0.5 {
+				t.Errorf("workers=%d: entry %d = %+v, want id %d", workers, i, nb, i)
+			}
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	if got := TopK(0, 5, 2, func(int) float64 { return 0 }); got != nil {
+		t.Errorf("n=0: got %v, want nil", got)
+	}
+	if got := TopK(5, 0, 2, func(int) float64 { return 0 }); got != nil {
+		t.Errorf("k=0: got %v, want nil", got)
+	}
+	// k larger than n returns all candidates, sorted.
+	got := TopK(3, 10, 8, func(i int) float64 { return float64(i) })
+	if len(got) != 3 || got[0].ID != 2 || got[2].ID != 0 {
+		t.Errorf("k>n: got %v", got)
+	}
+}
+
+// BenchmarkTopK measures the parallel sharded top-k scan the service's
+// /query endpoint rides on, across worker counts.
+func BenchmarkTopK(b *testing.B) {
+	const n, k = 100000, 10
+	sims := make([]float64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range sims {
+		sims[i] = rng.Float64()
+	}
+	for _, workers := range []int{1, 4, 0} {
+		name := "workers=gomaxprocs"
+		if workers > 0 {
+			name = "workers=" + string(rune('0'+workers))
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := TopK(n, k, workers, func(i int) float64 { return sims[i] }); len(got) != k {
+					b.Fatal("short result")
+				}
+			}
+		})
+	}
+}

@@ -4,32 +4,76 @@
 // clear text, yet can build the KNN graph, serve neighborhoods, and answer
 // top-k similarity queries. Transport is HTTP with the binary fingerprint
 // codec as payload and JSON responses.
+//
+// # Concurrency model
+//
+// The mutable state (user table + fingerprint slice) is guarded by a short
+// critical-section RWMutex; the served graph lives in an immutable,
+// versioned graphEpoch that is swapped in atomically when a build
+// completes. A build snapshots the fingerprints under the lock (a cheap
+// slice copy — fingerprints are immutable values), runs the KNN algorithm
+// entirely outside any lock, and publishes the result as a new epoch.
+// Uploads, neighborhood reads and queries therefore never wait on a build.
+//
+// An epoch pins the graph to the user set it was built from: a user
+// registered after the epoch was built gets a clean 409 ("not in the built
+// graph; rebuild") instead of an out-of-range panic, and users who
+// re-uploaded keep being served the neighborhood of the fingerprint the
+// epoch was built from until the next build. At most one build runs at a
+// time: a concurrent POST /graph/build gets 409 with a Retry-After header
+// rather than queuing a redundant build.
 package service
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"goldfinger/internal/core"
 	"goldfinger/internal/knn"
 )
 
+// graphEpoch is one immutable build result: the graph plus the user table
+// and parameters it was built from. Readers load the current epoch with a
+// single atomic pointer read and never block builds or uploads.
+type graphEpoch struct {
+	seq       int64    // monotonically increasing build number (1-based)
+	graph     *knn.Graph
+	users     []string // user table snapshot the graph indices refer to
+	k         int
+	algorithm string
+	builtAt   time.Time
+	duration  time.Duration
+	stats     knn.Stats
+	mutSeq    uint64 // mutation counter value the snapshot was taken at
+}
+
 // Server is the KNN-construction service. It is safe for concurrent use.
 type Server struct {
 	bits int
 
-	mu    sync.RWMutex
-	users []string // dense index → external user id
-	index map[string]int
-	fps   []core.Fingerprint
-	graph *knn.Graph
-	k     int
-	stale bool
+	mu     sync.RWMutex
+	users  []string // dense index → external user id; append-only
+	index  map[string]int
+	fps    []core.Fingerprint
+	mutSeq uint64 // bumped on every fingerprint upload or replacement
+
+	epoch    atomic.Pointer[graphEpoch]
+	building atomic.Bool // build-in-progress guard
+	epochSeq atomic.Int64
+
+	// buildHook, when non-nil, runs after the build snapshot is taken and
+	// before the algorithm starts. Test instrumentation only.
+	buildHook func()
 }
 
 // NewServer creates a service accepting fingerprints of the given length.
@@ -63,18 +107,40 @@ type Stats struct {
 	GraphK     int  `json:"graph_k"`
 	GraphBuilt bool `json:"graph_built"`
 	GraphStale bool `json:"graph_stale"`
+
+	BuildRunning bool `json:"build_running"`
+
+	// Epoch observability: zero values until the first build completes.
+	Epoch           int64   `json:"epoch"`
+	EpochUsers      int     `json:"epoch_users"`
+	Algorithm       string  `json:"algorithm,omitempty"`
+	BuildDurationMS float64 `json:"build_duration_ms"`
+	Comparisons     int64   `json:"comparisons"`
+	BuiltAt         string  `json:"built_at,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	st := Stats{
-		Users:      len(s.users),
-		Bits:       s.bits,
-		GraphK:     s.k,
-		GraphBuilt: s.graph != nil,
-		GraphStale: s.stale,
-	}
+	users := len(s.users)
+	mutSeq := s.mutSeq
 	s.mu.RUnlock()
+
+	st := Stats{
+		Users:        users,
+		Bits:         s.bits,
+		BuildRunning: s.building.Load(),
+	}
+	if ep := s.epoch.Load(); ep != nil {
+		st.GraphK = ep.k
+		st.GraphBuilt = true
+		st.GraphStale = mutSeq != ep.mutSeq
+		st.Epoch = ep.seq
+		st.EpochUsers = len(ep.users)
+		st.Algorithm = ep.algorithm
+		st.BuildDurationMS = float64(ep.duration) / float64(time.Millisecond)
+		st.Comparisons = ep.stats.Comparisons
+		st.BuiltAt = ep.builtAt.UTC().Format(time.RFC3339Nano)
+	}
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -97,14 +163,45 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) putFingerprint(w http.ResponseWriter, r *http.Request, id string) {
-	fp, err := core.ReadFingerprint(r.Body)
+// maxBodyBytes is the exact wire size of one fingerprint at the server's
+// configured length: magic (4) + header (8) + bit-array words (8 each).
+func (s *Server) maxBodyBytes() int64 {
+	words := (s.bits + 63) / 64
+	return int64(12 + 8*words)
+}
+
+// readBoundedFingerprint reads exactly one fingerprint of the configured
+// length from the request body, bounding the body size and rejecting
+// trailing bytes after a valid SHF. On failure it writes the HTTP error
+// and returns ok=false.
+func (s *Server) readBoundedFingerprint(w http.ResponseWriter, r *http.Request) (core.Fingerprint, bool) {
+	body := http.MaxBytesReader(w, r.Body, s.maxBodyBytes()+1)
+	fp, err := core.ReadFingerprint(body)
 	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"fingerprint body exceeds %d bytes (server expects %d bits)", s.maxBodyBytes(), s.bits)
+			return core.Fingerprint{}, false
+		}
 		httpError(w, http.StatusBadRequest, "bad fingerprint: %v", err)
-		return
+		return core.Fingerprint{}, false
 	}
 	if fp.NumBits() != s.bits {
 		httpError(w, http.StatusBadRequest, "fingerprint has %d bits, server expects %d", fp.NumBits(), s.bits)
+		return core.Fingerprint{}, false
+	}
+	var trailing [1]byte
+	if n, err := body.Read(trailing[:]); n > 0 || !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, "trailing bytes after fingerprint")
+		return core.Fingerprint{}, false
+	}
+	return fp, true
+}
+
+func (s *Server) putFingerprint(w http.ResponseWriter, r *http.Request, id string) {
+	fp, ok := s.readBoundedFingerprint(w, r)
+	if !ok {
 		return
 	}
 	s.mu.Lock()
@@ -115,18 +212,20 @@ func (s *Server) putFingerprint(w http.ResponseWriter, r *http.Request, id strin
 		s.users = append(s.users, id)
 		s.fps = append(s.fps, fp)
 	}
-	s.stale = true
+	s.mutSeq++
 	s.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
 
 // BuildResult is the /graph/build response.
 type BuildResult struct {
-	Users       int    `json:"users"`
-	K           int    `json:"k"`
-	Algorithm   string `json:"algorithm"`
-	Comparisons int64  `json:"comparisons"`
-	Iterations  int    `json:"iterations"`
+	Users       int     `json:"users"`
+	K           int     `json:"k"`
+	Algorithm   string  `json:"algorithm"`
+	Comparisons int64   `json:"comparisons"`
+	Iterations  int     `json:"iterations"`
+	Epoch       int64   `json:"epoch"`
+	DurationMS  float64 `json:"duration_ms"`
 }
 
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
@@ -147,14 +246,42 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	if algo == "" {
 		algo = "hyrec"
 	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.users) < 2 {
-		httpError(w, http.StatusConflict, "need at least 2 fingerprints, have %d", len(s.users))
+	switch algo {
+	case "bruteforce", "hyrec", "nndescent":
+	default:
+		httpError(w, http.StatusBadRequest, "unknown algorithm %q (bruteforce, hyrec, nndescent)", algo)
 		return
 	}
-	provider := &knn.SHFProvider{Fingerprints: s.fps}
+
+	if !s.building.CompareAndSwap(false, true) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusConflict, "a build is already running; retry later")
+		return
+	}
+	defer s.building.Store(false)
+
+	// Snapshot the fingerprints and user table under the lock — a plain
+	// element copy, since fingerprints are immutable values. Everything
+	// after this runs without any lock held, so uploads and reads proceed
+	// while the O(n²) construction churns.
+	s.mu.RLock()
+	users := make([]string, len(s.users))
+	copy(users, s.users)
+	fps := make([]core.Fingerprint, len(s.fps))
+	copy(fps, s.fps)
+	mutSeq := s.mutSeq
+	s.mu.RUnlock()
+
+	if len(users) < 2 {
+		httpError(w, http.StatusConflict, "need at least 2 fingerprints, have %d", len(users))
+		return
+	}
+	if s.buildHook != nil {
+		s.buildHook()
+	}
+
+	provider := &knn.SHFProvider{Fingerprints: fps}
+	start := time.Now()
 	var g *knn.Graph
 	var stats knn.Stats
 	switch algo {
@@ -164,19 +291,30 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		g, stats = knn.Hyrec(provider, k, knn.Options{})
 	case "nndescent":
 		g, stats = knn.NNDescent(provider, k, knn.Options{})
-	default:
-		httpError(w, http.StatusBadRequest, "unknown algorithm %q (bruteforce, hyrec, nndescent)", algo)
-		return
 	}
-	s.graph = g
-	s.k = k
-	s.stale = false
+	duration := time.Since(start)
+
+	ep := &graphEpoch{
+		seq:       s.epochSeq.Add(1),
+		graph:     g,
+		users:     users,
+		k:         k,
+		algorithm: algo,
+		builtAt:   start,
+		duration:  duration,
+		stats:     stats,
+		mutSeq:    mutSeq,
+	}
+	s.epoch.Store(ep)
+
 	writeJSON(w, http.StatusOK, BuildResult{
-		Users:       len(s.users),
+		Users:       len(users),
 		K:           k,
 		Algorithm:   algo,
 		Comparisons: stats.Comparisons,
 		Iterations:  stats.Iterations,
+		Epoch:       ep.seq,
+		DurationMS:  float64(duration) / float64(time.Millisecond),
 	})
 }
 
@@ -188,19 +326,28 @@ type NeighborJSON struct {
 
 func (s *Server) getNeighbors(w http.ResponseWriter, r *http.Request, id string) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	i, ok := s.index[id]
-	if !ok {
+	i, known := s.index[id]
+	s.mu.RUnlock()
+	if !known {
 		httpError(w, http.StatusNotFound, "unknown user %q", id)
 		return
 	}
-	if s.graph == nil {
+	ep := s.epoch.Load()
+	if ep == nil {
 		httpError(w, http.StatusConflict, "graph not built; POST /graph/build first")
 		return
 	}
-	out := make([]NeighborJSON, 0, len(s.graph.Neighbors[i]))
-	for _, nb := range s.graph.Neighbors[i] {
-		out = append(out, NeighborJSON{User: s.users[nb.ID], Similarity: nb.Sim})
+	// The user table is append-only, so an index below the epoch's user
+	// count always refers to the same user the graph was built from; a
+	// later registration is simply not in this epoch.
+	if i >= len(ep.users) {
+		httpError(w, http.StatusConflict,
+			"user %q registered after epoch %d was built; POST /graph/build to include it", id, ep.seq)
+		return
+	}
+	out := make([]NeighborJSON, 0, len(ep.graph.Neighbors[i]))
+	for _, nb := range ep.graph.Neighbors[i] {
+		out = append(out, NeighborJSON{User: ep.users[nb.ID], Similarity: nb.Sim})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -219,52 +366,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		k = parsed
 	}
-	fp, err := core.ReadFingerprint(r.Body)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad fingerprint: %v", err)
-		return
-	}
-	if fp.NumBits() != s.bits {
-		httpError(w, http.StatusBadRequest, "fingerprint has %d bits, server expects %d", fp.NumBits(), s.bits)
+	fp, ok := s.readBoundedFingerprint(w, r)
+	if !ok {
 		return
 	}
 
+	// Snapshot the corpus, then scan outside the lock so a long query
+	// never stalls uploads.
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	type scored struct {
-		idx int
-		sim float64
-	}
-	best := make([]scored, 0, k)
-	for i := range s.fps {
-		sim := core.Jaccard(fp, s.fps[i])
-		if len(best) < k {
-			best = append(best, scored{idx: i, sim: sim})
-			continue
-		}
-		worst := 0
-		for j := 1; j < len(best); j++ {
-			if best[j].sim < best[worst].sim {
-				worst = j
-			}
-		}
-		if sim > best[worst].sim {
-			best[worst] = scored{idx: i, sim: sim}
-		}
-	}
-	// Sort descending for a stable response.
-	for i := 0; i < len(best); i++ {
-		for j := i + 1; j < len(best); j++ {
-			if best[j].sim > best[i].sim ||
-				(best[j].sim == best[i].sim && s.users[best[j].idx] < s.users[best[i].idx]) {
-				best[i], best[j] = best[j], best[i]
-			}
-		}
-	}
+	users := make([]string, len(s.users))
+	copy(users, s.users)
+	fps := make([]core.Fingerprint, len(s.fps))
+	copy(fps, s.fps)
+	s.mu.RUnlock()
+
+	best := knn.TopK(len(fps), k, 0, func(i int) float64 {
+		return core.Jaccard(fp, fps[i])
+	})
 	out := make([]NeighborJSON, 0, len(best))
 	for _, b := range best {
-		out = append(out, NeighborJSON{User: s.users[b.idx], Similarity: b.sim})
+		out = append(out, NeighborJSON{User: users[b.ID], Similarity: b.Sim})
 	}
+	// TopK breaks ties by dense index (registration order); the response
+	// contract orders equal similarities by external user id.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Similarity != out[j].Similarity {
+			return out[i].Similarity > out[j].Similarity
+		}
+		return out[i].User < out[j].User
+	})
 	writeJSON(w, http.StatusOK, out)
 }
 
