@@ -32,6 +32,12 @@ func TopK(n, k, workers int, sim func(i int) float64) []Neighbor {
 	if n <= 0 || k <= 0 {
 		return nil
 	}
+	// At most n results are possible, so clamping is behavior-preserving —
+	// and it keeps a caller-supplied huge k (e.g. straight from a query
+	// parameter) from panicking the cap-k preallocations below.
+	if k > n {
+		k = n
+	}
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}

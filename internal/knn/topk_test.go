@@ -1,6 +1,7 @@
 package knn
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -72,6 +73,15 @@ func TestTopKEdgeCases(t *testing.T) {
 	got := TopK(3, 10, 8, func(i int) float64 { return float64(i) })
 	if len(got) != 3 || got[0].ID != 2 || got[2].ID != 0 {
 		t.Errorf("k>n: got %v", got)
+	}
+}
+
+func TestTopKHugeKDoesNotPanic(t *testing.T) {
+	// k flows in from an attacker-controlled query parameter: an absurd
+	// value must be clamped to n, not preallocated (makeslice panic).
+	got := TopK(3, math.MaxInt, 2, func(i int) float64 { return float64(i) })
+	if len(got) != 3 || got[0].ID != 2 || got[2].ID != 0 {
+		t.Errorf("huge k: got %v", got)
 	}
 }
 

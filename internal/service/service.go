@@ -46,7 +46,7 @@ import (
 // and parameters it was built from. Readers load the current epoch with a
 // single atomic pointer read and never block builds or uploads.
 type graphEpoch struct {
-	seq       int64    // monotonically increasing build number (1-based)
+	seq       int64 // monotonically increasing build number (1-based)
 	graph     *knn.Graph
 	users     []string // user table snapshot the graph indices refer to
 	k         int
@@ -120,6 +120,10 @@ type Stats struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Load the epoch before reading mutSeq: mutSeq only grows, so the flag
+	// can only over-report staleness for an epoch that was just superseded,
+	// never report a fresh epoch as stale.
+	ep := s.epoch.Load()
 	s.mu.RLock()
 	users := len(s.users)
 	mutSeq := s.mutSeq
@@ -130,7 +134,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Bits:         s.bits,
 		BuildRunning: s.building.Load(),
 	}
-	if ep := s.epoch.Load(); ep != nil {
+	if ep != nil {
 		st.GraphK = ep.k
 		st.GraphBuilt = true
 		st.GraphStale = mutSeq != ep.mutSeq
@@ -191,9 +195,14 @@ func (s *Server) readBoundedFingerprint(w http.ResponseWriter, r *http.Request) 
 		httpError(w, http.StatusBadRequest, "fingerprint has %d bits, server expects %d", fp.NumBits(), s.bits)
 		return core.Fingerprint{}, false
 	}
+	// io.ReadFull loops over (0, nil) reads, which io.Reader permits before
+	// EOF, so only a real extra byte counts as trailing garbage.
 	var trailing [1]byte
-	if n, err := body.Read(trailing[:]); n > 0 || !errors.Is(err, io.EOF) {
+	if n, err := io.ReadFull(body, trailing[:]); n > 0 {
 		httpError(w, http.StatusBadRequest, "trailing bytes after fingerprint")
+		return core.Fingerprint{}, false
+	} else if !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, "reading request body: %v", err)
 		return core.Fingerprint{}, false
 	}
 	return fp, true
@@ -275,6 +284,12 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	if len(users) < 2 {
 		httpError(w, http.StatusConflict, "need at least 2 fingerprints, have %d", len(users))
 		return
+	}
+	// A node has at most n-1 neighbors, so clamping is behavior-preserving;
+	// it also keeps a huge ?k= from panicking the builders' cap-k
+	// neighborhood preallocations.
+	if k > len(users)-1 {
+		k = len(users) - 1
 	}
 	if s.buildHook != nil {
 		s.buildHook()

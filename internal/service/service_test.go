@@ -283,6 +283,52 @@ func TestQueryErrors(t *testing.T) {
 	}
 }
 
+func TestHugeKIsClampedNotFatal(t *testing.T) {
+	// k comes straight from the query string; before clamping, an absurd
+	// value panicked in TopK's worker goroutines ("makeslice: cap out of
+	// range"), which net/http's per-request recover does not catch — the
+	// whole process died. With the clamp both endpoints serve normally.
+	ts, scheme := newTestServer(t)
+	putFingerprint(t, ts, scheme, "a", profile.New(1, 2)).Body.Close()
+	putFingerprint(t, ts, scheme, "b", profile.New(2, 3)).Body.Close()
+
+	var buf bytes.Buffer
+	if err := core.WriteFingerprint(&buf, scheme.Fingerprint(profile.New(1, 2))); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/query?k=1000000000000000000", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("huge-k query: status %d", resp.StatusCode)
+	}
+	var got []NeighborJSON
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("huge-k query returned %d results, want all 2", len(got))
+	}
+
+	bresp, err := http.Post(ts.URL+"/graph/build?k=1000000000000000000&algo=bruteforce", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("huge-k build: status %d", bresp.StatusCode)
+	}
+	var br BuildResult
+	if err := json.NewDecoder(bresp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.K != 1 {
+		t.Errorf("huge-k build reported k=%d, want clamp to n-1=1", br.K)
+	}
+}
+
 func TestConcurrentUploadsAndQueries(t *testing.T) {
 	ts, scheme := newTestServer(t)
 	d := dataset.Generate(dataset.ML1M, 0.01, 9)
