@@ -2,16 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build check test race cover bench experiments fuzz clean
+.PHONY: all build check test race cover bench benchsmoke benchjson experiments fuzz clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-# Static analysis plus race-enabled tests of the concurrency-sensitive
-# packages (the HTTP service and the KNN builders).
-check:
+# Static analysis, race-enabled tests of the concurrency-sensitive packages
+# (the HTTP service and the KNN builders), and a one-iteration benchmark
+# smoke so the perf-critical kernel benches can never rot unnoticed.
+check: benchsmoke
 	$(GO) vet ./...
 	$(GO) test -race ./internal/service/... ./internal/knn/...
 
@@ -27,6 +28,17 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# One iteration of every bitset/knn benchmark: catches benchmarks that no
+# longer compile or crash, without measuring anything.
+benchsmoke:
+	$(GO) test -bench=. -benchtime=1x -count=1 -run='^$$' ./internal/bitset/... ./internal/knn/...
+
+# Machine-readable before/after numbers for the packed-corpus hot paths
+# (brute-force build + TopK query), written to BENCH_knn.json so the perf
+# trajectory is tracked across PRs.
+benchjson:
+	$(GO) run ./cmd/benchknn -out BENCH_knn.json
 
 # Regenerate every table and figure of the paper at the default scale.
 experiments:

@@ -541,6 +541,26 @@ func BenchmarkAblationProfileRepr(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationPackedCorpus compares full brute-force SHF construction
+// across the three storage/dispatch designs of DESIGN.md §8: the packed
+// corpus through the blocked BatchProvider kernels, the same tiled scan
+// forced onto per-pair dispatch, and the legacy per-pair scan with shared
+// mutex-guarded neighborhoods.
+func BenchmarkAblationPackedCorpus(b *testing.B) {
+	d := dataset.Generate(dataset.ML1M, benchScale, 23)
+	shfP := knn.NewSHFProvider(core.MustScheme(1024, 23), d.Profiles)
+	b.Run("packed-batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			knn.BruteForce(shfP, 30, knn.Options{})
+		}
+	})
+	b.Run("legacy-per-pair", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			knn.LegacyBruteForce(shfP, 30, knn.Options{})
+		}
+	})
+}
+
 // BenchmarkAblationParallel measures Brute Force scaling with the worker
 // count.
 func BenchmarkAblationParallel(b *testing.B) {

@@ -1,0 +1,172 @@
+// Command benchknn measures the brute-force KNN build and the TopK query
+// path on a synthetic SHF corpus, before and after the packed-corpus
+// rewrite, and writes the numbers to a JSON file (BENCH_knn.json) so the
+// performance trajectory is tracked across PRs.
+//
+// "Before" is the retained seed implementation: LegacyBruteForce's per-pair
+// provider scan for the build, and a per-pair core.Jaccard closure under
+// knn.TopK for the query. "After" is the packed path: BruteForce over the
+// BatchProvider blocked kernels, and knn.TopKRange streaming
+// PackedCorpus.JaccardQueryInto.
+//
+// Usage:
+//
+//	benchknn -n 10000 -bits 1024 -k 10 -out BENCH_knn.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/knn"
+	"goldfinger/internal/profile"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchknn:", err)
+		os.Exit(1)
+	}
+}
+
+// Pair is one before/after measurement in ns per operation.
+type Pair struct {
+	BeforeNsOp int64   `json:"before_ns_op"`
+	AfterNsOp  int64   `json:"after_ns_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// Report is the BENCH_knn.json schema.
+type Report struct {
+	N          int    `json:"n"`
+	Bits       int    `json:"bits"`
+	K          int    `json:"k"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	MeasuredAt string `json:"measured_at"`
+
+	// BruteForceBuild: LegacyBruteForce (per-pair provider scan) vs
+	// BruteForce over the packed BatchProvider.
+	BruteForceBuild Pair `json:"bruteforce_build"`
+	// TopKQuery: per-pair Jaccard closure vs packed range kernel, one
+	// external query fingerprint against the full corpus.
+	TopKQuery Pair `json:"topk_query"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchknn", flag.ContinueOnError)
+	n := fs.Int("n", 10000, "number of synthetic users")
+	bits := fs.Int("bits", 1024, "SHF length")
+	k := fs.Int("k", 10, "neighborhood size")
+	seed := fs.Int64("seed", 42, "random seed")
+	reps := fs.Int("reps", 1, "build repetitions (best-of)")
+	queries := fs.Int("queries", 30, "query repetitions (best-of)")
+	outPath := fs.String("out", "BENCH_knn.json", "output JSON path ('-' for stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 2 || *k < 1 || *reps < 1 || *queries < 1 {
+		return fmt.Errorf("need n >= 2, k >= 1, reps >= 1, queries >= 1")
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	profiles := make([]profile.Profile, *n)
+	for i := range profiles {
+		items := make([]profile.ItemID, 0, 60)
+		for j := 0; j < 60; j++ {
+			items = append(items, profile.ItemID(rng.Intn(5000)))
+		}
+		profiles[i] = profile.New(items...)
+	}
+	scheme, err := core.NewScheme(*bits, uint64(*seed))
+	if err != nil {
+		return err
+	}
+	shf := knn.NewSHFProvider(scheme, profiles)
+	corpus := scheme.PackProfiles(profiles, 0)
+	fps := scheme.FingerprintAll(profiles)
+
+	rep := Report{
+		N:          *n,
+		Bits:       *bits,
+		K:          *k,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		MeasuredAt: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	fmt.Fprintf(out, "benchknn: n=%d bits=%d k=%d (reps=%d queries=%d)\n", *n, *bits, *k, *reps, *queries)
+
+	var legacyComps, packedComps int64
+	legacyNs := bestOf(*reps, func() {
+		_, stats := knn.LegacyBruteForce(shf, *k, knn.Options{})
+		legacyComps = stats.Comparisons
+	})
+	packedNs := bestOf(*reps, func() {
+		_, stats := knn.BruteForce(shf, *k, knn.Options{})
+		packedComps = stats.Comparisons
+	})
+	if legacyComps != packedComps {
+		return fmt.Errorf("comparison counts diverge: legacy %d vs packed %d", legacyComps, packedComps)
+	}
+	rep.BruteForceBuild = pair(legacyNs, packedNs)
+	fmt.Fprintf(out, "  bruteforce build: legacy %v  packed %v  (%.2fx)\n",
+		time.Duration(legacyNs), time.Duration(packedNs), rep.BruteForceBuild.Speedup)
+
+	q := scheme.Fingerprint(profiles[0])
+	perPairNs := bestOf(*queries, func() {
+		knn.TopK(len(fps), *k, 0, func(i int) float64 { return core.Jaccard(q, fps[i]) })
+	})
+	packedQueryNs := bestOf(*queries, func() {
+		knn.TopKRange(corpus.NumUsers(), *k, 0, func(lo, hi int, out []float64) {
+			corpus.JaccardQueryInto(q, lo, hi, out)
+		})
+	})
+	rep.TopKQuery = pair(perPairNs, packedQueryNs)
+	fmt.Fprintf(out, "  topk query:       per-pair %v  packed %v  (%.2fx)\n",
+		time.Duration(perPairNs), time.Duration(packedQueryNs), rep.TopKQuery.Speedup)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *outPath == "-" {
+		_, err = out.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", *outPath)
+	return nil
+}
+
+// bestOf runs f reps times and returns the fastest wall-clock run in
+// nanoseconds — the standard way to strip scheduler/GC noise from a
+// single-number measurement.
+func bestOf(reps int, f func()) int64 {
+	best := int64(0)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		f()
+		d := time.Since(start).Nanoseconds()
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func pair(before, after int64) Pair {
+	p := Pair{BeforeNsOp: before, AfterNsOp: after}
+	if after > 0 {
+		p.Speedup = float64(before) / float64(after)
+	}
+	return p
+}

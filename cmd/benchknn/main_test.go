@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSmallCorpus(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "300", "-k", "5", "-queries", "2", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, blob)
+	}
+	if rep.N != 300 || rep.K != 5 || rep.Bits != 1024 {
+		t.Errorf("report params = %+v", rep)
+	}
+	if rep.BruteForceBuild.BeforeNsOp <= 0 || rep.BruteForceBuild.AfterNsOp <= 0 {
+		t.Errorf("missing build timings: %+v", rep.BruteForceBuild)
+	}
+	if rep.TopKQuery.BeforeNsOp <= 0 || rep.TopKQuery.AfterNsOp <= 0 {
+		t.Errorf("missing query timings: %+v", rep.TopKQuery)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "1"}, &buf); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if err := run([]string{"-bits", "0"}, &buf); err == nil {
+		t.Error("bits=0 accepted")
+	}
+}

@@ -46,8 +46,86 @@ func BenchmarkSet(b *testing.B) {
 }
 
 func BenchmarkOnes(b *testing.B) {
+	// Density sweep: the single-pass extraction loop must win at every
+	// fill level over the old Count()+NextSet double walk.
+	for _, fill := range []int{8, 102, 512} {
+		x := New(1024)
+		r := rand.New(rand.NewSource(int64(fill)))
+		for i := 0; i < fill; i++ {
+			x.Set(r.Intn(1024))
+		}
+		b.Run(fmt.Sprintf("fill=%d", fill), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x.Ones()
+			}
+		})
+	}
+}
+
+func BenchmarkOnesNextSetWalk(b *testing.B) {
+	// The pre-optimization Ones implementation, kept as the baseline the
+	// BenchmarkOnes numbers are read against.
 	x, _ := benchPair(1024)
 	for i := 0; i < b.N; i++ {
-		x.Ones()
+		out := make([]int, 0, x.Count())
+		for j := x.NextSet(0); j >= 0; j = x.NextSet(j + 1) {
+			out = append(out, j)
+		}
 	}
+}
+
+func BenchmarkAndCountWords(b *testing.B) {
+	for _, nbits := range []int{1024, 8192} {
+		x, y := benchPair(nbits)
+		xw, yw := x.Words(), y.Words()
+		b.Run(fmt.Sprintf("plain/bits=%d", nbits), func(b *testing.B) {
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += AndCountWords(xw, yw)
+			}
+			_ = sink
+		})
+		b.Run(fmt.Sprintf("unrolled4/bits=%d", nbits), func(b *testing.B) {
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += AndCountWords4(xw, yw)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkAndCountInto(b *testing.B) {
+	// One query against a packed block of rows — the inner loop of the
+	// brute-force scan. Compared against the same work done through the
+	// per-pair *Set kernel.
+	const nbits, rows = 1024, 256
+	stride := WordsFor(nbits)
+	r := rand.New(rand.NewSource(7))
+	corpus := make([]uint64, rows*stride)
+	sets := make([]*Set, rows)
+	for i := range sets {
+		s := New(nbits)
+		for j := 0; j < nbits/10; j++ {
+			s.Set(r.Intn(nbits))
+		}
+		sets[i] = s
+		copy(corpus[i*stride:], s.Words())
+	}
+	q, _ := benchPair(nbits)
+	out := make([]int32, rows)
+	b.Run("block", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			AndCountInto(q.Words(), corpus, stride, out)
+		}
+	})
+	b.Run("per-pair", func(b *testing.B) {
+		var sink int
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < rows; j++ {
+				sink += AndCount(q, sets[j])
+			}
+		}
+		_ = sink
+	})
 }

@@ -47,6 +47,24 @@ func FromWords(words []uint64, nbits int) *Set {
 
 func wordsFor(nbits int) int { return (nbits + wordMask) >> wordShift }
 
+// WordsFor returns the number of 64-bit words needed to hold nbits bits —
+// the row stride of a packed corpus of nbits-bit vectors.
+func WordsFor(nbits int) int { return wordsFor(nbits) }
+
+// View wraps words in a Set of nbits bits WITHOUT copying. The caller must
+// guarantee that len(words) == WordsFor(nbits), that the spare bits of the
+// last word are zero, and that the storage is not mutated for the lifetime
+// of the view — the packed corpus hands out such views so the codec and
+// service can treat rows as ordinary fingerprints. It panics on a length
+// mismatch; the spare-bit invariant is the caller's responsibility (checking
+// it would defeat the zero-copy purpose).
+func View(words []uint64, nbits int) *Set {
+	if len(words) != wordsFor(nbits) {
+		panic(fmt.Sprintf("bitset: view of %d words cannot hold exactly %d bits", len(words), nbits))
+	}
+	return &Set{words: words, nbits: nbits}
+}
+
 // trim clears the spare bits of the last word, restoring the invariant.
 func (s *Set) trim() {
 	if r := s.nbits & wordMask; r != 0 && len(s.words) > 0 {
@@ -126,11 +144,7 @@ func (s *Set) Equal(t *Set) bool {
 // SHF Jaccard estimator.
 func AndCount(s, t *Set) int {
 	matchLen(s, t)
-	n := 0
-	for i, w := range s.words {
-		n += bits.OnesCount64(w & t.words[i])
-	}
-	return n
+	return AndCountWords4(s.words, t.words)
 }
 
 // OrCount returns |s OR t| without allocating. It panics if the lengths
@@ -213,11 +227,18 @@ func (s *Set) NextSet(i int) int {
 	return -1
 }
 
-// Ones returns the indices of all set bits, in increasing order.
+// Ones returns the indices of all set bits, in increasing order. The
+// indices are emitted in a single word-streaming loop (clear-lowest-bit
+// extraction), not by repeated NextSet probing; the preceding Count pass
+// only sizes the allocation exactly.
 func (s *Set) Ones() []int {
 	out := make([]int, 0, s.Count())
-	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
-		out = append(out, i)
+	for wi, w := range s.words {
+		base := wi << wordShift
+		for w != 0 {
+			out = append(out, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
 	}
 	return out
 }

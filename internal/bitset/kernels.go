@@ -1,0 +1,87 @@
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file holds the raw word-slice kernels behind the packed fingerprint
+// corpus (core.PackedCorpus): AND+popcount over contiguous []uint64 rows,
+// with no *Set indirection in the inner loops. The slicing patterns are
+// chosen so the compiler can prove bounds once per row and eliminate
+// per-word checks.
+
+// AndCountWords returns popcount(a AND b) over two word slices of equal
+// length — Eq. 4's numerator on raw storage. It panics if the lengths
+// differ.
+func AndCountWords(a, b []uint64) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bitset: word-slice length mismatch %d != %d", len(a), len(b)))
+	}
+	b = b[:len(a)] // bounds-check elimination for b[i]
+	n := 0
+	for i := range a {
+		n += bits.OnesCount64(a[i] & b[i])
+	}
+	return n
+}
+
+// AndCountWords4 is AndCountWords with a 4-way unrolled inner loop: four
+// independent popcount accumulators expose instruction-level parallelism
+// that a single serial accumulator chain hides. At b = 1024 (16 words per
+// fingerprint) the unrolled body covers the whole row in four iterations.
+// It panics if the lengths differ.
+func AndCountWords4(a, b []uint64) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bitset: word-slice length mismatch %d != %d", len(a), len(b)))
+	}
+	b = b[:len(a)]
+	var n0, n1, n2, n3 int
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		n0 += bits.OnesCount64(a[i] & b[i])
+		n1 += bits.OnesCount64(a[i+1] & b[i+1])
+		n2 += bits.OnesCount64(a[i+2] & b[i+2])
+		n3 += bits.OnesCount64(a[i+3] & b[i+3])
+	}
+	for ; i < len(a); i++ {
+		n0 += bits.OnesCount64(a[i] & b[i])
+	}
+	return n0 + n1 + n2 + n3
+}
+
+// AndCountInto is the one-vs-many block kernel: corpus holds len(out)
+// fixed-stride rows back to back, and out[r] receives
+// popcount(query AND corpus[r*stride : r*stride+len(query)]). The query is
+// read once per row while the corpus streams sequentially — the access
+// pattern the packed layout exists for. len(query) may be smaller than
+// stride (trailing pad words are ignored); it panics if the geometry is
+// inconsistent.
+func AndCountInto(query, corpus []uint64, stride int, out []int32) {
+	rows := len(out)
+	if rows == 0 {
+		return
+	}
+	if stride < len(query) {
+		panic(fmt.Sprintf("bitset: stride %d shorter than query length %d", stride, len(query)))
+	}
+	if len(corpus) < rows*stride {
+		panic(fmt.Sprintf("bitset: corpus of %d words cannot hold %d rows of stride %d", len(corpus), rows, stride))
+	}
+	q := len(query)
+	for r := 0; r < rows; r++ {
+		row := corpus[r*stride : r*stride+q : r*stride+q]
+		var n0, n1, n2, n3 int
+		i := 0
+		for ; i+4 <= q; i += 4 {
+			n0 += bits.OnesCount64(query[i] & row[i])
+			n1 += bits.OnesCount64(query[i+1] & row[i+1])
+			n2 += bits.OnesCount64(query[i+2] & row[i+2])
+			n3 += bits.OnesCount64(query[i+3] & row[i+3])
+		}
+		for ; i < q; i++ {
+			n0 += bits.OnesCount64(query[i] & row[i])
+		}
+		out[r] = int32(n0 + n1 + n2 + n3)
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"goldfinger/internal/bitset"
+	"goldfinger/internal/profile"
+)
+
+// PackedCorpus stores n fingerprints as one contiguous []uint64 with a fixed
+// words-per-row stride, plus a flat cardinality array. Per-pair similarity
+// over []Fingerprint chases a heap pointer per fingerprint (each *bitset.Set
+// is a separate allocation); the packed layout lets the brute-force scan and
+// the query path stream one sequential buffer instead, which is what the
+// blocked kernels (bitset.AndCountInto) are written against.
+//
+// Memory layout: row i occupies words[i*stride : (i+1)*stride] with
+// stride = ceil(bits/64); at the paper's default b = 1024 a row is 16 words
+// (128 bytes, two cache lines) and rows are naturally 8-byte aligned by Go's
+// allocator. Cardinalities live in a separate int32 array so the denominator
+// of Eq. 4 is one flat load, not a struct field behind a pointer.
+//
+// A PackedCorpus is immutable after construction and safe for concurrent
+// reads.
+type PackedCorpus struct {
+	bits   int
+	stride int      // words per row, ceil(bits/64)
+	words  []uint64 // n*stride words, row-major
+	cards  []int32  // n cardinalities
+}
+
+// NewPackedCorpus packs existing fingerprints into one contiguous corpus.
+// Every fingerprint must have exactly the given length; zero-value
+// fingerprints are rejected (they have no bit array to copy).
+func NewPackedCorpus(bits int, fps []Fingerprint) (*PackedCorpus, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("core: fingerprint length must be positive, got %d", bits)
+	}
+	stride := bitset.WordsFor(bits)
+	c := &PackedCorpus{
+		bits:   bits,
+		stride: stride,
+		words:  make([]uint64, len(fps)*stride),
+		cards:  make([]int32, len(fps)),
+	}
+	for i, f := range fps {
+		if f.bits == nil {
+			return nil, fmt.Errorf("core: fingerprint %d is a zero value", i)
+		}
+		if f.NumBits() != bits {
+			return nil, fmt.Errorf("core: fingerprint %d has %d bits, corpus uses %d", i, f.NumBits(), bits)
+		}
+		copy(c.words[i*stride:], f.bits.Words())
+		c.cards[i] = int32(f.card)
+	}
+	return c, nil
+}
+
+// PackProfiles fingerprints every profile directly into a packed corpus,
+// spread over workers goroutines (0 means GOMAXPROCS). Unlike
+// FingerprintAll, no per-user *bitset.Set is ever allocated: each worker
+// sets bits straight into its slice of the shared row-major array (rows are
+// disjoint, so no synchronization beyond the final join is needed).
+func (s *Scheme) PackProfiles(profiles []profile.Profile, workers int) *PackedCorpus {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(profiles)
+	stride := bitset.WordsFor(s.bits)
+	c := &PackedCorpus{
+		bits:   s.bits,
+		stride: stride,
+		words:  make([]uint64, n*stride),
+		cards:  make([]int32, n),
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				row := c.words[i*stride : (i+1)*stride]
+				for _, item := range profiles[i] {
+					pos := s.BitOf(item)
+					row[pos>>6] |= 1 << uint(pos&63)
+				}
+				c.cards[i] = int32(bitset.AndCountWords4(row, row))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return c
+}
+
+// NumUsers returns the number of fingerprints in the corpus.
+func (c *PackedCorpus) NumUsers() int { return len(c.cards) }
+
+// NumBits returns b, the fingerprint length in bits.
+func (c *PackedCorpus) NumBits() int { return c.bits }
+
+// Stride returns the number of 64-bit words per row.
+func (c *PackedCorpus) Stride() int { return c.stride }
+
+// Row returns fingerprint i's bit-array words as a slice of the shared
+// storage. Callers must not mutate it.
+func (c *PackedCorpus) Row(i int) []uint64 {
+	return c.words[i*c.stride : (i+1)*c.stride : (i+1)*c.stride]
+}
+
+// Cardinality returns c_i, the number of set bits of fingerprint i.
+func (c *PackedCorpus) Cardinality(i int) int { return int(c.cards[i]) }
+
+// Fingerprint returns a zero-copy Fingerprint view of row i, usable with
+// every per-pair API (Jaccard, the codec, the service). The view shares the
+// corpus storage; since the corpus is immutable this is safe.
+func (c *PackedCorpus) Fingerprint(i int) Fingerprint {
+	return Fingerprint{bits: bitset.View(c.Row(i), c.bits), card: int(c.cards[i])}
+}
+
+// SizeBytes returns the in-memory footprint of the packed payload.
+func (c *PackedCorpus) SizeBytes() int { return len(c.words)*8 + len(c.cards)*4 }
+
+// Jaccard estimates Jaccard's index between rows u and v (paper Eq. 4).
+// It is bit-for-bit identical to core.Jaccard on the unpacked fingerprints.
+func (c *PackedCorpus) Jaccard(u, v int) float64 {
+	inter := bitset.AndCountWords4(c.Row(u), c.Row(v))
+	union := int(c.cards[u]) + int(c.cards[v]) - inter
+	if union <= 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Cosine estimates the binary cosine similarity between rows u and v,
+// bit-for-bit identical to core.Cosine on the unpacked fingerprints.
+func (c *PackedCorpus) Cosine(u, v int) float64 {
+	if c.cards[u] == 0 || c.cards[v] == 0 {
+		return 0
+	}
+	inter := bitset.AndCountWords4(c.Row(u), c.Row(v))
+	return float64(inter) / math.Sqrt(float64(c.cards[u])*float64(c.cards[v]))
+}
+
+// packTile is the number of rows each blocked-kernel call covers before the
+// intersection counts are converted to similarities: 256 rows × 128 bytes
+// (at b=1024) streams 32 KB per tile — L1-resident — while the int32
+// scratch stays on the stack.
+const packTile = 256
+
+// jaccardInto writes Ĵ(query, row v) for v in [lo, hi) into out[0:hi-lo].
+func (c *PackedCorpus) jaccardInto(query []uint64, qcard int32, lo, hi int, out []float64) {
+	var inter [packTile]int32
+	for start := lo; start < hi; start += packTile {
+		end := min(start+packTile, hi)
+		bitset.AndCountInto(query, c.words[start*c.stride:end*c.stride], c.stride, inter[:end-start])
+		for j := 0; j < end-start; j++ {
+			in := int(inter[j])
+			union := int(qcard) + int(c.cards[start+j]) - in
+			if union <= 0 {
+				out[start-lo+j] = 0
+			} else {
+				out[start-lo+j] = float64(in) / float64(union)
+			}
+		}
+	}
+}
+
+// cosineInto is jaccardInto for the binary cosine estimator.
+func (c *PackedCorpus) cosineInto(query []uint64, qcard int32, lo, hi int, out []float64) {
+	if qcard == 0 {
+		for j := lo; j < hi; j++ {
+			out[j-lo] = 0
+		}
+		return
+	}
+	var inter [packTile]int32
+	for start := lo; start < hi; start += packTile {
+		end := min(start+packTile, hi)
+		bitset.AndCountInto(query, c.words[start*c.stride:end*c.stride], c.stride, inter[:end-start])
+		for j := 0; j < end-start; j++ {
+			if card := c.cards[start+j]; card == 0 {
+				out[start-lo+j] = 0
+			} else {
+				out[start-lo+j] = float64(inter[j]) / math.Sqrt(float64(qcard)*float64(card))
+			}
+		}
+	}
+}
+
+// JaccardRangeInto writes Ĵ(u, v) for v in [lo, hi) into out[0:hi-lo],
+// streaming the corpus once — the one-vs-many kernel behind BatchProvider.
+func (c *PackedCorpus) JaccardRangeInto(u, lo, hi int, out []float64) {
+	c.jaccardInto(c.Row(u), c.cards[u], lo, hi, out)
+}
+
+// JaccardQueryInto is JaccardRangeInto for an external query fingerprint
+// (the service's /query path). It panics if the query length differs from
+// the corpus length, matching core.Jaccard's mixed-scheme behavior.
+func (c *PackedCorpus) JaccardQueryInto(q Fingerprint, lo, hi int, out []float64) {
+	if q.NumBits() != c.bits {
+		panic(fmt.Sprintf("core: query has %d bits, corpus uses %d", q.NumBits(), c.bits))
+	}
+	c.jaccardInto(q.bits.Words(), int32(q.card), lo, hi, out)
+}
+
+// CosineRangeInto writes the cosine estimate of (u, v) for v in [lo, hi)
+// into out[0:hi-lo].
+func (c *PackedCorpus) CosineRangeInto(u, lo, hi int, out []float64) {
+	c.cosineInto(c.Row(u), c.cards[u], lo, hi, out)
+}

@@ -7,6 +7,7 @@
 package knn
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"goldfinger/internal/core"
@@ -19,6 +20,21 @@ import (
 type Provider interface {
 	NumUsers() int
 	Similarity(u, v int) float64
+}
+
+// BatchProvider is the blocked extension of Provider: one call computes a
+// whole row range, so an implementation backed by a packed corpus
+// (core.PackedCorpus) can stream contiguous rows through the AND+popcount
+// kernel instead of dispatching an interface call per pair. Graph builders
+// type-assert for it and fall back to per-pair Similarity when absent, so
+// providers without a batched layout (explicit profiles, custom functions)
+// keep working unchanged.
+type BatchProvider interface {
+	Provider
+	// SimilarityRange computes Similarity(u, v) for every v in [lo, hi)
+	// into out[0 : hi-lo]. The results must be bit-for-bit identical to
+	// per-pair Similarity calls.
+	SimilarityRange(u, lo, hi int, out []float64)
 }
 
 // ExplicitProvider computes exact Jaccard similarities on explicit profiles
@@ -41,23 +57,82 @@ func (p *ExplicitProvider) Similarity(u, v int) float64 {
 }
 
 // SHFProvider estimates Jaccard similarities from Single Hash Fingerprints
-// (the GoldFinger mode).
+// (the GoldFinger mode). It implements BatchProvider: the first batched
+// call packs the fingerprints into a contiguous corpus (once, concurrently
+// safe), after which both the batched and the per-pair paths run on flat
+// rows instead of pointer-chasing separately allocated bit arrays.
 type SHFProvider struct {
 	Fingerprints []core.Fingerprint
+
+	packOnce sync.Once
+	packed   atomic.Pointer[core.PackedCorpus]
 }
 
 // NewSHFProvider fingerprints all profiles under the scheme and wraps the
-// result in a Provider.
+// result in a Provider. The fingerprints are packed eagerly — construction
+// already walks every profile, so the corpus layout is free here.
 func NewSHFProvider(scheme *core.Scheme, profiles []profile.Profile) *SHFProvider {
-	return &SHFProvider{Fingerprints: scheme.FingerprintAll(profiles)}
+	p := &SHFProvider{Fingerprints: scheme.FingerprintAll(profiles)}
+	if c, err := core.NewPackedCorpus(scheme.NumBits(), p.Fingerprints); err == nil {
+		p.packOnce.Do(func() {}) // mark packed; corpus is published below
+		p.packed.Store(c)
+	}
+	return p
+}
+
+// NewPackedSHFProvider wraps an already-packed corpus directly; per-pair
+// and batched similarities both read the corpus, and no []Fingerprint
+// copy is materialized.
+func NewPackedSHFProvider(c *core.PackedCorpus) *SHFProvider {
+	p := &SHFProvider{}
+	p.packOnce.Do(func() {})
+	p.packed.Store(c)
+	return p
+}
+
+// corpus returns the packed corpus, packing the fingerprint slice on first
+// use. It returns nil when packing is impossible (no fingerprints, or
+// mixed lengths), in which case callers fall back to the per-pair path.
+func (p *SHFProvider) corpus() *core.PackedCorpus {
+	p.packOnce.Do(func() {
+		if len(p.Fingerprints) == 0 {
+			return
+		}
+		if c, err := core.NewPackedCorpus(p.Fingerprints[0].NumBits(), p.Fingerprints); err == nil {
+			p.packed.Store(c)
+		}
+	})
+	return p.packed.Load()
 }
 
 // NumUsers returns the number of users.
-func (p *SHFProvider) NumUsers() int { return len(p.Fingerprints) }
+func (p *SHFProvider) NumUsers() int {
+	if p.Fingerprints != nil {
+		return len(p.Fingerprints)
+	}
+	if c := p.packed.Load(); c != nil {
+		return c.NumUsers()
+	}
+	return 0
+}
 
 // Similarity returns the SHF Jaccard estimate (paper Eq. 4).
 func (p *SHFProvider) Similarity(u, v int) float64 {
+	if c := p.packed.Load(); c != nil {
+		return c.Jaccard(u, v)
+	}
 	return core.Jaccard(p.Fingerprints[u], p.Fingerprints[v])
+}
+
+// SimilarityRange implements BatchProvider on the packed corpus.
+func (p *SHFProvider) SimilarityRange(u, lo, hi int, out []float64) {
+	if c := p.corpus(); c != nil {
+		c.JaccardRangeInto(u, lo, hi, out)
+		return
+	}
+	for v := lo; v < hi; v++ {
+		out[v-lo] = p.Similarity(u, v)
+	}
 }
 
 // FuncProvider computes similarities on explicit profiles with an
@@ -83,8 +158,12 @@ func (p *FuncProvider) Similarity(u, v int) float64 {
 }
 
 // SHFCosineProvider estimates binary cosine similarities from fingerprints.
+// Like SHFProvider it implements BatchProvider over a lazily packed corpus.
 type SHFCosineProvider struct {
 	Fingerprints []core.Fingerprint
+
+	packOnce sync.Once
+	packed   atomic.Pointer[core.PackedCorpus]
 }
 
 // NewSHFCosineProvider fingerprints all profiles for cosine estimation.
@@ -97,7 +176,29 @@ func (p *SHFCosineProvider) NumUsers() int { return len(p.Fingerprints) }
 
 // Similarity returns the SHF cosine estimate.
 func (p *SHFCosineProvider) Similarity(u, v int) float64 {
+	if c := p.packed.Load(); c != nil {
+		return c.Cosine(u, v)
+	}
 	return core.Cosine(p.Fingerprints[u], p.Fingerprints[v])
+}
+
+// SimilarityRange implements BatchProvider on the packed corpus.
+func (p *SHFCosineProvider) SimilarityRange(u, lo, hi int, out []float64) {
+	p.packOnce.Do(func() {
+		if len(p.Fingerprints) == 0 {
+			return
+		}
+		if c, err := core.NewPackedCorpus(p.Fingerprints[0].NumBits(), p.Fingerprints); err == nil {
+			p.packed.Store(c)
+		}
+	})
+	if c := p.packed.Load(); c != nil {
+		c.CosineRangeInto(u, lo, hi, out)
+		return
+	}
+	for v := lo; v < hi; v++ {
+		out[v-lo] = p.Similarity(u, v)
+	}
 }
 
 // CountingProvider wraps a Provider and counts similarity computations.
@@ -120,6 +221,27 @@ func (p *CountingProvider) NumUsers() int { return p.Inner.NumUsers() }
 func (p *CountingProvider) Similarity(u, v int) float64 {
 	p.comparisons.Add(1)
 	return p.Inner.Similarity(u, v)
+}
+
+// AddComparisons folds a batch of n comparisons into the counter at once.
+// Hot loops that process whole row blocks accumulate a worker-local count
+// and fold it here once per block, avoiding one contended atomic.Add per
+// pair.
+func (p *CountingProvider) AddComparisons(n int64) { p.comparisons.Add(n) }
+
+// SimilarityRange implements BatchProvider: the wrapped provider's batched
+// kernel is used when it has one, and either way the whole range counts as
+// one AddComparisons fold instead of hi-lo contended per-pair increments —
+// wrapping a provider in a counter no longer destroys its batching.
+func (p *CountingProvider) SimilarityRange(u, lo, hi int, out []float64) {
+	if b, ok := p.Inner.(BatchProvider); ok {
+		b.SimilarityRange(u, lo, hi, out)
+	} else {
+		for v := lo; v < hi; v++ {
+			out[v-lo] = p.Inner.Similarity(u, v)
+		}
+	}
+	p.AddComparisons(int64(hi - lo))
 }
 
 // Comparisons returns the number of similarity computations so far.

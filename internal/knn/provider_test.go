@@ -66,3 +66,37 @@ func TestGoldFingerCosineEndToEnd(t *testing.T) {
 		t.Errorf("cosine GoldFinger quality = %.3f, want ≥ 0.8", q)
 	}
 }
+
+func TestCountingProviderSimilarityRange(t *testing.T) {
+	d := dataset.Generate(dataset.ML1M, 0.02, 61)
+	shf := NewSHFProvider(core.MustScheme(1024, 61), d.Profiles)
+	n := shf.NumUsers()
+
+	// Batched inner: results must match the inner kernel and the whole
+	// range must count as hi-lo comparisons.
+	cp := NewCountingProvider(shf)
+	got := make([]float64, n)
+	want := make([]float64, n)
+	cp.SimilarityRange(0, 1, n, got[:n-1])
+	shf.SimilarityRange(0, 1, n, want[:n-1])
+	for i := range want[:n-1] {
+		if got[i] != want[i] {
+			t.Fatalf("counted batch diverges at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if c := cp.Comparisons(); c != int64(n-1) {
+		t.Errorf("batched range counted %d comparisons, want %d", c, n-1)
+	}
+
+	// Per-pair inner (no BatchProvider): fallback loop, same counting.
+	cpExplicit := NewCountingProvider(NewExplicitProvider(d.Profiles))
+	cpExplicit.SimilarityRange(2, 0, 5, got[:5])
+	for v := 0; v < 5; v++ {
+		if want := profile.Jaccard(d.Profiles[2], d.Profiles[v]); got[v] != want {
+			t.Fatalf("fallback range diverges at %d: %v vs %v", v, got[v], want)
+		}
+	}
+	if c := cpExplicit.Comparisons(); c != 5 {
+		t.Errorf("fallback range counted %d comparisons, want 5", c)
+	}
+}

@@ -29,6 +29,24 @@ func ranksBelow(a, b Neighbor) bool {
 // lower ids — the output is therefore fully deterministic and independent
 // of the worker count.
 func TopK(n, k, workers int, sim func(i int) float64) []Neighbor {
+	return TopKRange(n, k, workers, func(lo, hi int, out []float64) {
+		for i := lo; i < hi; i++ {
+			out[i-lo] = sim(i)
+		}
+	})
+}
+
+// topkColTile is the candidate-range width per batched kernel call; it
+// matches the packed-corpus tile so one call streams an L1-resident block.
+const topkColTile = 256
+
+// TopKRange is TopK over a range-batched similarity kernel: sim fills
+// out[0:hi-lo] with the similarities of candidates [lo, hi). A kernel
+// backed by core.PackedCorpus (e.g. JaccardQueryInto) streams one
+// contiguous buffer per tile instead of dispatching a closure per
+// candidate. Selection, tie rules, and determinism are identical to TopK —
+// the two return the same result whenever the kernels agree pointwise.
+func TopKRange(n, k, workers int, sim func(lo, hi int, out []float64)) []Neighbor {
 	if n <= 0 || k <= 0 {
 		return nil
 	}
@@ -55,20 +73,28 @@ func TopK(n, k, workers int, sim func(i int) float64) []Neighbor {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			nh := make([]Neighbor, 0, k)
-			for i := lo; i < hi; i++ {
-				cand := Neighbor{ID: int32(i), Sim: sim(i)}
-				if len(nh) < k {
-					nh = append(nh, cand)
-					continue
-				}
-				worst := 0
-				for j := 1; j < len(nh); j++ {
-					if ranksBelow(nh[j], nh[worst]) {
-						worst = j
+			// worst caches the index of nh's minimum under the total order
+			// (valid once nh is full), so the common reject is one compare
+			// and the O(k) rescan only runs on an accepted candidate.
+			worst := 0
+			buf := make([]float64, topkColTile)
+			for tlo := lo; tlo < hi; tlo += topkColTile {
+				thi := min(tlo+topkColTile, hi)
+				tile := buf[:thi-tlo]
+				sim(tlo, thi, tile)
+				for i := tlo; i < thi; i++ {
+					cand := Neighbor{ID: int32(i), Sim: tile[i-tlo]}
+					if len(nh) < k {
+						nh = append(nh, cand)
+						if len(nh) == k {
+							worst = findWorst(nh)
+						}
+						continue
 					}
-				}
-				if ranksBelow(nh[worst], cand) {
-					nh[worst] = cand
+					if ranksBelow(nh[worst], cand) {
+						nh[worst] = cand
+						worst = findWorst(nh)
+					}
 				}
 			}
 			locals[w] = nh

@@ -76,6 +76,31 @@ func TestTopKEdgeCases(t *testing.T) {
 	}
 }
 
+// TestTopKRangeMatchesTopK: the range-batched kernel form must reproduce
+// TopK exactly — ties, boundaries, worker counts, and tile-straddling
+// shards included.
+func TestTopKRangeMatchesTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 30; trial++ {
+		// n above topkColTile exercises multi-tile shards.
+		n := 1 + rng.Intn(700)
+		k := 1 + rng.Intn(20)
+		sims := make([]float64, n)
+		for i := range sims {
+			sims[i] = float64(rng.Intn(8)) / 8
+		}
+		want := bruteTopK(sims, k)
+		for _, workers := range []int{1, 3, 16} {
+			got := TopKRange(n, k, workers, func(lo, hi int, out []float64) {
+				copy(out, sims[lo:hi])
+			})
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d k=%d workers=%d: got %v, want %v", n, k, workers, got, want)
+			}
+		}
+	}
+}
+
 func TestTopKHugeKDoesNotPanic(t *testing.T) {
 	// k flows in from an attacker-controlled query parameter: an absurd
 	// value must be clamped to n, not preallocated (makeslice panic).

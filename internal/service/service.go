@@ -15,6 +15,14 @@
 // entirely outside any lock, and publishes the result as a new epoch.
 // Uploads, neighborhood reads and queries therefore never wait on a build.
 //
+// Builds and queries both run on a core.PackedCorpus — one contiguous
+// row-major bit array the blocked similarity kernels stream — held in a
+// packedCache validated against the mutation counter: as long as no upload
+// lands, successive builds and queries reuse the same immutable corpus;
+// after an upload the next caller re-packs outside the lock and swaps the
+// cache atomically. The corpus is never mutated in place, so readers of a
+// superseded cache stay safe.
+//
 // An epoch pins the graph to the user set it was built from: a user
 // registered after the epoch was built gets a clean 409 ("not in the built
 // graph; rebuild") instead of an out-of-range panic, and users who
@@ -70,10 +78,57 @@ type Server struct {
 	epoch    atomic.Pointer[graphEpoch]
 	building atomic.Bool // build-in-progress guard
 	epochSeq atomic.Int64
+	packed   atomic.Pointer[packedCache]
 
 	// buildHook, when non-nil, runs after the build snapshot is taken and
 	// before the algorithm starts. Test instrumentation only.
 	buildHook func()
+}
+
+// packedCache is one immutable packed snapshot of the corpus: the row-major
+// packed fingerprints, the user table they index into, and the mutation
+// counter value they were taken at.
+type packedCache struct {
+	corpus *core.PackedCorpus
+	users  []string
+	mutSeq uint64
+}
+
+// packedSnapshot returns a packed corpus consistent with the current
+// mutation counter. If the cached corpus is current it is returned as-is
+// (the common case for query bursts and repeated builds); otherwise the
+// fingerprints are snapshotted under the read lock and packed outside any
+// lock, and the result is published unless a packer for a newer mutation
+// got there first. Superseded corpora remain valid for whoever still holds
+// them — nothing is ever packed in place.
+func (s *Server) packedSnapshot() (*packedCache, error) {
+	s.mu.RLock()
+	mutSeq := s.mutSeq
+	if c := s.packed.Load(); c != nil && c.mutSeq == mutSeq {
+		s.mu.RUnlock()
+		return c, nil
+	}
+	users := make([]string, len(s.users))
+	copy(users, s.users)
+	fps := make([]core.Fingerprint, len(s.fps))
+	copy(fps, s.fps)
+	s.mu.RUnlock()
+
+	corpus, err := core.NewPackedCorpus(s.bits, fps)
+	if err != nil {
+		return nil, err
+	}
+	c := &packedCache{corpus: corpus, users: users, mutSeq: mutSeq}
+	for {
+		old := s.packed.Load()
+		if old != nil && old.mutSeq >= mutSeq {
+			break // a concurrent packer published a same-or-newer snapshot
+		}
+		if s.packed.CompareAndSwap(old, c) {
+			break
+		}
+	}
+	return c, nil
 }
 
 // NewServer creates a service accepting fingerprints of the given length.
@@ -269,17 +324,15 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.building.Store(false)
 
-	// Snapshot the fingerprints and user table under the lock — a plain
-	// element copy, since fingerprints are immutable values. Everything
-	// after this runs without any lock held, so uploads and reads proceed
-	// while the O(n²) construction churns.
-	s.mu.RLock()
-	users := make([]string, len(s.users))
-	copy(users, s.users)
-	fps := make([]core.Fingerprint, len(s.fps))
-	copy(fps, s.fps)
-	mutSeq := s.mutSeq
-	s.mu.RUnlock()
+	// Snapshot the corpus in packed form: reuses the cached packing when no
+	// upload landed since, and otherwise packs outside any lock — so uploads
+	// and reads proceed while the O(n²) construction churns.
+	snap, err := s.packedSnapshot()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "packing corpus: %v", err)
+		return
+	}
+	users := snap.users
 
 	if len(users) < 2 {
 		httpError(w, http.StatusConflict, "need at least 2 fingerprints, have %d", len(users))
@@ -295,7 +348,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		s.buildHook()
 	}
 
-	provider := &knn.SHFProvider{Fingerprints: fps}
+	provider := knn.NewPackedSHFProvider(snap.corpus)
 	start := time.Now()
 	var g *knn.Graph
 	var stats knn.Stats
@@ -318,7 +371,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		builtAt:   start,
 		duration:  duration,
 		stats:     stats,
-		mutSeq:    mutSeq,
+		mutSeq:    snap.mutSeq,
 	}
 	s.epoch.Store(ep)
 
@@ -386,21 +439,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Snapshot the corpus, then scan outside the lock so a long query
-	// never stalls uploads.
-	s.mu.RLock()
-	users := make([]string, len(s.users))
-	copy(users, s.users)
-	fps := make([]core.Fingerprint, len(s.fps))
-	copy(fps, s.fps)
-	s.mu.RUnlock()
-
-	best := knn.TopK(len(fps), k, 0, func(i int) float64 {
-		return core.Jaccard(fp, fps[i])
+	// Snapshot the packed corpus (reusing the cached packing unless an
+	// upload landed since), then scan outside the lock so a long query never
+	// stalls uploads. The query fingerprint was validated to the server's
+	// bit length above, so it always matches the corpus.
+	snap, err := s.packedSnapshot()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "packing corpus: %v", err)
+		return
+	}
+	corpus := snap.corpus
+	best := knn.TopKRange(corpus.NumUsers(), k, 0, func(lo, hi int, out []float64) {
+		corpus.JaccardQueryInto(fp, lo, hi, out)
 	})
 	out := make([]NeighborJSON, 0, len(best))
 	for _, b := range best {
-		out = append(out, NeighborJSON{User: users[b.ID], Similarity: b.Sim})
+		out = append(out, NeighborJSON{User: snap.users[b.ID], Similarity: b.Sim})
 	}
 	// TopK breaks ties by dense index (registration order); the response
 	// contract orders equal similarities by external user id.

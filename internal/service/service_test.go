@@ -407,3 +407,89 @@ func TestReuploadReplacesAndMarksStale(t *testing.T) {
 		t.Error("graph not marked stale after re-upload")
 	}
 }
+
+// TestPackedSnapshotCachingAndInvalidation: successive snapshots without an
+// intervening upload must return the same immutable packed corpus, and any
+// upload (new user or replacement) must invalidate the cache so the next
+// snapshot reflects the new fingerprints.
+func TestPackedSnapshotCachingAndInvalidation(t *testing.T) {
+	srv, err := NewServer(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	scheme := core.MustScheme(1024, 7)
+
+	putFingerprint(t, ts, scheme, "a", profile.New(1, 2, 3)).Body.Close()
+	putFingerprint(t, ts, scheme, "b", profile.New(100, 200)).Body.Close()
+
+	c1, err := srv.packedSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.corpus.NumUsers() != 2 || len(c1.users) != 2 {
+		t.Fatalf("snapshot has %d users, want 2", c1.corpus.NumUsers())
+	}
+	c2, err := srv.packedSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("back-to-back snapshots repacked instead of reusing the cache")
+	}
+
+	// Replacing a's fingerprint bumps mutSeq; the stale cache must not be
+	// served, and the fresh corpus must hold the new bits at a's index.
+	putFingerprint(t, ts, scheme, "a", profile.New(7, 8, 9)).Body.Close()
+	c3, err := srv.packedSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 == c1 {
+		t.Fatal("snapshot after re-upload reused the stale cache")
+	}
+	want := scheme.Fingerprint(profile.New(7, 8, 9))
+	if got := core.Jaccard(want, c3.corpus.Fingerprint(0)); got != 1 {
+		t.Errorf("repacked corpus row 0 has Jaccard %v vs the re-uploaded fingerprint, want 1", got)
+	}
+}
+
+// TestQueryReflectsReupload drives the same invalidation through the public
+// API: after "b" re-uploads the query profile's exact fingerprint, /query
+// must rank b first — a stale packed cache would keep serving the old bits.
+func TestQueryReflectsReupload(t *testing.T) {
+	ts, scheme := newTestServer(t)
+	putFingerprint(t, ts, scheme, "a", profile.New(1, 2, 3)).Body.Close()
+	putFingerprint(t, ts, scheme, "b", profile.New(100, 200)).Body.Close()
+
+	query := func() []NeighborJSON {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := core.WriteFingerprint(&buf, scheme.Fingerprint(profile.New(1, 2, 3))); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/query?k=1", "application/octet-stream", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query status %d", resp.StatusCode)
+		}
+		var got []NeighborJSON
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	if got := query(); len(got) != 1 || got[0].User != "a" || got[0].Similarity != 1 {
+		t.Fatalf("before re-upload: got %+v, want a at sim 1", got)
+	}
+	putFingerprint(t, ts, scheme, "b", profile.New(1, 2, 3)).Body.Close()
+	putFingerprint(t, ts, scheme, "a", profile.New(500, 600)).Body.Close()
+	if got := query(); len(got) != 1 || got[0].User != "b" || got[0].Similarity != 1 {
+		t.Fatalf("after re-upload: got %+v, want b at sim 1", got)
+	}
+}
