@@ -2,24 +2,27 @@
 
 GO ?= go
 
-.PHONY: all build check test race cover bench benchsmoke benchjson experiments fuzz clean
+.PHONY: all build check test race racecheck cover bench benchsmoke benchjson experiments fuzz fuzzshort clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-# Static analysis, race-enabled tests of the concurrency-sensitive packages
-# (the HTTP service and the KNN builders), and a one-iteration benchmark
-# smoke so the perf-critical kernel benches can never rot unnoticed.
-check: benchsmoke
+# Static analysis, the full race-enabled suite, a short fuzz burst over
+# every fuzz target, and a one-iteration benchmark smoke so the
+# perf-critical kernel benches can never rot unnoticed.
+check: benchsmoke racecheck fuzzshort
 	$(GO) vet ./...
-	$(GO) test -race ./internal/service/... ./internal/knn/...
 
 test: check
 	$(GO) test ./...
 
-race:
+race: racecheck
+
+# The whole test suite — including the cross-algorithm correctness harness
+# and the HTTP cancel/timeout tests — under the race detector.
+racecheck:
 	$(GO) test -race ./...
 
 cover:
@@ -45,8 +48,17 @@ experiments:
 	$(GO) run ./cmd/goldfinger all
 
 fuzz:
-	$(GO) test -fuzz=FuzzReadFingerprint -fuzztime=30s ./internal/core
+	$(GO) test -fuzz=FuzzReadFingerprint$$ -fuzztime=30s ./internal/core
+	$(GO) test -fuzz=FuzzReadFingerprintSet -fuzztime=30s ./internal/core
 	$(GO) test -fuzz=FuzzParseMovieLens -fuzztime=30s ./internal/dataset
+
+# 10 seconds per fuzz target — enough for the seeded corpora (codec round
+# trips, the capped-prealloc set path, the ratings parser) to shake out
+# regressions on every `make check` without stalling the loop.
+fuzzshort:
+	$(GO) test -fuzz=FuzzReadFingerprint$$ -fuzztime=10s ./internal/core
+	$(GO) test -fuzz=FuzzReadFingerprintSet -fuzztime=10s ./internal/core
+	$(GO) test -fuzz=FuzzParseMovieLens -fuzztime=10s ./internal/dataset
 
 clean:
 	$(GO) clean ./...

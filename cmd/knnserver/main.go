@@ -5,11 +5,14 @@
 //
 // Endpoints:
 //
-//	PUT  /users/{id}/fingerprint   upload a binary SHF (internal/core codec)
-//	POST /graph/build?k=30&algo=hyrec
-//	GET  /users/{id}/neighbors
-//	POST /query?k=10               top-k users for an uploaded fingerprint
-//	GET  /stats, GET /healthz
+//	PUT    /users/{id}/fingerprint   upload a binary SHF (internal/core codec)
+//	POST   /graph/build?k=30&algo=hyrec
+//	DELETE /graph/build              cancel the in-flight build (alias: /build)
+//	GET    /users/{id}/neighbors
+//	POST   /query?k=10               top-k users for an uploaded fingerprint
+//	GET    /stats, GET /healthz
+//	GET    /metrics                  JSON metrics snapshot (internal/obs)
+//	GET    /debug/pprof/*            runtime profiles (heap, cpu, goroutine, ...)
 //
 // # Graph epochs
 //
@@ -29,7 +32,16 @@
 //     409 Conflict with a Retry-After header instead of queuing.
 //   - GET /stats exposes the epoch sequence number, the user count, the
 //     algorithm, the build duration and comparison count of the current
-//     epoch, and build_running while a construction is in flight.
+//     epoch, and build_running plus the live phase/progress while a
+//     construction is in flight.
+//
+// # Cancellation and deadlines
+//
+// Builds are cancellable: DELETE /graph/build aborts the in-flight build
+// within one scan block, and -build-timeout imposes the same abort as a
+// deadline on every build. Either way nothing is published — the previous
+// epoch keeps serving all reads — and the aborted POST reports 409
+// (canceled) or 504 (timed out).
 //
 // Fingerprint bodies (uploads and queries) are bounded to the exact wire
 // size of one fingerprint at the configured -bits; oversized bodies get
@@ -37,7 +49,7 @@
 //
 // Usage:
 //
-//	knnserver -addr :8080 -bits 1024
+//	knnserver -addr :8080 -bits 1024 -build-timeout 5m
 package main
 
 import (
@@ -45,7 +57,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,34 +69,67 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	bits := flag.Int("bits", 1024, "accepted fingerprint length")
-	flag.Parse()
-
-	srv, err := service.NewServer(*bits)
-	if err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "knnserver:", err)
 		os.Exit(1)
 	}
+}
+
+// run parses args, starts the server, and serves until ctx is canceled
+// (then shuts down gracefully). When ready is non-nil it is called with
+// the bound listen address once the listener is up — tests use it with
+// -addr 127.0.0.1:0.
+func run(ctx context.Context, args []string, logw io.Writer, ready func(addr string)) error {
+	fs := flag.NewFlagSet("knnserver", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	addr := fs.String("addr", ":8080", "listen address")
+	bits := fs.Int("bits", 1024, "accepted fingerprint length")
+	buildTimeout := fs.Duration("build-timeout", 0,
+		"abort graph builds running longer than this (0 disables the deadline)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *buildTimeout < 0 {
+		return fmt.Errorf("-build-timeout must be non-negative, got %s", *buildTimeout)
+	}
+
+	srv, err := service.NewServer(*bits)
+	if err != nil {
+		return err
+	}
+	srv.SetBuildTimeout(*buildTimeout)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	logger := log.New(logw, "", log.LstdFlags)
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Printf("shutdown: %v", err)
 		}
 	}()
 
-	log.Printf("knnserver listening on %s (fingerprints: %d bits)", *addr, *bits)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+	logger.Printf("knnserver listening on %s (fingerprints: %d bits, build timeout: %s)",
+		ln.Addr(), *bits, *buildTimeout)
+	if ready != nil {
+		ready(ln.Addr().String())
 	}
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

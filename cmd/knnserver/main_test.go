@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bits", "0"},
+		{"-bits", "-5"},
+		{"-build-timeout", "banana"},
+		{"-build-timeout", "-1s"},
+		{"-nosuchflag"},
+		{"stray-positional"},
+	} {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := run(ctx, args, io.Discard, nil)
+		cancel()
+		if err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunRejectsUnlistenableAddr(t *testing.T) {
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, io.Discard, nil); err == nil {
+		t.Error("bogus listen address accepted")
+	}
+}
+
+// TestRunServesAndShutsDown is the startup/shutdown smoke test: the server
+// must come up on an ephemeral port with the -build-timeout flag applied,
+// answer the health, stats and metrics endpoints, and exit cleanly when the
+// context is canceled.
+func TestRunServesAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	var logs bytes.Buffer
+	go func() {
+		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-bits", "256", "-build-timeout", "30s"}, &logs, func(addr string) {
+			addrCh <- addr
+		})
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-errCh:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not become ready")
+	}
+
+	for _, path := range []string{"/healthz", "/stats", "/metrics"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path != "/healthz" {
+			var v map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				t.Errorf("GET %s: invalid JSON: %v", path, err)
+			}
+		}
+		resp.Body.Close()
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+
+	if !bytes.Contains(logs.Bytes(), []byte("build timeout: 30s")) {
+		t.Errorf("startup log did not record the build timeout: %q", logs.String())
+	}
+}

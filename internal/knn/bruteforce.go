@@ -4,6 +4,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"goldfinger/internal/obs"
 )
 
 const (
@@ -35,6 +38,12 @@ const (
 // makes the result graph fully deterministic and independent of the worker
 // count and of whether the batched or the per-pair path ran — the per-worker
 // local top-k sets always cover the unique global top-k.
+//
+// Cancellation (Options.Ctx) is checked once per row-block claim — one
+// context poll per 64 rows, invisible next to the kernel work — so a cancel
+// or deadline stops the scan within one block. The partial graph is still
+// merged and returned (structurally valid, possibly incomplete); callers
+// that care must inspect Options.Ctx.Err().
 func BruteForce(p Provider, k int, opts Options) (*Graph, Stats) {
 	n := p.NumUsers()
 	g := &Graph{K: k, Neighbors: make([][]Neighbor, n)}
@@ -55,6 +64,11 @@ func BruteForce(p Provider, k int, opts Options) (*Graph, Stats) {
 		workers = numBlocks
 	}
 	batch, _ := p.(BatchProvider)
+	ctx := opts.ctx()
+	m := opts.metrics()
+	m.startProgress(int64(numBlocks))
+	scanHist := m.phase("scan")
+	scanStart := time.Now()
 
 	locals := make([]*bruteLocal, workers)
 	var comparisons, updates atomic.Int64
@@ -71,7 +85,12 @@ func BruteForce(p Provider, k int, opts Options) (*Graph, Stats) {
 		go func(l *bruteLocal) {
 			defer wg.Done()
 			buf := make([]float64, bruteColTile)
+			lc := obs.Local{C: m.comparisons}
+			defer lc.Flush()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				b := int(cursor.Add(1)) - 1
 				lo := b * bruteRowBlock
 				if lo >= n {
@@ -106,12 +125,19 @@ func BruteForce(p Provider, k int, opts Options) (*Graph, Stats) {
 				// atomic each, instead of one atomic per pair/insert.
 				comparisons.Add(comps)
 				updates.Add(ups)
+				lc.Add(comps)
+				lc.Flush()
+				m.progressDone.Add(1)
 			}
 		}(locals[w])
 	}
 	wg.Wait()
+	scanHist.ObserveSince(scanStart)
 
+	mergeHist := m.phase("merge")
+	mergeStart := time.Now()
 	mergeLocals(g, locals, kCap, workers)
+	mergeHist.ObserveSince(mergeStart)
 	return g, Stats{Comparisons: comparisons.Load(), Updates: updates.Load()}
 }
 

@@ -1,9 +1,11 @@
 package knn
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Hyrec constructs an approximate KNN graph with the greedy strategy of
@@ -12,6 +14,10 @@ import (
 // neighbor of a neighbor is likely a neighbor — and keeps the best k. The
 // algorithm stops when an iteration performs fewer than δ·k·n updates or
 // after MaxIterations.
+//
+// Cancellation (Options.Ctx) is checked before every iteration and once
+// per user inside an iteration; a canceled build returns the partial graph
+// promptly (callers inspect Options.Ctx.Err() to tell).
 func Hyrec(p Provider, k int, opts Options) (*Graph, Stats) {
 	n := p.NumUsers()
 	cp := NewCountingProvider(p)
@@ -19,12 +25,19 @@ func Hyrec(p Provider, k int, opts Options) (*Graph, Stats) {
 	for u := range nhs {
 		nhs[u] = newNeighborhood(k)
 	}
+	ctx := opts.ctx()
+	m := opts.metrics()
+	m.startProgress(int64(opts.maxIterations()))
 	rng := rand.New(rand.NewSource(opts.Seed))
-	randomInit(cp, nhs, k, rng)
+	initHist := m.phase("init")
+	initStart := time.Now()
+	randomInit(ctx, cp, nhs, k, rng)
+	initHist.ObserveSince(initStart)
 
 	stats := Stats{}
 	threshold := int64(opts.delta() * float64(k) * float64(n))
 	workers := opts.workers()
+	iterHist := m.phase("iterate")
 
 	// seen[u] remembers every candidate already compared with u, across
 	// iterations: recomputing a previously rejected pair can never change
@@ -36,23 +49,24 @@ func Hyrec(p Provider, k int, opts Options) (*Graph, Stats) {
 		seen[u] = map[int32]bool{int32(u): true}
 	}
 
-	for iter := 0; iter < opts.maxIterations(); iter++ {
+	for iter := 0; iter < opts.maxIterations() && ctx.Err() == nil; iter++ {
 		stats.Iterations++
+		iterStart := time.Now()
 		var updates atomic.Int64
 
 		var wg sync.WaitGroup
 		next := make(chan int, workers)
-		go func() {
-			for u := 0; u < n; u++ {
-				next <- u
-			}
-			close(next)
-		}()
+		go feedUsers(ctx, next, n)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for u := range next {
+					// Drain without working once canceled, so the feeder's
+					// buffered users don't each pay a full candidate sweep.
+					if ctx.Err() != nil {
+						continue
+					}
 					nbrs := nhs[u].snapshot()
 					for _, nb := range nbrs {
 						seen[u][nb.ID] = true // current neighbors: nothing to learn
@@ -79,6 +93,8 @@ func Hyrec(p Provider, k int, opts Options) (*Graph, Stats) {
 		}
 		wg.Wait()
 
+		iterHist.ObserveSince(iterStart)
+		m.progressDone.Set(int64(iter + 1))
 		stats.Updates += updates.Load()
 		if updates.Load() <= threshold {
 			break
@@ -86,5 +102,21 @@ func Hyrec(p Provider, k int, opts Options) (*Graph, Stats) {
 	}
 
 	stats.Comparisons = cp.Comparisons()
+	m.comparisons.Add(stats.Comparisons)
 	return finalize(k, nhs), stats
+}
+
+// feedUsers pushes 0..n-1 into next, giving up (and closing the channel so
+// workers drain and exit) as soon as ctx is canceled — without this, a
+// worker returning early would leave the feeder blocked on a send forever.
+func feedUsers(ctx context.Context, next chan<- int, n int) {
+	defer close(next)
+	done := ctx.Done()
+	for u := 0; u < n; u++ {
+		select {
+		case next <- u:
+		case <-done:
+			return
+		}
+	}
 }

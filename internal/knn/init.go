@@ -1,14 +1,19 @@
 package knn
 
-import "math/rand"
+import (
+	"context"
+	"math/rand"
+)
 
 // randomInit fills every neighborhood with k distinct random users (the
 // random graph both greedy algorithms start from), computing their
-// similarities through cp so the comparisons are accounted for.
-func randomInit(cp *CountingProvider, nhs []*neighborhood, k int, rng *rand.Rand) {
+// similarities through cp so the comparisons are accounted for. It checks
+// ctx once per user and stops early on cancellation — the init phase is
+// O(n·k) similarity calls and must not outlive a canceled build.
+func randomInit(ctx context.Context, cp *CountingProvider, nhs []*neighborhood, k int, rng *rand.Rand) {
 	n := len(nhs)
 	for u := 0; u < n; u++ {
-		if n < 2 {
+		if n < 2 || ctx.Err() != nil {
 			return
 		}
 		// Sample without replacement; for k ≥ n−1 take everyone.

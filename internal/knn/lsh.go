@@ -1,11 +1,14 @@
 package knn
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"goldfinger/internal/hashing"
+	"goldfinger/internal/obs"
 	"goldfinger/internal/profile"
 )
 
@@ -29,6 +32,12 @@ type LSHOptions struct {
 	// there (§4.1). When 0, permutations are simulated by hashing and
 	// the setup cost disappears.
 	NumItems int
+	// Ctx cancels a running build; checked once per user in both the
+	// bucketing and the scan phase. Nil means never cancel.
+	Ctx context.Context
+	// Obs, when non-nil, receives build instrumentation (see
+	// Options.Obs).
+	Obs *obs.Registry
 }
 
 func (o LSHOptions) hashes() int {
@@ -51,6 +60,14 @@ func LSH(profiles []profile.Profile, p Provider, k int, opts LSHOptions) (*Graph
 		panic("knn: LSH provider and profiles disagree on user count")
 	}
 	numHashes := opts.hashes()
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m := Options{Obs: opts.Obs}.metrics()
+	m.startProgress(int64(2 * n)) // bucketing pass + scan pass, one unit per user each
+	bucketHist := m.phase("bucket")
+	bucketStart := time.Now()
 
 	// Min-wise bucketing: bucket key = the minimum rank of the profile's
 	// items under each permutation. With NumItems set, the permutations
@@ -90,6 +107,10 @@ func LSH(profiles []profile.Profile, p Provider, k int, opts LSHOptions) (*Graph
 	buckets := map[bucketKey][]int32{}
 	keysOf := make([][]bucketKey, n)
 	for u, prof := range profiles {
+		if ctx.Err() != nil {
+			break
+		}
+		m.progressDone.Add(1)
 		if prof.Len() == 0 {
 			continue
 		}
@@ -106,6 +127,8 @@ func LSH(profiles []profile.Profile, p Provider, k int, opts LSHOptions) (*Graph
 		}
 	}
 
+	bucketHist.ObserveSince(bucketStart)
+
 	cp := NewCountingProvider(p)
 	nhs := make([]*neighborhood, n)
 	for u := range nhs {
@@ -116,21 +139,22 @@ func LSH(profiles []profile.Profile, p Provider, k int, opts LSHOptions) (*Graph
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
+	scanHist := m.phase("scan")
+	scanStart := time.Now()
 	var updates atomic.Int64
 	var wg sync.WaitGroup
 	next := make(chan int, workers)
-	go func() {
-		for u := 0; u < n; u++ {
-			next <- u
-		}
-		close(next)
-	}()
+	go feedUsers(ctx, next, n)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			cand := map[int32]bool{}
 			for u := range next {
+				if ctx.Err() != nil {
+					continue // drain without working once canceled
+				}
+				m.progressDone.Add(1)
 				clear(cand)
 				cand[int32(u)] = true
 				for _, key := range keysOf[u] {
@@ -148,6 +172,8 @@ func LSH(profiles []profile.Profile, p Provider, k int, opts LSHOptions) (*Graph
 		}()
 	}
 	wg.Wait()
+	scanHist.ObserveSince(scanStart)
 
+	m.comparisons.Add(cp.Comparisons())
 	return finalize(k, nhs), Stats{Comparisons: cp.Comparisons(), Updates: updates.Load()}
 }

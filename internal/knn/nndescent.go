@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // NNDescent constructs an approximate KNN graph with the local search of
@@ -14,6 +15,10 @@ import (
 // last iteration, the user-ID order to avoid examining a new-new pair
 // twice, and the reversed graph to widen the search. Termination follows
 // the δ·k·n rule or MaxIterations.
+//
+// Cancellation (Options.Ctx) is checked before every iteration and once
+// per user inside the comparison phase; a canceled build returns the
+// partial graph promptly (callers inspect Options.Ctx.Err() to tell).
 func NNDescent(p Provider, k int, opts Options) (*Graph, Stats) {
 	n := p.NumUsers()
 	cp := NewCountingProvider(p)
@@ -21,15 +26,23 @@ func NNDescent(p Provider, k int, opts Options) (*Graph, Stats) {
 	for u := range nhs {
 		nhs[u] = newNeighborhood(k)
 	}
+	ctx := opts.ctx()
+	m := opts.metrics()
+	m.startProgress(int64(opts.maxIterations()))
 	rng := rand.New(rand.NewSource(opts.Seed))
-	randomInit(cp, nhs, k, rng)
+	initHist := m.phase("init")
+	initStart := time.Now()
+	randomInit(ctx, cp, nhs, k, rng)
+	initHist.ObserveSince(initStart)
 
 	stats := Stats{}
 	threshold := int64(opts.delta() * float64(k) * float64(n))
 	workers := opts.workers()
+	iterHist := m.phase("iterate")
 
-	for iter := 0; iter < opts.maxIterations(); iter++ {
+	for iter := 0; iter < opts.maxIterations() && ctx.Err() == nil; iter++ {
 		stats.Iterations++
+		iterStart := time.Now()
 
 		// Phase 1: split every neighborhood into new/old and build the
 		// reverse lists.
@@ -63,17 +76,15 @@ func NNDescent(p Provider, k int, opts Options) (*Graph, Stats) {
 		var updates atomic.Int64
 		var wg sync.WaitGroup
 		next := make(chan int, workers)
-		go func() {
-			for u := 0; u < n; u++ {
-				next <- u
-			}
-			close(next)
-		}()
+		go feedUsers(ctx, next, n)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for u := range next {
+					if ctx.Err() != nil {
+						continue // drain without working once canceled
+					}
 					f, o := fresh[u], old[u]
 					for i, a := range f {
 						for _, b := range f[i+1:] {
@@ -94,6 +105,8 @@ func NNDescent(p Provider, k int, opts Options) (*Graph, Stats) {
 		}
 		wg.Wait()
 
+		iterHist.ObserveSince(iterStart)
+		m.progressDone.Set(int64(iter + 1))
 		stats.Updates += updates.Load()
 		if updates.Load() <= threshold {
 			break
@@ -101,6 +114,7 @@ func NNDescent(p Provider, k int, opts Options) (*Graph, Stats) {
 	}
 
 	stats.Comparisons = cp.Comparisons()
+	m.comparisons.Add(stats.Comparisons)
 	return finalize(k, nhs), stats
 }
 

@@ -1,6 +1,11 @@
 package knn
 
-import "runtime"
+import (
+	"context"
+	"runtime"
+
+	"goldfinger/internal/obs"
+)
 
 // Options configures the approximate KNN algorithms. The zero value selects
 // the paper's parameters (§3.3): δ = 0.001 and at most 30 iterations.
@@ -14,6 +19,17 @@ type Options struct {
 	Delta float64
 	// MaxIterations bounds the number of refinement iterations. 0 means 30.
 	MaxIterations int
+	// Ctx cancels a running build. Builders check it between scan blocks
+	// (Brute Force) or refinement units (Hyrec, NNDescent), so a
+	// cancellation takes effect within one block, and return the partial —
+	// still structurally valid — graph accumulated so far; callers decide
+	// whether to keep it by inspecting Ctx.Err(). Nil means never cancel.
+	Ctx context.Context
+	// Obs, when non-nil, receives build instrumentation: per-phase
+	// durations (histograms under "build.phase.<name>.seconds"), progress
+	// gauges, the current-phase text, and the comparison counter. Nil
+	// disables instrumentation at the cost of one nil check per event.
+	Obs *obs.Registry
 }
 
 func (o Options) workers() int {
@@ -37,6 +53,62 @@ func (o Options) maxIterations() int {
 		return 30
 	}
 	return o.MaxIterations
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+// Metric names the builders publish into Options.Obs. The service's
+// /metrics endpoint exports them verbatim and /stats reads the progress
+// gauges and phase text while a build runs.
+const (
+	// MetricComparisons counts similarity computations across all builds;
+	// it matches the sum of the per-build Stats.Comparisons values.
+	MetricComparisons = "build.comparisons.total"
+	// MetricProgressDone / MetricProgressTotal gauge the current build's
+	// progress in algorithm-specific units: scan blocks for Brute Force,
+	// iterations for Hyrec and NNDescent, users for LSH.
+	MetricProgressDone  = "build.progress.done"
+	MetricProgressTotal = "build.progress.total"
+	// MetricPhase is the text value holding the current build phase
+	// ("pack", "init", "scan", "iterate", "merge", "bucket", "idle").
+	MetricPhase = "build.phase"
+)
+
+// buildMetrics caches the obs handles a builder touches, so the hot path
+// never goes through the registry's mutex. All handles are nil (and their
+// methods no-ops) when Options.Obs is nil.
+type buildMetrics struct {
+	reg           *obs.Registry
+	comparisons   *obs.Counter
+	progressDone  *obs.Gauge
+	progressTotal *obs.Gauge
+}
+
+func (o Options) metrics() buildMetrics {
+	return buildMetrics{
+		reg:           o.Obs,
+		comparisons:   o.Obs.Counter(MetricComparisons),
+		progressDone:  o.Obs.Gauge(MetricProgressDone),
+		progressTotal: o.Obs.Gauge(MetricProgressTotal),
+	}
+}
+
+// startProgress resets the progress gauges for a new build.
+func (m buildMetrics) startProgress(total int64) {
+	m.progressTotal.Set(total)
+	m.progressDone.Set(0)
+}
+
+// phase flips the current-phase text and returns the histogram the phase's
+// duration should be observed into.
+func (m buildMetrics) phase(name string) *obs.Histogram {
+	m.reg.SetText(MetricPhase, name)
+	return m.reg.Histogram("build.phase."+name+".seconds", obs.DefTimeBuckets)
 }
 
 // Stats reports how an algorithm run unfolded.

@@ -1,0 +1,283 @@
+// Package obs is a stdlib-only metrics layer for the KNN service: named
+// counters, gauges, bounded histograms and text values collected in a
+// Registry and exported as one JSON snapshot (the /metrics endpoint).
+//
+// The design optimizes for instrumented hot paths:
+//
+//   - Every handle method is safe on a nil receiver and a nil Registry
+//     hands out nil handles, so library code instruments unconditionally —
+//     callers that pass no registry pay a nil check per event, never an
+//     allocation or an atomic.
+//   - Counter increments are single atomic adds; hot loops that process
+//     blocks of work accumulate into a stack-allocated Local and fold into
+//     the shared counter once per block, so the contended cache line is
+//     touched once per block instead of once per pair.
+//   - Histograms have a fixed, bounded bucket layout chosen at creation:
+//     observing is a binary search plus three atomics, and a snapshot is
+//     O(buckets) with no allocation proportional to observation count.
+//
+// Handle lookup (Registry.Counter etc.) takes a mutex and is meant for
+// setup code; hot paths cache the returned handle.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a set of named metrics. The zero value is not usable; create
+// one with NewRegistry. A nil *Registry is valid and hands out nil handles,
+// turning all instrumentation into no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	texts      map[string]*Text
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		texts:      map[string]*Text{},
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with the
+// given bucket upper bounds (ascending; an implicit +Inf overflow bucket is
+// appended) on first use. Later calls ignore the bounds argument and return
+// the existing histogram. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Text returns the text value with the given name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Text(name string) *Text {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.texts[name]
+	if !ok {
+		t = &Text{}
+		r.texts[name] = t
+	}
+	return t
+}
+
+// SetText sets the named text value. No-op on a nil registry.
+func (r *Registry) SetText(name, value string) { r.Text(name).Set(value) }
+
+// TextValue returns the named text value, or "" when absent or on a nil
+// registry.
+func (r *Registry) TextValue(name string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	t := r.texts[name]
+	r.mu.Unlock()
+	return t.Value()
+}
+
+// Counter is a monotonically increasing int64. All methods are safe on nil.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Local is a worker-local shard of a Counter: a plain int64 the worker
+// bumps allocation- and contention-free, folded into the shared counter
+// with one atomic per Flush. Declare it as a stack value in the worker and
+// flush once per block (and once at exit):
+//
+//	lc := obs.Local{C: reg.Counter("pairs")}
+//	defer lc.Flush()
+//	for ... { lc.Add(blockPairs); lc.Flush() }
+type Local struct {
+	C *Counter
+	n int64
+}
+
+// Add accumulates n locally.
+func (l *Local) Add(n int64) { l.n += n }
+
+// Inc accumulates one locally.
+func (l *Local) Inc() { l.n++ }
+
+// Flush folds the accumulated value into the shared counter and resets the
+// local shard.
+func (l *Local) Flush() {
+	if l.n != 0 {
+		l.C.Add(l.n)
+		l.n = 0
+	}
+}
+
+// Gauge is an instantaneous int64 value. All methods are safe on nil.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into a fixed set of buckets with upper
+// bounds chosen at creation, plus an overflow bucket. Memory is bounded by
+// the bucket count regardless of how many values are observed. All methods
+// are safe on nil.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; counts has one extra +Inf slot
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, len(bounds) = overflow
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Text is an instantaneous string value (e.g. the current build phase).
+// All methods are safe on nil.
+type Text struct{ v atomic.Value }
+
+// Set replaces the value.
+func (t *Text) Set(s string) {
+	if t != nil {
+		t.v.Store(s)
+	}
+}
+
+// Value returns the current value ("" on nil or never set).
+func (t *Text) Value() string {
+	if t == nil {
+		return ""
+	}
+	s, _ := t.v.Load().(string)
+	return s
+}
+
+// DefTimeBuckets is the default bucket layout for phase/build durations in
+// seconds: sub-millisecond unit-test builds through multi-minute
+// production scans.
+var DefTimeBuckets = []float64{
+	0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
+	1, 5, 10, 30, 60, 120, 300, 600,
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("Counter did not return the existing handle")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestLocalFoldsIntoCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pairs")
+	lc := Local{C: c}
+	lc.Add(10)
+	lc.Inc()
+	if c.Value() != 0 {
+		t.Error("local leaked into shared counter before Flush")
+	}
+	lc.Flush()
+	if got := c.Value(); got != 11 {
+		t.Errorf("after flush = %d, want 11", got)
+	}
+	lc.Flush() // idempotent on empty shard
+	if got := c.Value(); got != 11 {
+		t.Errorf("after second flush = %d, want 11", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 102.565 {
+		t.Errorf("sum = %g, want 102.565", got)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	wantCounts := []int64{2, 1, 1, 2} // ≤0.01, ≤0.1, ≤1, +Inf
+	wantLE := []string{"0.01", "0.1", "1", "+Inf"}
+	if len(s.Buckets) != len(wantCounts) {
+		t.Fatalf("got %d buckets, want %d", len(s.Buckets), len(wantCounts))
+	}
+	for i, b := range s.Buckets {
+		if b.Count != wantCounts[i] || b.LE != wantLE[i] {
+			t.Errorf("bucket %d = {%s %d}, want {%s %d}", i, b.LE, b.Count, wantLE[i], wantCounts[i])
+		}
+	}
+}
+
+func TestHistogramObserveSince(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", DefTimeBuckets)
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	if h.Count() != 1 || h.Sum() <= 0 {
+		t.Errorf("ObserveSince recorded count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestText(t *testing.T) {
+	r := NewRegistry()
+	if got := r.TextValue("phase"); got != "" {
+		t.Errorf("unset text = %q", got)
+	}
+	r.SetText("phase", "scan")
+	if got := r.TextValue("phase"); got != "scan" {
+		t.Errorf("text = %q, want scan", got)
+	}
+}
+
+func TestNilRegistryAndHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter accumulated")
+	}
+	lc := Local{C: c}
+	lc.Add(5)
+	lc.Flush()
+	g := r.Gauge("g")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge accumulated")
+	}
+	h := r.Histogram("h", DefTimeBuckets)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram accumulated")
+	}
+	r.SetText("t", "x")
+	if r.TextValue("t") != "" {
+		t.Error("nil text accumulated")
+	}
+	s := r.Snapshot()
+	if s.Counters == nil || len(s.Counters) != 0 {
+		t.Errorf("nil registry snapshot = %+v", s)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("builds").Add(2)
+	r.Gauge("progress").Set(64)
+	r.Histogram("seconds", DefTimeBuckets).Observe(0.25)
+	r.SetText("phase", "merge")
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["builds"] != 2 || s.Gauges["progress"] != 64 || s.Texts["phase"] != "merge" {
+		t.Errorf("round-tripped snapshot = %+v", s)
+	}
+	if h := s.Histograms["seconds"]; h.Count != 1 || h.Sum != 0.25 {
+		t.Errorf("round-tripped histogram = %+v", h)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			lc := Local{C: c}
+			h := r.Histogram("h", []float64{0.5})
+			for i := 0; i < perWorker; i++ {
+				lc.Inc()
+				if i%64 == 0 {
+					lc.Flush()
+				}
+				h.Observe(float64(i%2) * 1.0)
+				r.Gauge("g").Set(int64(w))
+			}
+			lc.Flush()
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h", nil).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry, shaped
+// for JSON export. Maps marshal with sorted keys, so successive snapshots
+// diff cleanly.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Texts      map[string]string            `json:"texts"`
+}
+
+// HistogramSnapshot is one histogram's exported state.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// BucketSnapshot is one cumulative-style bucket: the count of observations
+// ≤ LE. LE is a decimal string so the +Inf overflow bucket stays valid
+// JSON.
+type BucketSnapshot struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// Snapshot copies the current state of every metric. It is safe to call
+// concurrently with updates; individual values are read atomically. A nil
+// registry yields an empty (but fully initialized) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Texts:      map[string]string{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Buckets: make([]BucketSnapshot, 0, len(h.counts)),
+		}
+		for i := range h.counts {
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: le, Count: h.counts[i].Load()})
+		}
+		s.Histograms[name] = hs
+	}
+	for name, t := range r.texts {
+		s.Texts[name] = t.Value()
+	}
+	return s
+}
+
+// WriteJSON writes the current snapshot to w as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

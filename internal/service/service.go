@@ -30,15 +30,31 @@
 // epoch was built from until the next build. At most one build runs at a
 // time: a concurrent POST /graph/build gets 409 with a Retry-After header
 // rather than queuing a redundant build.
+//
+// # Observability and cancellation
+//
+// Builds run under a context.Context: DELETE /graph/build (or /build)
+// cancels the in-flight build, and a configurable deadline
+// (SetBuildTimeout, the -build-timeout flag on cmd/knnserver) bounds every
+// build. The builders poll the context once per scan block or iteration,
+// so cancellation takes effect within one block; a canceled or timed-out
+// build publishes nothing — the previous epoch keeps serving every read
+// path untouched — and the POST reports 409 (canceled) or 504 (deadline).
+// An internal/obs registry collects per-phase build durations, comparison
+// counts and progress; GET /metrics exports it as JSON, GET /stats folds
+// in the live phase and progress of a running build, and /debug/pprof/*
+// exposes the runtime profiles.
 package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -48,6 +64,7 @@ import (
 
 	"goldfinger/internal/core"
 	"goldfinger/internal/knn"
+	"goldfinger/internal/obs"
 )
 
 // graphEpoch is one immutable build result: the graph plus the user table
@@ -79,6 +96,11 @@ type Server struct {
 	building atomic.Bool // build-in-progress guard
 	epochSeq atomic.Int64
 	packed   atomic.Pointer[packedCache]
+
+	obs          *obs.Registry
+	buildTimeout atomic.Int64                       // ns; 0 = no deadline
+	buildCancel  atomic.Pointer[context.CancelFunc] // non-nil while a build runs
+	buildStartNS atomic.Int64                       // UnixNano of the running build; 0 when idle
 
 	// buildHook, when non-nil, runs after the build snapshot is taken and
 	// before the algorithm starts. Test instrumentation only.
@@ -136,18 +158,48 @@ func NewServer(bits int) (*Server, error) {
 	if bits <= 0 {
 		return nil, fmt.Errorf("service: fingerprint length must be positive, got %d", bits)
 	}
-	return &Server{bits: bits, index: map[string]int{}}, nil
+	return &Server{bits: bits, index: map[string]int{}, obs: obs.NewRegistry()}, nil
 }
+
+// SetBuildTimeout bounds every subsequent graph build: a build running
+// longer than d is aborted (the POST gets 504 and the previous epoch keeps
+// serving). d ≤ 0 removes the deadline. Safe to call at any time.
+func (s *Server) SetBuildTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.buildTimeout.Store(int64(d))
+}
+
+// Metrics returns the server's metrics registry (the /metrics export).
+func (s *Server) Metrics() *obs.Registry { return s.obs }
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/users/", s.handleUsers) // PUT fingerprint, GET neighbors
-	mux.HandleFunc("/graph/build", s.handleBuild)
+	mux.HandleFunc("/graph/build", s.handleBuildRoute)
+	mux.HandleFunc("/build", s.handleBuildRoute) // alias; DELETE /build cancels
 	mux.HandleFunc("/query", s.handleQuery)
+	// Runtime profiling: pprof.Index serves the named profiles (heap,
+	// goroutine, block, ...) via the trailing path segment.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.obs.Snapshot())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -164,6 +216,16 @@ type Stats struct {
 	GraphStale bool `json:"graph_stale"`
 
 	BuildRunning bool `json:"build_running"`
+
+	// Live build observability: populated only while a build is running.
+	BuildPhase         string  `json:"build_phase,omitempty"`
+	BuildProgressDone  int64   `json:"build_progress_done,omitempty"`
+	BuildProgressTotal int64   `json:"build_progress_total,omitempty"`
+	BuildElapsedMS     float64 `json:"build_elapsed_ms,omitempty"`
+
+	// LastBuildError records why the most recent build published no epoch
+	// (canceled, timed out); empty after a successful build.
+	LastBuildError string `json:"last_build_error,omitempty"`
 
 	// Epoch observability: zero values until the first build completes.
 	Epoch           int64   `json:"epoch"`
@@ -185,9 +247,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 
 	st := Stats{
-		Users:        users,
-		Bits:         s.bits,
-		BuildRunning: s.building.Load(),
+		Users:          users,
+		Bits:           s.bits,
+		BuildRunning:   s.building.Load(),
+		LastBuildError: s.obs.TextValue(metricLastError),
+	}
+	if st.BuildRunning {
+		st.BuildPhase = s.obs.TextValue(knn.MetricPhase)
+		st.BuildProgressDone = s.obs.Gauge(knn.MetricProgressDone).Value()
+		st.BuildProgressTotal = s.obs.Gauge(knn.MetricProgressTotal).Value()
+		if ns := s.buildStartNS.Load(); ns > 0 {
+			st.BuildElapsedMS = float64(time.Since(time.Unix(0, ns))) / float64(time.Millisecond)
+		}
 	}
 	if ep != nil {
 		st.GraphK = ep.k
@@ -292,11 +363,46 @@ type BuildResult struct {
 	DurationMS  float64 `json:"duration_ms"`
 }
 
-func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+// Service-owned metric names; the knn builders publish theirs under the
+// knn.Metric* constants into the same registry.
+const (
+	metricBuilds    = "build.total"
+	metricCanceled  = "build.canceled.total"
+	metricTimeouts  = "build.timeout.total"
+	metricBuildSecs = "build.seconds"
+	metricPackSecs  = "build.phase.pack.seconds"
+	metricEpoch     = "build.epoch"
+	metricLastError = "build.last_error"
+	metricBuildAlgo = "build.algorithm"
+)
+
+// handleBuildRoute dispatches the build endpoint: POST starts a build,
+// DELETE cancels the in-flight one.
+func (s *Server) handleBuildRoute(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleBuild(w, r)
+	case http.MethodDelete:
+		s.handleCancelBuild(w, r)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "POST to build, DELETE to cancel")
+	}
+}
+
+// handleCancelBuild cancels the in-flight build, if any. The builders poll
+// the context per scan block, so the build returns within one block; the
+// canceled POST answers 409 and the previous epoch stays fully servable.
+func (s *Server) handleCancelBuild(w http.ResponseWriter, r *http.Request) {
+	cancel := s.buildCancel.Load()
+	if cancel == nil {
+		httpError(w, http.StatusConflict, "no build in flight")
 		return
 	}
+	(*cancel)() // idempotent; harmless if the build just finished
+	writeJSON(w, http.StatusAccepted, map[string]bool{"canceling": true})
+}
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	k := 10
 	if v := r.URL.Query().Get("k"); v != "" {
 		parsed, err := strconv.Atoi(v)
@@ -324,14 +430,41 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.building.Store(false)
 
+	// The build context: canceled by DELETE /graph/build, bounded by the
+	// configured deadline. It is deliberately not derived from r.Context()
+	// — a client dropping the POST mid-build must not abort a build other
+	// clients are waiting on; DELETE is the explicit abort path.
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	timeout := time.Duration(s.buildTimeout.Load())
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	s.buildCancel.Store(&cancel)
+	buildStart := time.Now()
+	s.buildStartNS.Store(buildStart.UnixNano())
+	defer func() {
+		s.buildCancel.Store(nil)
+		s.buildStartNS.Store(0)
+		s.obs.SetText(knn.MetricPhase, "idle")
+		cancel()
+	}()
+	s.obs.Counter(metricBuilds).Inc()
+	s.obs.SetText(metricBuildAlgo, algo)
+
 	// Snapshot the corpus in packed form: reuses the cached packing when no
 	// upload landed since, and otherwise packs outside any lock — so uploads
 	// and reads proceed while the O(n²) construction churns.
+	s.obs.SetText(knn.MetricPhase, "pack")
+	packStart := time.Now()
 	snap, err := s.packedSnapshot()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "packing corpus: %v", err)
 		return
 	}
+	s.obs.Histogram(metricPackSecs, obs.DefTimeBuckets).ObserveSince(packStart)
 	users := snap.users
 
 	if len(users) < 2 {
@@ -350,17 +483,37 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 
 	provider := knn.NewPackedSHFProvider(snap.corpus)
 	start := time.Now()
+	bopts := knn.Options{Ctx: ctx, Obs: s.obs}
 	var g *knn.Graph
 	var stats knn.Stats
 	switch algo {
 	case "bruteforce":
-		g, stats = knn.BruteForce(provider, k, knn.Options{})
+		g, stats = knn.BruteForce(provider, k, bopts)
 	case "hyrec":
-		g, stats = knn.Hyrec(provider, k, knn.Options{})
+		g, stats = knn.Hyrec(provider, k, bopts)
 	case "nndescent":
-		g, stats = knn.NNDescent(provider, k, knn.Options{})
+		g, stats = knn.NNDescent(provider, k, bopts)
 	}
 	duration := time.Since(start)
+
+	// A canceled or timed-out build publishes nothing: the previous epoch
+	// (if any) keeps serving every read path. The builders returned a
+	// partial graph; it is discarded here.
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		if errors.Is(ctxErr, context.DeadlineExceeded) {
+			s.obs.Counter(metricTimeouts).Inc()
+			msg := fmt.Sprintf("build (%s, k=%d) exceeded the %s deadline; previous epoch still serves", algo, k, timeout)
+			s.obs.SetText(metricLastError, msg)
+			httpError(w, http.StatusGatewayTimeout, "%s", msg)
+		} else {
+			s.obs.Counter(metricCanceled).Inc()
+			msg := fmt.Sprintf("build (%s, k=%d) canceled after %s; previous epoch still serves", algo, k, duration.Round(time.Millisecond))
+			s.obs.SetText(metricLastError, msg)
+			httpError(w, http.StatusConflict, "%s", msg)
+		}
+		return
+	}
+	s.obs.SetText(metricLastError, "")
 
 	ep := &graphEpoch{
 		seq:       s.epochSeq.Add(1),
@@ -374,6 +527,8 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		mutSeq:    snap.mutSeq,
 	}
 	s.epoch.Store(ep)
+	s.obs.Gauge(metricEpoch).Set(ep.seq)
+	s.obs.Histogram(metricBuildSecs, obs.DefTimeBuckets).Observe(duration.Seconds())
 
 	writeJSON(w, http.StatusOK, BuildResult{
 		Users:       len(users),
