@@ -2,17 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build check test race racecheck cover bench benchsmoke benchjson experiments fuzz fuzzshort clean
+.PHONY: all build check test race racecheck crashcheck cover bench benchsmoke benchjson experiments fuzz fuzzshort clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-# Static analysis, the full race-enabled suite, a short fuzz burst over
-# every fuzz target, and a one-iteration benchmark smoke so the
-# perf-critical kernel benches can never rot unnoticed.
-check: benchsmoke racecheck fuzzshort
+# Static analysis, the full race-enabled suite, the crash-recovery
+# fault-injection suite, a short fuzz burst over every fuzz target, and a
+# one-iteration benchmark smoke so the perf-critical kernel benches can
+# never rot unnoticed.
+check: benchsmoke racecheck crashcheck fuzzshort
 	$(GO) vet ./...
 
 test: check
@@ -21,9 +22,18 @@ test: check
 race: racecheck
 
 # The whole test suite — including the cross-algorithm correctness harness
-# and the HTTP cancel/timeout tests — under the race detector.
+# and the HTTP cancel/timeout tests — under the race detector, with test
+# order shuffled so inter-test ordering dependencies can't hide.
 racecheck:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# The durability suite under the race detector: fault-injection crash
+# sweeps (FaultCrash at every mutating filesystem op), torn-tail recovery,
+# kill-and-restart at the service and binary level, and degraded-mode
+# behavior. Run with count=1 so the crash sweeps re-execute every time.
+crashcheck:
+	$(GO) test -race -count=1 ./internal/durable
+	$(GO) test -race -count=1 -run 'Recovery|Degraded|Compaction|Restart|TornTail|Crash|WAL' ./internal/service ./cmd/knnserver
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
@@ -51,6 +61,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadFingerprint$$ -fuzztime=30s ./internal/core
 	$(GO) test -fuzz=FuzzReadFingerprintSet -fuzztime=30s ./internal/core
 	$(GO) test -fuzz=FuzzParseMovieLens -fuzztime=30s ./internal/dataset
+	$(GO) test -fuzz=FuzzWALReplay -fuzztime=30s ./internal/durable
 
 # 10 seconds per fuzz target — enough for the seeded corpora (codec round
 # trips, the capped-prealloc set path, the ratings parser) to shake out
@@ -59,6 +70,7 @@ fuzzshort:
 	$(GO) test -fuzz=FuzzReadFingerprint$$ -fuzztime=10s ./internal/core
 	$(GO) test -fuzz=FuzzReadFingerprintSet -fuzztime=10s ./internal/core
 	$(GO) test -fuzz=FuzzParseMovieLens -fuzztime=10s ./internal/dataset
+	$(GO) test -fuzz=FuzzWALReplay -fuzztime=10s ./internal/durable
 
 clean:
 	$(GO) clean ./...

@@ -47,9 +47,28 @@
 // size of one fingerprint at the configured -bits; oversized bodies get
 // 413 and trailing bytes after a valid SHF get 400.
 //
+// # Durability
+//
+// With -data-dir set, accepted uploads are written to a write-ahead log
+// before the 204 is sent, successful builds persist their epoch, and the
+// WAL is periodically compacted into checksummed snapshots. On startup the
+// server recovers the newest valid snapshot plus the WAL tail — acked
+// uploads and the last published epoch survive a SIGKILL; a torn WAL tail
+// is truncated (logged, counted in the recovery metrics) and corrupt
+// snapshot files are quarantined with a .corrupt suffix rather than
+// crashing the server. -fsync picks the append durability: "always"
+// (default; fsync per upload — an acked PUT survives power loss) or "none"
+// (OS page cache decides; survives process death, not power loss).
+//
+// If the data dir stops accepting writes at runtime the server degrades to
+// read-only: uploads get 503 + Retry-After while neighbor reads and
+// queries keep serving from memory (see GET /healthz and the degraded
+// field of GET /stats). Without -data-dir state is in-memory only, exactly
+// as before.
+//
 // Usage:
 //
-//	knnserver -addr :8080 -bits 1024 -build-timeout 5m
+//	knnserver -addr :8080 -bits 1024 -build-timeout 5m -data-dir /var/lib/knn -fsync always
 package main
 
 import (
@@ -65,6 +84,7 @@ import (
 	"os/signal"
 	"time"
 
+	"goldfinger/internal/durable"
 	"goldfinger/internal/service"
 )
 
@@ -88,6 +108,10 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	bits := fs.Int("bits", 1024, "accepted fingerprint length")
 	buildTimeout := fs.Duration("build-timeout", 0,
 		"abort graph builds running longer than this (0 disables the deadline)")
+	dataDir := fs.String("data-dir", "",
+		"directory for the WAL and snapshots (empty: in-memory only, state dies with the process)")
+	fsyncMode := fs.String("fsync", "always",
+		"WAL fsync policy: always (acked uploads survive power loss) or none (page cache decides)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,6 +121,10 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	if *buildTimeout < 0 {
 		return fmt.Errorf("-build-timeout must be non-negative, got %s", *buildTimeout)
 	}
+	fsyncPolicy, err := durable.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		return err
+	}
 
 	srv, err := service.NewServer(*bits)
 	if err != nil {
@@ -104,8 +132,36 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	}
 	srv.SetBuildTimeout(*buildTimeout)
 
+	logger := log.New(logw, "", log.LstdFlags)
+	var store *durable.Store
+	if *dataDir != "" {
+		st, rec, err := durable.Open(durable.Options{
+			Dir:     *dataDir,
+			Fsync:   fsyncPolicy,
+			Metrics: srv.Metrics(),
+			Logf:    logger.Printf,
+		})
+		if err != nil {
+			return fmt.Errorf("opening data dir %s: %w", *dataDir, err)
+		}
+		if err := srv.UseStore(st, rec); err != nil {
+			st.Close()
+			return err
+		}
+		store = st
+		epoch := int64(0)
+		if rec.Epoch != nil {
+			epoch = rec.Epoch.Seq
+		}
+		logger.Printf("recovered %d users from %s (epoch %d, %d WAL records replayed, %d bytes dropped, %d files quarantined)",
+			len(rec.State.Users), *dataDir, epoch, rec.RecordsReplayed, rec.BytesDropped, len(rec.Quarantined))
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return err
 	}
 	httpSrv := &http.Server{
@@ -113,7 +169,6 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	logger := log.New(logw, "", log.LstdFlags)
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -129,7 +184,18 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		ready(ln.Addr().String())
 	}
 	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		if store != nil {
+			store.Close()
+		}
 		return err
+	}
+	// Graceful shutdown: seal the active WAL segment so the next start
+	// replays a cleanly-synced tail. Crash-stops skip this path by design —
+	// that is what recovery is for.
+	if store != nil {
+		if err := store.Close(); err != nil {
+			logger.Printf("closing durable store: %v", err)
+		}
 	}
 	return nil
 }

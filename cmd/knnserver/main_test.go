@@ -4,10 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"testing"
 	"time"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/profile"
 )
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -89,5 +93,126 @@ func TestRunServesAndShutsDown(t *testing.T) {
 
 	if !bytes.Contains(logs.Bytes(), []byte("build timeout: 30s")) {
 		t.Errorf("startup log did not record the build timeout: %q", logs.String())
+	}
+}
+
+func TestRunRejectsBadFsyncPolicy(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(context.Background(), []string{"-data-dir", dir, "-fsync", "sometimes"}, io.Discard, nil); err == nil {
+		t.Error("bogus -fsync policy accepted")
+	}
+}
+
+// startServer boots run() with the given extra flags and returns the bound
+// address plus a shutdown func that waits for a clean exit.
+func startServer(t *testing.T, logs io.Writer, extra ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-bits", "256"}, extra...)
+	go func() { errCh <- run(ctx, args, logs, func(addr string) { addrCh <- addr }) }()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-errCh:
+		cancel()
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("server did not become ready")
+	}
+	return addr, func() {
+		cancel()
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("run returned %v on shutdown", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+	}
+}
+
+// TestRunRestartRecoversState is the end-to-end durability test at the
+// binary boundary: upload fingerprints and build against a -data-dir
+// server, shut it down, start a second server on the same dir, and the
+// users, the graph epoch and the neighbor lists must all be back.
+func TestRunRestartRecoversState(t *testing.T) {
+	dir := t.TempDir()
+	scheme := core.MustScheme(256, 7)
+	const n = 8
+
+	var logs1 bytes.Buffer
+	addr, shutdown := startServer(t, &logs1, "-data-dir", dir, "-fsync", "always")
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; i < n; i++ {
+		var buf bytes.Buffer
+		p := profile.New(profile.ItemID(i*3+1), profile.ItemID(i*3+2), profile.ItemID(i*3+3), 1000)
+		if err := core.WriteFingerprint(&buf, scheme.Fingerprint(p)); err != nil {
+			t.Fatal(err)
+		}
+		req, _ := http.NewRequest(http.MethodPut,
+			fmt.Sprintf("http://%s/users/u%d/fingerprint", addr, i), &buf)
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("upload %d: status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp, err := client.Post("http://"+addr+"/graph/build?k=3&algo=bruteforce", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("build status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	shutdown()
+
+	var logs2 bytes.Buffer
+	addr2, shutdown2 := startServer(t, &logs2, "-data-dir", dir)
+	defer shutdown2()
+	if !bytes.Contains(logs2.Bytes(), []byte(fmt.Sprintf("recovered %d users", n))) {
+		t.Errorf("restart log did not report recovery: %q", logs2.String())
+	}
+	sresp, err := client.Get("http://" + addr2 + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]any
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if users, _ := st["users"].(float64); int(users) != n {
+		t.Fatalf("restarted /stats users = %v, want %d", st["users"], n)
+	}
+	if built, _ := st["graph_built"].(bool); !built {
+		t.Fatalf("restarted /stats graph_built = %v, want true", st["graph_built"])
+	}
+	if stale, ok := st["graph_stale"].(bool); ok && stale {
+		t.Fatal("restarted /stats reports graph_stale: recovered epoch must match recovered state")
+	}
+	for i := 0; i < n; i++ {
+		nresp, err := client.Get(fmt.Sprintf("http://%s/users/u%d/neighbors", addr2, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nresp.StatusCode != http.StatusOK {
+			t.Fatalf("neighbors of u%d after restart: status %d", i, nresp.StatusCode)
+		}
+		var nbrs []map[string]any
+		if err := json.NewDecoder(nresp.Body).Decode(&nbrs); err != nil {
+			t.Fatal(err)
+		}
+		nresp.Body.Close()
+		if len(nbrs) != 3 {
+			t.Fatalf("neighbors of u%d after restart: %d entries, want 3", i, len(nbrs))
+		}
 	}
 }

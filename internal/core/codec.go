@@ -94,6 +94,72 @@ func WriteFingerprintSet(w io.Writer, fps []Fingerprint) error {
 	return nil
 }
 
+// maxUserIDBytes bounds one serialized user id. External ids are short
+// opaque strings; anything longer in a snapshot or WAL payload is corruption
+// (or an attack) and is rejected before allocation.
+const maxUserIDBytes = 1 << 12
+
+// WriteUserTable serializes a dense user table (index → external id) as a
+// uint32 count followed by length-prefixed ids. It is the snapshot-payload
+// companion of WriteFingerprintSet: entry i of the table names the owner of
+// fingerprint i.
+func WriteUserTable(w io.Writer, ids []string) error {
+	var count [4]byte
+	binary.LittleEndian.PutUint32(count[:], uint32(len(ids)))
+	if _, err := w.Write(count[:]); err != nil {
+		return fmt.Errorf("core: writing user count: %w", err)
+	}
+	var hdr [4]byte
+	for i, id := range ids {
+		if len(id) > maxUserIDBytes {
+			return fmt.Errorf("core: user id %d is %d bytes, max %d", i, len(id), maxUserIDBytes)
+		}
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(id)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return fmt.Errorf("core: writing user id %d length: %w", i, err)
+		}
+		if _, err := io.WriteString(w, id); err != nil {
+			return fmt.Errorf("core: writing user id %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadUserTable deserializes a user table written by WriteUserTable. Like
+// ReadFingerprintSet it treats the count as untrusted: the initial
+// allocation is capped and grows only as entries actually parse.
+func ReadUserTable(r io.Reader) ([]string, error) {
+	var count [4]byte
+	if _, err := io.ReadFull(r, count[:]); err != nil {
+		return nil, fmt.Errorf("core: reading user count: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(count[:])
+	if n > 1<<28 {
+		return nil, fmt.Errorf("core: implausible user count %d", n)
+	}
+	capHint := n
+	if capHint > 1024 {
+		capHint = 1024
+	}
+	out := make([]string, 0, capHint)
+	var hdr [4]byte
+	for i := uint32(0); i < n; i++ {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, fmt.Errorf("core: reading user id %d length: %w", i, err)
+		}
+		l := binary.LittleEndian.Uint32(hdr[:])
+		if l > maxUserIDBytes {
+			return nil, fmt.Errorf("core: user id %d is %d bytes, max %d", i, l, maxUserIDBytes)
+		}
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("core: reading user id %d: %w", i, err)
+		}
+		out = append(out, string(buf))
+	}
+	return out, nil
+}
+
 // ReadFingerprintSet deserializes a set of fingerprints and verifies that
 // all entries share one length (mixed schemes cannot be compared).
 func ReadFingerprintSet(r io.Reader) ([]Fingerprint, error) {

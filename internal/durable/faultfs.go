@@ -1,0 +1,200 @@
+package durable
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the default error returned by a triggered fault.
+var ErrInjected = errors.New("durable: injected fault")
+
+// ErrCrashed is returned by every operation after a FaultCrash fault fired:
+// the process is "dead" as far as this FS handle is concerned, exactly like
+// a SIGKILL between two syscalls.
+var ErrCrashed = errors.New("durable: filesystem crashed (fault injection)")
+
+// FaultMode selects what happens when the armed operation is reached.
+type FaultMode int
+
+const (
+	// FaultError makes the armed mutation fail cleanly (ENOSPC-style): the
+	// operation has no effect and returns ErrInjected.
+	FaultError FaultMode = iota
+	// FaultShortWrite makes the armed Write persist only the first half of
+	// its buffer before failing — a torn write. Non-write operations fail
+	// as FaultError.
+	FaultShortWrite
+	// FaultCrash behaves like FaultShortWrite on the armed operation and
+	// then fails every subsequent operation with ErrCrashed, simulating a
+	// power cut: whatever reached the underlying FS is all that survives.
+	FaultCrash
+)
+
+// FaultFS wraps an FS and injects a fault on the Nth mutating operation
+// (1-based). Reads (ReadDir, ReadFile, Size) are never counted or failed —
+// recovery tests read through the wrapper after a "crash". Safe for
+// concurrent use.
+//
+//	ffs := &FaultFS{Inner: durable.OSFS{}, FailAt: 7, Mode: durable.FaultCrash}
+//
+// Mutating operations, in counting order: MkdirAll, OpenAppend, Create,
+// Rename, Remove, Truncate, SyncDir, File.Write, File.Sync, File.Close.
+type FaultFS struct {
+	Inner FS
+	// FailAt arms the fault on the FailAt-th mutating operation; 0 never
+	// fires.
+	FailAt int
+	// Mode selects the failure behavior (default FaultError).
+	Mode FaultMode
+	// Err overrides ErrInjected as the returned error when non-nil.
+	Err error
+
+	mu      sync.Mutex
+	ops     int
+	crashed bool
+	fired   bool
+}
+
+// Ops returns how many mutating operations have been attempted so far —
+// run a scenario once to count, then arm FailAt anywhere in [1, Ops()].
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Fired reports whether the armed fault has triggered.
+func (f *FaultFS) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// CrashNow makes every subsequent operation fail with ErrCrashed,
+// independent of FailAt.
+func (f *FaultFS) CrashNow() {
+	f.mu.Lock()
+	f.crashed = true
+	f.mu.Unlock()
+}
+
+func (f *FaultFS) injected() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// step counts one mutating operation and reports whether it must fail.
+func (f *FaultFS) step() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.ops++
+	if f.FailAt > 0 && f.ops == f.FailAt {
+		f.fired = true
+		if f.Mode == FaultCrash {
+			f.crashed = true
+		}
+		return f.injected()
+	}
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.step(); err != nil {
+		return err
+	}
+	return f.Inner.MkdirAll(dir)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.Inner.ReadDir(dir) }
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.Inner.ReadFile(name) }
+func (f *FaultFS) Size(name string) (int64, error)      { return f.Inner.Size(name) }
+
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	file, err := f.Inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	file, err := f.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.step(); err != nil {
+		return err
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.step(); err != nil {
+		return err
+	}
+	return f.Inner.Remove(name)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.step(); err != nil {
+		return err
+	}
+	return f.Inner.Truncate(name, size)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.step(); err != nil {
+		return err
+	}
+	return f.Inner.SyncDir(dir)
+}
+
+// faultFile threads writes, syncs and closes through the parent's fault
+// counter. A short-write fault persists the first half of the buffer to the
+// underlying file — the torn tail recovery must cope with.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.step(); err != nil {
+		if (f.fs.Mode == FaultShortWrite || f.fs.Mode == FaultCrash) && !errors.Is(err, ErrCrashed) && len(p) > 0 {
+			n, _ := f.inner.Write(p[:len(p)/2])
+			return n, err
+		}
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.step(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	if err := f.fs.step(); err != nil {
+		// Close the real handle anyway so tests don't leak descriptors.
+		f.inner.Close()
+		return err
+	}
+	return f.inner.Close()
+}

@@ -1,0 +1,149 @@
+// Package durable makes the KNN service's state survive crashes: an
+// append-only write-ahead log of fingerprint mutations, checksummed
+// snapshots of the corpus and of the latest graph epoch, and a recovery
+// path that reassembles everything on startup.
+//
+// # Durability protocol
+//
+// State lives in one data directory:
+//
+//	wal-<gen>.log      append-only mutation log segments (CRC-32C per record)
+//	state-<gen>.snap   checksummed snapshot of the user table + fingerprints
+//	epoch.snap         checksummed snapshot of the latest graph epoch
+//
+// Every accepted fingerprint PUT is appended to the active WAL segment —
+// and, under FsyncAlways, fsynced — before the client is acked, so an acked
+// write survives a crash. Compaction seals the active segment, starts
+// generation gen+1, writes state-<gen+1>.snap covering every sealed
+// segment, and only then deletes segments ≤ gen; a crash at any point
+// leaves either the old snapshot plus its segments or the new snapshot, in
+// both cases a complete prefix of acked writes.
+//
+// Recovery loads the newest snapshot whose checksum verifies (corrupt ones
+// are quarantined as *.corrupt, never deleted), then replays every WAL
+// segment of that generation and later in order. A torn record — short
+// header, implausible length, CRC mismatch, or undecodable payload —
+// truncates the segment at the last good record: everything before it is
+// kept, the dropped byte count is logged and exported, and recovery never
+// panics on arbitrary bytes.
+//
+// All file operations go through the FS interface so the fault-injection
+// wrapper (FaultFS) can exercise torn writes, ENOSPC and crash points in
+// tests; production uses OSFS.
+package durable
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the subset of *os.File the WAL and snapshot writers need.
+type File interface {
+	io.Writer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the durable store runs on. OSFS is the real
+// implementation; FaultFS wraps any FS to inject torn writes and errors.
+type FS interface {
+	MkdirAll(dir string) error
+	// ReadDir returns the names (not paths) of the directory entries,
+	// sorted lexically.
+	ReadDir(dir string) ([]string, error)
+	ReadFile(name string) ([]byte, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Create opens name truncated to zero length, creating it if absent.
+	Create(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// Truncate shortens name to size bytes (used to cut a torn WAL tail).
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory so a completed rename survives a crash.
+	SyncDir(dir string) error
+	// Size returns the length of name in bytes.
+	Size(name string) (int64, error)
+}
+
+// OSFS is the production FS backed by the os package.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (OSFS) Size(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// notExist reports whether err means the file is absent, for FS
+// implementations layered over the os package.
+func notExist(err error) bool { return err != nil && (os.IsNotExist(err) || err == fs.ErrNotExist) }
+
+// quarantine renames name out of the recovery path as name.corrupt (with a
+// numeric suffix if that name is taken) so a corrupt file is preserved for
+// forensics instead of being retried or deleted. Best-effort: an FS error
+// is returned but the caller treats quarantine failure as non-fatal.
+func quarantine(fsys FS, name string) (string, error) {
+	dst := name + ".corrupt"
+	for i := 1; ; i++ {
+		if _, err := fsys.Size(dst); notExist(err) {
+			break
+		}
+		dst = fmt.Sprintf("%s.corrupt.%d", name, i)
+		if i > 100 {
+			break // give up on uniqueness; overwrite
+		}
+	}
+	if err := fsys.Rename(name, dst); err != nil {
+		return "", err
+	}
+	return filepath.Base(dst), nil
+}

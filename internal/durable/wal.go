@@ -1,0 +1,244 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"goldfinger/internal/core"
+)
+
+// The WAL is a flat stream of self-checking records — no file header, so a
+// segment truncated at any byte is still a valid (shorter) WAL:
+//
+//	uint32 payloadLen | uint32 crc32c(payload) | payload
+//
+// payload:
+//
+//	uint8 recPut | uint64 mutSeq | uint32 idLen | id | fingerprint (core codec)
+//
+// All integers little-endian. CRC-32C (Castagnoli) is hardware-accelerated
+// on amd64/arm64. mutSeq is the server's mutation counter value the record
+// establishes; replay applies records in order and skips any whose mutSeq
+// is already covered by the snapshot being replayed over.
+
+// crcTable is the Castagnoli polynomial table shared by WAL records and
+// snapshot trailers.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	recPut = 1 // fingerprint put (insert or overwrite)
+
+	walHeaderBytes = 8
+	// maxWALPayload bounds one record so a corrupt length prefix cannot
+	// drive a multi-gigabyte allocation during replay. 64 MiB is orders of
+	// magnitude above any real record (id ≤ 4 KiB + one fingerprint).
+	maxWALPayload = 1 << 26
+)
+
+// Record is one durable mutation: user ID got fingerprint FP, moving the
+// mutation counter to MutSeq.
+type Record struct {
+	MutSeq uint64
+	ID     string
+	FP     core.Fingerprint
+}
+
+// AppendRecord serializes rec onto buf and returns the extended slice.
+func AppendRecord(buf []byte, rec Record) ([]byte, error) {
+	var payload bytes.Buffer
+	payload.WriteByte(recPut)
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], rec.MutSeq)
+	payload.Write(u64[:])
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(rec.ID)))
+	payload.Write(u32[:])
+	payload.WriteString(rec.ID)
+	if err := core.WriteFingerprint(&payload, rec.FP); err != nil {
+		return nil, fmt.Errorf("durable: encoding WAL fingerprint: %w", err)
+	}
+	if payload.Len() > maxWALPayload {
+		return nil, fmt.Errorf("durable: WAL record payload is %d bytes, max %d", payload.Len(), maxWALPayload)
+	}
+	binary.LittleEndian.PutUint32(u32[:], uint32(payload.Len()))
+	buf = append(buf, u32[:]...)
+	binary.LittleEndian.PutUint32(u32[:], crc32.Checksum(payload.Bytes(), crcTable))
+	buf = append(buf, u32[:]...)
+	return append(buf, payload.Bytes()...), nil
+}
+
+// decodeRecordPayload parses one CRC-verified payload. The payload must be
+// consumed exactly: trailing bytes mean a corrupt record even if the prefix
+// parses.
+func decodeRecordPayload(payload []byte) (Record, error) {
+	r := bytes.NewReader(payload)
+	kind, err := r.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("durable: empty WAL payload")
+	}
+	if kind != recPut {
+		return Record{}, fmt.Errorf("durable: unknown WAL record type %d", kind)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Record{}, fmt.Errorf("durable: short WAL record header: %w", err)
+	}
+	mutSeq := binary.LittleEndian.Uint64(hdr[0:8])
+	idLen := binary.LittleEndian.Uint32(hdr[8:12])
+	if int64(idLen) > int64(r.Len()) {
+		return Record{}, fmt.Errorf("durable: WAL id length %d exceeds payload", idLen)
+	}
+	id := make([]byte, idLen)
+	if _, err := io.ReadFull(r, id); err != nil {
+		return Record{}, fmt.Errorf("durable: reading WAL id: %w", err)
+	}
+	fp, err := core.ReadFingerprint(r)
+	if err != nil {
+		return Record{}, fmt.Errorf("durable: reading WAL fingerprint: %w", err)
+	}
+	if r.Len() != 0 {
+		return Record{}, fmt.Errorf("durable: %d trailing bytes in WAL payload", r.Len())
+	}
+	return Record{MutSeq: mutSeq, ID: string(id), FP: fp}, nil
+}
+
+// ScanWAL parses a WAL byte stream into the longest prefix of valid
+// records. It returns the records, the byte length of that prefix, and the
+// error that terminated the scan (nil when the whole stream parsed). A
+// record is accepted only if its length prefix is plausible, its CRC-32C
+// matches, and its payload decodes exactly; the first failure ends the scan
+// — everything after it is a torn tail of len(data)-goodLen bytes.
+//
+// ScanWAL never panics and never allocates proportionally to a corrupt
+// length prefix.
+func ScanWAL(data []byte) (recs []Record, goodLen int, err error) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < walHeaderBytes {
+			return recs, off, fmt.Errorf("durable: torn record header (%d bytes)", len(rest))
+		}
+		payloadLen := binary.LittleEndian.Uint32(rest[0:4])
+		if payloadLen > maxWALPayload {
+			return recs, off, fmt.Errorf("durable: implausible record length %d", payloadLen)
+		}
+		if int(payloadLen) > len(rest)-walHeaderBytes {
+			return recs, off, fmt.Errorf("durable: torn record payload (%d of %d bytes)",
+				len(rest)-walHeaderBytes, payloadLen)
+		}
+		wantCRC := binary.LittleEndian.Uint32(rest[4:8])
+		payload := rest[walHeaderBytes : walHeaderBytes+int(payloadLen)]
+		if got := crc32.Checksum(payload, crcTable); got != wantCRC {
+			return recs, off, fmt.Errorf("durable: record CRC mismatch (want %08x, got %08x)", wantCRC, got)
+		}
+		rec, derr := decodeRecordPayload(payload)
+		if derr != nil {
+			return recs, off, derr
+		}
+		recs = append(recs, rec)
+		off += walHeaderBytes + int(payloadLen)
+	}
+	return recs, off, nil
+}
+
+// wal is the open, append-only active segment. Not safe for concurrent use;
+// the Store serializes access.
+type wal struct {
+	fsys  FS
+	path  string
+	file  File
+	fsync FsyncPolicy
+	bytes int64
+	recs  int64
+}
+
+// openWAL opens (or creates) the segment at path for appending.
+func openWAL(fsys FS, path string, fsync FsyncPolicy) (*wal, error) {
+	size, err := fsys.Size(path)
+	if err != nil {
+		if !notExist(err) {
+			return nil, fmt.Errorf("durable: sizing WAL %s: %w", path, err)
+		}
+		size = 0
+	}
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, fmt.Errorf("durable: opening WAL %s: %w", path, err)
+	}
+	return &wal{fsys: fsys, path: path, file: f, fsync: fsync, bytes: size}, nil
+}
+
+// append writes one record and, under FsyncAlways, fsyncs it. On any error
+// the segment must be considered torn: the caller flips to degraded mode.
+// Reports whether an fsync was issued.
+func (w *wal) append(rec Record) (synced bool, err error) {
+	buf, err := AppendRecord(nil, rec)
+	if err != nil {
+		return false, err
+	}
+	if _, err := w.file.Write(buf); err != nil {
+		return false, fmt.Errorf("durable: appending WAL record: %w", err)
+	}
+	w.bytes += int64(len(buf))
+	w.recs++
+	if w.fsync == FsyncAlways {
+		if err := w.file.Sync(); err != nil {
+			return false, fmt.Errorf("durable: fsyncing WAL: %w", err)
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// seal fsyncs and closes the segment; the segment is complete and will
+// never be written again.
+func (w *wal) seal() error {
+	err := w.file.Sync()
+	if cerr := w.file.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("durable: sealing WAL %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// FsyncPolicy controls when the WAL is flushed to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways fsyncs after every appended record: an acked PUT survives
+	// a power cut. The default.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncNone never fsyncs on the append path (segments are still synced
+	// when sealed): an acked PUT survives a process crash but the tail may
+	// be lost to a power cut. Recovery handles the torn tail either way.
+	FsyncNone
+)
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseFsyncPolicy parses the -fsync flag values "always" and "none".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "none":
+		return FsyncNone, nil
+	default:
+		return 0, errors.New(`durable: fsync policy must be "always" or "none"`)
+	}
+}

@@ -44,6 +44,23 @@
 // counts and progress; GET /metrics exports it as JSON, GET /stats folds
 // in the live phase and progress of a running build, and /debug/pprof/*
 // exposes the runtime profiles.
+//
+// # Durability and degraded mode
+//
+// With a durable store attached (UseStore; the -data-dir flag on
+// cmd/knnserver), every accepted fingerprint PUT is appended to a
+// write-ahead log *before* the 204 is sent, successful builds persist the
+// epoch and compact the WAL into a checksummed state snapshot, and startup
+// recovery reloads both — an acked upload and the last published epoch
+// survive a SIGKILL. All writers serialize through writeMu so WAL order
+// always matches in-memory apply order (mutSeq order).
+//
+// If the data directory fails a write at runtime the store flips to
+// degraded read-only mode: PUTs get 503 with Retry-After while neighbor
+// reads and queries keep serving the current state and epoch from memory.
+// /healthz, /stats (durable/degraded/wal_* fields) and the obs "degraded"
+// gauge surface the condition. Degraded mode is sticky until restart — the
+// WAL tail must be assumed torn once an append fails.
 package service
 
 import (
@@ -63,6 +80,7 @@ import (
 	"time"
 
 	"goldfinger/internal/core"
+	"goldfinger/internal/durable"
 	"goldfinger/internal/knn"
 	"goldfinger/internal/obs"
 )
@@ -96,6 +114,14 @@ type Server struct {
 	building atomic.Bool // build-in-progress guard
 	epochSeq atomic.Int64
 	packed   atomic.Pointer[packedCache]
+
+	// store, when non-nil, makes mutations durable: putFingerprint appends
+	// to its WAL before acking, builds persist their epoch, and compaction
+	// folds the WAL into state snapshots. writeMu serializes all writers so
+	// the WAL receives records in exactly the order memory applies them.
+	store      *durable.Store
+	writeMu    sync.Mutex
+	compacting atomic.Bool // threshold-triggered compaction in flight
 
 	obs          *obs.Registry
 	buildTimeout atomic.Int64                       // ns; 0 = no deadline
@@ -174,6 +200,111 @@ func (s *Server) SetBuildTimeout(d time.Duration) {
 // Metrics returns the server's metrics registry (the /metrics export).
 func (s *Server) Metrics() *obs.Registry { return s.obs }
 
+// UseStore attaches a durable store and seeds the server with the state it
+// recovered: the user table, fingerprints and mutation counter, plus the
+// persisted graph epoch if one survived. Must be called before the handler
+// serves traffic; it refuses to run over a server that already holds
+// state. Recovered fingerprints are validated against the server's
+// configured bit length, and a recovered epoch must pin a prefix of the
+// recovered user table (the append-only invariant every read path relies
+// on) — violations are configuration or tampering errors and abort
+// startup rather than corrupting service.
+func (s *Server) UseStore(st *durable.Store, rec durable.Recovery) error {
+	if st == nil {
+		return errors.New("service: UseStore needs a store")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.users) > 0 || s.epoch.Load() != nil || s.store != nil {
+		return errors.New("service: UseStore must run before the server holds any state")
+	}
+	if len(rec.State.Users) != len(rec.State.FPS) {
+		return fmt.Errorf("service: recovered %d users but %d fingerprints", len(rec.State.Users), len(rec.State.FPS))
+	}
+	index := make(map[string]int, len(rec.State.Users))
+	for i, id := range rec.State.Users {
+		if fp := rec.State.FPS[i]; fp.NumBits() != s.bits {
+			return fmt.Errorf("service: recovered fingerprint for %q has %d bits, server expects %d",
+				id, fp.NumBits(), s.bits)
+		}
+		if _, dup := index[id]; dup {
+			return fmt.Errorf("service: recovered state has duplicate user %q", id)
+		}
+		index[id] = i
+	}
+	if ep := rec.Epoch; ep != nil {
+		if len(ep.Users) > len(rec.State.Users) {
+			return fmt.Errorf("service: recovered epoch has %d users, state only %d", len(ep.Users), len(rec.State.Users))
+		}
+		for i, id := range ep.Users {
+			if rec.State.Users[i] != id {
+				return fmt.Errorf("service: recovered epoch user %d is %q, state has %q (user table must be append-only)",
+					i, id, rec.State.Users[i])
+			}
+		}
+	}
+	s.users = append([]string(nil), rec.State.Users...)
+	s.fps = append([]core.Fingerprint(nil), rec.State.FPS...)
+	s.index = index
+	s.mutSeq = rec.State.MutSeq
+	s.store = st
+
+	if ep := rec.Epoch; ep != nil {
+		ge := &graphEpoch{
+			seq:       ep.Seq,
+			graph:     ep.Graph,
+			users:     ep.Users,
+			k:         ep.K,
+			algorithm: ep.Algorithm,
+			builtAt:   ep.BuiltAt,
+			duration:  ep.Duration,
+			stats:     ep.Stats,
+			mutSeq:    ep.MutSeq,
+		}
+		s.epoch.Store(ge)
+		s.epochSeq.Store(ep.Seq)
+		s.obs.Gauge(metricEpoch).Set(ep.Seq)
+	}
+	return nil
+}
+
+// captureState snapshots the mutable state for a WAL compaction. The
+// copies are taken under the read lock; durable.Store.Compact re-invokes
+// it until the captured mutSeq covers every sealed WAL record.
+func (s *Server) captureState() durable.State {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return durable.State{
+		Users:  append([]string(nil), s.users...),
+		FPS:    append([]core.Fingerprint(nil), s.fps...),
+		MutSeq: s.mutSeq,
+	}
+}
+
+// compact folds the WAL into a fresh state snapshot, recording failures in
+// the durable.last_error metric. ErrDegraded is not news — the store
+// already flipped the degraded gauge.
+func (s *Server) compact() {
+	if err := s.store.Compact(s.captureState); err != nil && !errors.Is(err, durable.ErrDegraded) {
+		s.obs.SetText(metricDurableError, err.Error())
+	}
+}
+
+// maybeCompactAsync starts a background compaction if the WAL outgrew its
+// threshold and none is already running on the service's behalf.
+func (s *Server) maybeCompactAsync() {
+	if !s.store.ShouldCompact() {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.compacting.Store(false)
+		s.compact()
+	}()
+}
+
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -196,14 +327,21 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		methodNotAllowed(w, "GET", "GET required")
 		return
 	}
 	writeJSON(w, http.StatusOK, s.obs.Snapshot())
 }
 
+// handleHealth stays 200 in degraded mode — the node still serves reads,
+// so a load balancer must not drain it — but the body and the /stats
+// degraded field tell operators the data dir stopped accepting writes.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
+	if s.store != nil && s.store.Degraded() {
+		fmt.Fprintln(w, "degraded (read-only: data dir unwritable; queries still served)")
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
@@ -226,6 +364,16 @@ type Stats struct {
 	// LastBuildError records why the most recent build published no epoch
 	// (canceled, timed out); empty after a successful build.
 	LastBuildError string `json:"last_build_error,omitempty"`
+
+	// Durability: Durable reports whether a data dir is attached; Degraded
+	// flips when it stopped accepting writes (uploads get 503, reads keep
+	// serving). WAL* and SnapshotGen describe the active WAL segment.
+	Durable          bool   `json:"durable"`
+	Degraded         bool   `json:"degraded,omitempty"`
+	WALRecords       int64  `json:"wal_records,omitempty"`
+	WALBytes         int64  `json:"wal_bytes,omitempty"`
+	SnapshotGen      uint64 `json:"snapshot_gen,omitempty"`
+	LastDurableError string `json:"last_durable_error,omitempty"`
 
 	// Epoch observability: zero values until the first build completes.
 	Epoch           int64   `json:"epoch"`
@@ -252,6 +400,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BuildRunning:   s.building.Load(),
 		LastBuildError: s.obs.TextValue(metricLastError),
 	}
+	if s.store != nil {
+		info := s.store.Info()
+		st.Durable = true
+		st.Degraded = info.Degraded
+		st.WALRecords = info.WALRecords
+		st.WALBytes = info.WALBytes
+		st.SnapshotGen = info.Gen
+		st.LastDurableError = s.obs.TextValue(metricDurableError)
+	}
 	if st.BuildRunning {
 		st.BuildPhase = s.obs.TextValue(knn.MetricPhase)
 		st.BuildProgressDone = s.obs.Gauge(knn.MetricProgressDone).Value()
@@ -274,7 +431,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// handleUsers routes /users/{id}/fingerprint and /users/{id}/neighbors.
+// handleUsers routes /users/{id}/fingerprint and /users/{id}/neighbors. An
+// unknown action is a 404 (the resource does not exist); a known action
+// with the wrong method is a 405 carrying the Allow header RFC 9110
+// requires.
 func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/users/")
 	parts := strings.Split(rest, "/")
@@ -283,13 +443,21 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id, action := parts[0], parts[1]
-	switch {
-	case action == "fingerprint" && r.Method == http.MethodPut:
+	switch action {
+	case "fingerprint":
+		if r.Method != http.MethodPut {
+			methodNotAllowed(w, "PUT", "use PUT to upload a fingerprint")
+			return
+		}
 		s.putFingerprint(w, r, id)
-	case action == "neighbors" && r.Method == http.MethodGet:
+	case "neighbors":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, "GET", "use GET to read neighbors")
+			return
+		}
 		s.getNeighbors(w, r, id)
 	default:
-		httpError(w, http.StatusMethodNotAllowed, "unsupported method or action")
+		httpError(w, http.StatusNotFound, "unknown action %q: want fingerprint or neighbors", action)
 	}
 }
 
@@ -339,6 +507,31 @@ func (s *Server) putFingerprint(w http.ResponseWriter, r *http.Request, id strin
 	if !ok {
 		return
 	}
+	// Writers serialize on writeMu so the WAL receives records in exactly
+	// the order memory applies them — the replay skip rule (drop records at
+	// or below the snapshot's mutSeq) depends on mutSeq being monotone in
+	// append order. The WAL append happens *before* the in-memory apply and
+	// before the 204: an acked upload is durable; a failed append is a 503
+	// and the upload never happened.
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.store != nil {
+		if s.store.Degraded() {
+			w.Header().Set("Retry-After", "30")
+			httpError(w, http.StatusServiceUnavailable,
+				"data dir unwritable; server is read-only until restart")
+			return
+		}
+		s.mu.RLock()
+		next := s.mutSeq + 1
+		s.mu.RUnlock()
+		if err := s.store.Append(durable.Record{MutSeq: next, ID: id, FP: fp}); err != nil {
+			s.obs.SetText(metricDurableError, err.Error())
+			w.Header().Set("Retry-After", "30")
+			httpError(w, http.StatusServiceUnavailable, "persisting fingerprint: %v", err)
+			return
+		}
+	}
 	s.mu.Lock()
 	if i, ok := s.index[id]; ok {
 		s.fps[i] = fp
@@ -349,6 +542,9 @@ func (s *Server) putFingerprint(w http.ResponseWriter, r *http.Request, id strin
 	}
 	s.mutSeq++
 	s.mu.Unlock()
+	if s.store != nil {
+		s.maybeCompactAsync()
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -374,6 +570,8 @@ const (
 	metricEpoch     = "build.epoch"
 	metricLastError = "build.last_error"
 	metricBuildAlgo = "build.algorithm"
+
+	metricDurableError = "durable.last_error"
 )
 
 // handleBuildRoute dispatches the build endpoint: POST starts a build,
@@ -385,7 +583,7 @@ func (s *Server) handleBuildRoute(w http.ResponseWriter, r *http.Request) {
 	case http.MethodDelete:
 		s.handleCancelBuild(w, r)
 	default:
-		httpError(w, http.StatusMethodNotAllowed, "POST to build, DELETE to cancel")
+		methodNotAllowed(w, "POST, DELETE", "POST to build, DELETE to cancel")
 	}
 }
 
@@ -530,6 +728,28 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	s.obs.Gauge(metricEpoch).Set(ep.seq)
 	s.obs.Histogram(metricBuildSecs, obs.DefTimeBuckets).Observe(duration.Seconds())
 
+	// Persist the epoch and fold the WAL into a snapshot before answering:
+	// a client that saw the build succeed must find the same epoch after a
+	// crash. Persistence failure degrades the store (reads keep serving the
+	// in-memory epoch) but the build itself succeeded — report it in the
+	// response-independent durable error channel, not as a build failure.
+	if s.store != nil {
+		if err := s.store.SaveEpoch(durable.EpochData{
+			Seq:       ep.seq,
+			K:         ep.k,
+			Algorithm: ep.algorithm,
+			BuiltAt:   ep.builtAt,
+			Duration:  ep.duration,
+			Stats:     ep.stats,
+			MutSeq:    ep.mutSeq,
+			Users:     ep.users,
+			Graph:     ep.graph,
+		}); err != nil && !errors.Is(err, durable.ErrDegraded) {
+			s.obs.SetText(metricDurableError, err.Error())
+		}
+		s.compact()
+	}
+
 	writeJSON(w, http.StatusOK, BuildResult{
 		Users:       len(users),
 		K:           k,
@@ -577,7 +797,7 @@ func (s *Server) getNeighbors(w http.ResponseWriter, r *http.Request, id string)
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		methodNotAllowed(w, "POST", "POST required")
 		return
 	}
 	k := 10
@@ -635,4 +855,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	http.Error(w, fmt.Sprintf(format, args...), status)
+}
+
+// methodNotAllowed writes a 405 with the Allow header RFC 9110 §15.5.6
+// requires on every 405 response.
+func methodNotAllowed(w http.ResponseWriter, allow string, format string, args ...any) {
+	w.Header().Set("Allow", allow)
+	httpError(w, http.StatusMethodNotAllowed, format, args...)
 }
