@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race racecheck crashcheck cover bench benchsmoke benchjson experiments fuzz fuzzshort clean
+.PHONY: all build check test race racecheck crashcheck loadcheck cover bench benchsmoke benchjson experiments fuzz fuzzshort clean
 
 all: build test
 
@@ -10,10 +10,10 @@ build:
 	$(GO) build ./...
 
 # Static analysis, the full race-enabled suite, the crash-recovery
-# fault-injection suite, a short fuzz burst over every fuzz target, and a
-# one-iteration benchmark smoke so the perf-critical kernel benches can
-# never rot unnoticed.
-check: benchsmoke racecheck crashcheck fuzzshort
+# fault-injection suite, the overload/load-shedding suite, a short fuzz
+# burst over every fuzz target, and a one-iteration benchmark smoke so
+# the perf-critical kernel benches can never rot unnoticed.
+check: benchsmoke racecheck crashcheck loadcheck fuzzshort
 	$(GO) vet ./...
 
 test: check
@@ -34,6 +34,15 @@ racecheck:
 crashcheck:
 	$(GO) test -race -count=1 ./internal/durable
 	$(GO) test -race -count=1 -run 'Recovery|Degraded|Compaction|Restart|TornTail|Crash|WAL' ./internal/service ./cmd/knnserver
+
+# The overload suite under the race detector: the knnload generator
+# drives an in-process hardened server past measured saturation (plus
+# slow-loris and oversized-body chaos) and the tests assert graceful
+# degradation — bounded accepted p99, fail-fast 429/503 shedding with
+# parseable Retry-After, and no goroutine leak. count=1 so the
+# saturation measurement re-runs every time.
+loadcheck:
+	$(GO) test -race -count=1 ./cmd/knnload
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...

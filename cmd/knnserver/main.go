@@ -66,9 +66,25 @@
 // field of GET /stats). Without -data-dir state is in-memory only, exactly
 // as before.
 //
+// # Overload behavior
+//
+// Every endpoint passes per-class admission control (cheap reads, expensive
+// queries, mutating writes) before touching the corpus: each class has a
+// concurrency limit and a bounded wait queue, every admitted request runs
+// under a context deadline, and excess load is shed fail-fast with 429/503
+// plus a computed Retry-After instead of queueing without bound. Clients
+// may lower (never raise) their deadline with an X-Request-Timeout header.
+// -max-inflight-queries, -query-timeout and -rate-limit tune the limits;
+// /healthz and /stats report shedding distinctly from durability
+// degradation. The http.Server itself is hardened against slow and abusive
+// clients with -read-timeout, -write-timeout, -idle-timeout and
+// -max-header-bytes. /healthz, /debug/pprof and DELETE /graph/build bypass
+// admission: probes and load relief must keep working while overloaded.
+//
 // Usage:
 //
-//	knnserver -addr :8080 -bits 1024 -build-timeout 5m -data-dir /var/lib/knn -fsync always
+//	knnserver -addr :8080 -bits 1024 -build-timeout 5m -data-dir /var/lib/knn -fsync always \
+//	  -max-inflight-queries 32 -query-timeout 5s -rate-limit 2000
 package main
 
 import (
@@ -84,6 +100,7 @@ import (
 	"os/signal"
 	"time"
 
+	"goldfinger/internal/admit"
 	"goldfinger/internal/durable"
 	"goldfinger/internal/service"
 )
@@ -112,6 +129,20 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		"directory for the WAL and snapshots (empty: in-memory only, state dies with the process)")
 	fsyncMode := fs.String("fsync", "always",
 		"WAL fsync policy: always (acked uploads survive power loss) or none (page cache decides)")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second,
+		"maximum duration for reading an entire request, body included (0 disables; slow-loris guard)")
+	writeTimeout := fs.Duration("write-timeout", time.Minute,
+		"maximum duration for writing a response (0 disables; graph builds extend their own deadline)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute,
+		"how long an idle keep-alive connection is kept open (0 disables)")
+	maxHeaderBytes := fs.Int("max-header-bytes", 64<<10,
+		"maximum request header size in bytes (0 uses the net/http default)")
+	maxInflightQueries := fs.Int("max-inflight-queries", 0,
+		"concurrent /query executions before queueing (0 uses the default, 2×GOMAXPROCS)")
+	queryTimeout := fs.Duration("query-timeout", 10*time.Second,
+		"per-request deadline for /query, admission queue included (0 disables; clients can lower it with X-Request-Timeout)")
+	rateLimit := fs.Float64("rate-limit", 0,
+		"global request rate limit in requests/second, enforced with a token bucket (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -120,6 +151,28 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	}
 	if *buildTimeout < 0 {
 		return fmt.Errorf("-build-timeout must be non-negative, got %s", *buildTimeout)
+	}
+	for _, f := range []struct {
+		name string
+		val  time.Duration
+	}{
+		{"-read-timeout", *readTimeout},
+		{"-write-timeout", *writeTimeout},
+		{"-idle-timeout", *idleTimeout},
+		{"-query-timeout", *queryTimeout},
+	} {
+		if f.val < 0 {
+			return fmt.Errorf("%s must be non-negative, got %s", f.name, f.val)
+		}
+	}
+	if *maxHeaderBytes < 0 {
+		return fmt.Errorf("-max-header-bytes must be non-negative, got %d", *maxHeaderBytes)
+	}
+	if *maxInflightQueries < 0 {
+		return fmt.Errorf("-max-inflight-queries must be non-negative, got %d", *maxInflightQueries)
+	}
+	if *rateLimit < 0 {
+		return fmt.Errorf("-rate-limit must be non-negative, got %g", *rateLimit)
 	}
 	fsyncPolicy, err := durable.ParseFsyncPolicy(*fsyncMode)
 	if err != nil {
@@ -131,6 +184,20 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		return err
 	}
 	srv.SetBuildTimeout(*buildTimeout)
+
+	admitCfg := admit.DefaultConfig()
+	if *maxInflightQueries > 0 {
+		admitCfg.Query.MaxInflight = *maxInflightQueries
+		admitCfg.Query.MaxQueue = 4 * *maxInflightQueries
+	}
+	admitCfg.Query.Timeout = *queryTimeout
+	if *rateLimit > 0 {
+		admitCfg.Rate = *rateLimit
+		// One second of burst headroom so well-behaved clients with bursty
+		// arrivals are not clipped at the average rate.
+		admitCfg.Burst = *rateLimit
+	}
+	srv.SetAdmission(admitCfg)
 
 	logger := log.New(logw, "", log.LstdFlags)
 	var store *durable.Store
@@ -167,6 +234,10 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
 	}
 
 	go func() {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -20,6 +21,13 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-bits", "-5"},
 		{"-build-timeout", "banana"},
 		{"-build-timeout", "-1s"},
+		{"-read-timeout", "-1s"},
+		{"-write-timeout", "-1ms"},
+		{"-idle-timeout", "-2m"},
+		{"-max-header-bytes", "-1"},
+		{"-max-inflight-queries", "-4"},
+		{"-query-timeout", "-5s"},
+		{"-rate-limit", "-100"},
 		{"-nosuchflag"},
 		{"stray-positional"},
 	} {
@@ -94,6 +102,59 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	if !bytes.Contains(logs.Bytes(), []byte("build timeout: 30s")) {
 		t.Errorf("startup log did not record the build timeout: %q", logs.String())
 	}
+}
+
+// TestRunHardenedServerServes boots with every hardening and admission
+// flag set to a tight-but-workable value and checks the server still
+// answers; it also checks the admission snapshot shows the configured
+// query limit and that a client-set X-Request-Timeout is honored.
+func TestRunHardenedServerServes(t *testing.T) {
+	var logs bytes.Buffer
+	addr, shutdown := startServer(t, &logs,
+		"-read-timeout", "10s", "-write-timeout", "10s", "-idle-timeout", "30s",
+		"-max-header-bytes", "8192",
+		"-max-inflight-queries", "2", "-query-timeout", "3s", "-rate-limit", "1000")
+	defer shutdown()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get("http://" + addr + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Admission map[string]struct {
+			MaxInflight int `json:"max_inflight"`
+		} `json:"admission"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := st.Admission["query"].MaxInflight; got != 2 {
+		t.Errorf("query max_inflight = %d, want 2 from -max-inflight-queries", got)
+	}
+
+	// An oversized header must be refused by MaxHeaderBytes, not served.
+	req, _ := http.NewRequest(http.MethodGet, "http://"+addr+"/healthz", nil)
+	req.Header.Set("X-Padding", strings.Repeat("a", 16<<10))
+	if resp, err := client.Do(req); err == nil {
+		if resp.StatusCode == http.StatusOK {
+			t.Error("16KiB header accepted despite -max-header-bytes 8192")
+		}
+		resp.Body.Close()
+	}
+
+	// A bad client timeout is a 400, and a generous one passes through.
+	req, _ = http.NewRequest(http.MethodGet, "http://"+addr+"/stats", nil)
+	req.Header.Set("X-Request-Timeout", "never")
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad X-Request-Timeout: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
 }
 
 func TestRunRejectsBadFsyncPolicy(t *testing.T) {

@@ -86,4 +86,40 @@ func main() {
 	for _, nb := range nbrs {
 		fmt.Printf("  %-6s Ĵ=%.3f\n", nb.User, nb.Similarity)
 	}
+
+	// An ad-hoc top-k query under a client-chosen deadline: the
+	// X-Request-Timeout header lowers this request's deadline below the
+	// server's per-class default. If the server is too loaded to answer
+	// within it, the query comes back 503 with a Retry-After instead of
+	// making the client wait — that is the admission layer's contract.
+	var qbuf bytes.Buffer
+	if err := core.WriteFingerprint(&qbuf, scheme.Fingerprint(d.Profiles[0])); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	qreq, err := http.NewRequest(http.MethodPost, ts.URL+"/query?k=3", &qbuf)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	qreq.Header.Set(service.HeaderRequestTimeout, "2s")
+	qresp, err := http.DefaultClient.Do(qreq)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer qresp.Body.Close()
+	if qresp.StatusCode != http.StatusOK {
+		fmt.Printf("query rejected: %d (Retry-After: %s)\n", qresp.StatusCode, qresp.Header.Get("Retry-After"))
+		return
+	}
+	var top []service.NeighborJSON
+	if err := json.NewDecoder(qresp.Body).Decode(&top); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("top-3 for an ad-hoc fingerprint (2s client deadline):")
+	for _, nb := range top {
+		fmt.Printf("  %-6s Ĵ=%.3f\n", nb.User, nb.Similarity)
+	}
 }

@@ -1,0 +1,277 @@
+package admit
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"goldfinger/internal/obs"
+)
+
+func testConfig() Config {
+	return Config{
+		Read:  ClassConfig{MaxInflight: 2, MaxQueue: 2, Timeout: time.Second},
+		Query: ClassConfig{MaxInflight: 1, MaxQueue: 1, Timeout: time.Second},
+		Write: ClassConfig{MaxInflight: 1, MaxQueue: 0, Timeout: time.Second},
+	}
+}
+
+func TestNilControllerAdmitsEverything(t *testing.T) {
+	var c *Controller
+	for cl := Class(0); cl < numClasses; cl++ {
+		release, res := c.Admit(context.Background(), cl)
+		if res.Outcome != Admitted || release == nil {
+			t.Fatalf("nil controller class %s: %+v", cl, res)
+		}
+		release()
+	}
+	if c.Timeout(Query) != 0 || c.Overloaded() || c.Snapshot() != nil {
+		t.Error("nil controller leaked state")
+	}
+}
+
+func TestFastPathAndRelease(t *testing.T) {
+	c := NewController(testConfig(), obs.NewRegistry())
+	r1, res1 := c.Admit(context.Background(), Query)
+	if res1.Outcome != Admitted {
+		t.Fatalf("first admit: %+v", res1)
+	}
+	// Slot busy, queue empty: second request queues until r1 releases.
+	done := make(chan Result, 1)
+	go func() {
+		r2, res2 := c.Admit(context.Background(), Query)
+		if r2 != nil {
+			r2()
+		}
+		done <- res2
+	}()
+	// Give the goroutine time to enter the queue, then free the slot.
+	waitFor(t, func() bool { return c.Snapshot()["query"].Queued == 1 })
+	r1()
+	res2 := <-done
+	if res2.Outcome != AdmittedAfterWait {
+		t.Fatalf("queued admit: %+v", res2)
+	}
+	st := c.Snapshot()["query"]
+	if st.Admitted != 1 || st.QueuedAdmitted != 1 || st.Inflight != 0 || st.Queued != 0 {
+		t.Errorf("final stats: %+v", st)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	c := NewController(testConfig(), obs.NewRegistry())
+	// Write class: MaxInflight 1, MaxQueue 0 — the second request sheds.
+	r1, _ := c.Admit(context.Background(), Write)
+	defer r1()
+	_, res := c.Admit(context.Background(), Write)
+	if res.Outcome != Shed {
+		t.Fatalf("want Shed with full queue, got %+v", res)
+	}
+	if res.RetryAfter < time.Second {
+		t.Errorf("RetryAfter %v below the 1s floor", res.RetryAfter)
+	}
+	if got := c.Snapshot()["write"].Shed; got != 1 {
+		t.Errorf("shed count = %d", got)
+	}
+}
+
+func TestDeadlineExceededWhileQueued(t *testing.T) {
+	c := NewController(testConfig(), obs.NewRegistry())
+	r1, _ := c.Admit(context.Background(), Query)
+	defer r1()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, res := c.Admit(ctx, Query)
+	if res.Outcome != DeadlineExceeded {
+		t.Fatalf("want DeadlineExceeded, got %+v", res)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("deadline admit took %v, should fail near the 20ms deadline", waited)
+	}
+	if !res.Rejected() {
+		t.Error("DeadlineExceeded not Rejected()")
+	}
+}
+
+// TestAdaptiveShedTripsAndRecovers drives the query class into sustained
+// queue waits, checks that new arrivals are shed without queueing, then
+// checks the signal decays and the queue reopens.
+func TestAdaptiveShedTripsAndRecovers(t *testing.T) {
+	cfg := testConfig()
+	cfg.Query = ClassConfig{MaxInflight: 1, MaxQueue: 4, Timeout: time.Second, ShedWait: 10 * time.Millisecond}
+	c := NewController(cfg, obs.NewRegistry())
+
+	// Hold the only slot and push waiters through 30ms queue stints so the
+	// EWMA rises well above the 10ms threshold.
+	hold, _ := c.Admit(context.Background(), Query)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			defer cancel()
+			if release, res := c.Admit(ctx, Query); !res.Rejected() {
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The slot is still held and the signal is hot: this arrival must be
+	// shed immediately, not queued for its full deadline.
+	start := time.Now()
+	_, res := c.Admit(context.Background(), Query)
+	if res.Outcome != Shed {
+		t.Fatalf("hot signal: want Shed, got %+v", res)
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Errorf("shed took %v, want immediate", d)
+	}
+	if !c.Overloaded() {
+		t.Error("Overloaded() false while shedding")
+	}
+
+	// Free the slot and let the signal decay (half-life = ShedWait = 10ms;
+	// a few half-lives bring 30ms under 10ms). The queue must reopen.
+	hold()
+	waitFor(t, func() bool {
+		release, res := c.Admit(context.Background(), Query)
+		if res.Rejected() {
+			return false
+		}
+		release()
+		return true
+	})
+}
+
+func TestTokenBucket(t *testing.T) {
+	b := NewTokenBucket(10, 2) // 10/s, burst 2
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("burst tokens not available")
+	}
+	if b.Allow() {
+		t.Fatal("empty bucket allowed a request")
+	}
+	ra := b.RetryAfter()
+	if ra <= 0 || ra > 100*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want (0, 100ms] at 10 tokens/s", ra)
+	}
+	now = now.Add(100 * time.Millisecond) // one token refilled
+	if !b.Allow() {
+		t.Error("token not refilled after 100ms at 10/s")
+	}
+	if b.Allow() {
+		t.Error("second token allowed after a single refill interval")
+	}
+	now = now.Add(time.Hour) // refill far past burst: capacity caps at 2
+	if !b.Allow() || !b.Allow() {
+		t.Error("bucket did not refill to burst")
+	}
+	if b.Allow() {
+		t.Error("bucket exceeded burst capacity")
+	}
+}
+
+func TestControllerRateLimit(t *testing.T) {
+	cfg := testConfig()
+	cfg.Rate = 1e-9 // effectively zero refill
+	cfg.Burst = 1
+	c := NewController(cfg, obs.NewRegistry())
+	release, res := c.Admit(context.Background(), Read)
+	if res.Outcome != Admitted {
+		t.Fatalf("first request: %+v", res)
+	}
+	release()
+	_, res = c.Admit(context.Background(), Read)
+	if res.Outcome != RateLimited {
+		t.Fatalf("second request: want RateLimited, got %+v", res)
+	}
+	if res.RetryAfter < time.Second {
+		t.Errorf("RetryAfter %v below floor", res.RetryAfter)
+	}
+	if c.RateLimited() != 1 {
+		t.Errorf("RateLimited() = %d", c.RateLimited())
+	}
+}
+
+// TestConcurrentAdmitRace hammers one limiter from many goroutines: every
+// admitted request must release, in-flight must never exceed MaxInflight,
+// and the final gauges must return to zero. Run under -race.
+func TestConcurrentAdmitRace(t *testing.T) {
+	cfg := testConfig()
+	cfg.Query = ClassConfig{MaxInflight: 4, MaxQueue: 8, Timeout: time.Second}
+	reg := obs.NewRegistry()
+	c := NewController(cfg, reg)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	maxSeen := int64(0)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			defer cancel()
+			release, res := c.Admit(ctx, Query)
+			if res.Rejected() {
+				return
+			}
+			cur := c.Snapshot()["query"].Inflight
+			mu.Lock()
+			if cur > maxSeen {
+				maxSeen = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			release()
+		}()
+	}
+	wg.Wait()
+	if maxSeen > 4 {
+		t.Errorf("observed %d in-flight, limit 4", maxSeen)
+	}
+	st := c.Snapshot()["query"]
+	if st.Inflight != 0 || st.Queued != 0 {
+		t.Errorf("limiter did not drain: %+v", st)
+	}
+	if total := st.Admitted + st.QueuedAdmitted + st.Shed + st.DeadlineExceeded; total != 64 {
+		t.Errorf("decisions = %d, want 64", total)
+	}
+	// The wait histogram counts every queued request (admitted or not).
+	if h := reg.Histogram("admit.query.wait.seconds", nil); h.Count() != st.QueuedAdmitted+st.DeadlineExceeded {
+		t.Errorf("wait histogram count %d != queued_admitted %d + deadline %d",
+			h.Count(), st.QueuedAdmitted, st.DeadlineExceeded)
+	}
+}
+
+func TestWaitSignalDecay(t *testing.T) {
+	s := waitSignal{halfLife: 10 * time.Millisecond}
+	s.observe(40 * time.Millisecond)
+	s.observe(40 * time.Millisecond)
+	s.observe(40 * time.Millisecond)
+	if got := s.load(); got < 5*time.Millisecond {
+		t.Fatalf("signal after three 40ms waits = %v, want well above zero", got)
+	}
+	time.Sleep(80 * time.Millisecond) // 8 half-lives: /256
+	if got := s.load(); got > 2*time.Millisecond {
+		t.Errorf("signal did not decay: %v after 8 half-lives", got)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

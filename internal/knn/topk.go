@@ -1,8 +1,10 @@
 package knn
 
 import (
+	"context"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ranksBelow is the strict (sim desc, id asc) total order of TopK: a ranks
@@ -36,6 +38,19 @@ func TopK(n, k, workers int, sim func(i int) float64) []Neighbor {
 	})
 }
 
+// TopKCtx is TopK under a context: the scan polls ctx once per tile
+// (topkColTile candidates) and aborts within one tile of a cancellation,
+// returning ctx.Err() and no result. A disconnected or deadline-expired
+// caller therefore stops burning the corpus almost immediately instead of
+// finishing a full scan whose answer nobody reads.
+func TopKCtx(ctx context.Context, n, k, workers int, sim func(i int) float64) ([]Neighbor, error) {
+	return TopKRangeCtx(ctx, n, k, workers, func(lo, hi int, out []float64) {
+		for i := lo; i < hi; i++ {
+			out[i-lo] = sim(i)
+		}
+	})
+}
+
 // topkColTile is the candidate-range width per batched kernel call; it
 // matches the packed-corpus tile so one call streams an L1-resident block.
 const topkColTile = 256
@@ -47,8 +62,30 @@ const topkColTile = 256
 // candidate. Selection, tie rules, and determinism are identical to TopK —
 // the two return the same result whenever the kernels agree pointwise.
 func TopKRange(n, k, workers int, sim func(lo, hi int, out []float64)) []Neighbor {
+	// nil ctx: the workers skip the per-tile poll entirely, so the
+	// uncancellable path pays nothing for cancellability existing.
+	res, _ := topKRange(nil, n, k, workers, sim)
+	return res
+}
+
+// TopKRangeCtx is TopKRange under a context, polled once per tile; see
+// TopKCtx for the cancellation contract. Returns (nil, ctx.Err()) on
+// cancellation — partial selections are discarded, never returned.
+func TopKRangeCtx(ctx context.Context, n, k, workers int, sim func(lo, hi int, out []float64)) ([]Neighbor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Refuse work that is already dead — the common case for a request
+	// whose deadline expired in the admission queue.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return topKRange(ctx, n, k, workers, sim)
+}
+
+func topKRange(ctx context.Context, n, k, workers int, sim func(lo, hi int, out []float64)) ([]Neighbor, error) {
 	if n <= 0 || k <= 0 {
-		return nil
+		return nil, nil
 	}
 	// At most n results are possible, so clamping is behavior-preserving —
 	// and it keeps a caller-supplied huge k (e.g. straight from a query
@@ -64,8 +101,11 @@ func TopKRange(n, k, workers int, sim func(lo, hi int, out []float64)) []Neighbo
 	}
 
 	// Each worker selects its shard-local top-k under the total order;
-	// the union of shard winners contains every global winner.
+	// the union of shard winners contains every global winner. A canceled
+	// context flips stopped once; the other workers see the cheap atomic
+	// and bail at their next tile without each re-checking the context.
 	locals := make([][]Neighbor, workers)
+	var stopped atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := w*n/workers, (w+1)*n/workers
@@ -79,6 +119,15 @@ func TopKRange(n, k, workers int, sim func(lo, hi int, out []float64)) []Neighbo
 			worst := 0
 			buf := make([]float64, topkColTile)
 			for tlo := lo; tlo < hi; tlo += topkColTile {
+				if ctx != nil {
+					if stopped.Load() {
+						return
+					}
+					if ctx.Err() != nil {
+						stopped.Store(true)
+						return
+					}
+				}
 				thi := min(tlo+topkColTile, hi)
 				tile := buf[:thi-tlo]
 				sim(tlo, thi, tile)
@@ -101,6 +150,11 @@ func TopKRange(n, k, workers int, sim func(lo, hi int, out []float64)) []Neighbo
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 
 	merged := make([]Neighbor, 0, workers*k)
 	for _, l := range locals {
@@ -115,5 +169,5 @@ func TopKRange(n, k, workers int, sim func(lo, hi int, out []float64)) []Neighbo
 	if len(merged) > k {
 		merged = merged[:k]
 	}
-	return merged
+	return merged, nil
 }

@@ -1,11 +1,15 @@
 package knn
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"reflect"
 	"sort"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func bruteTopK(sims []float64, k int) []Neighbor {
@@ -107,6 +111,92 @@ func TestTopKHugeKDoesNotPanic(t *testing.T) {
 	got := TopK(3, math.MaxInt, 2, func(i int) float64 { return float64(i) })
 	if len(got) != 3 || got[0].ID != 2 || got[2].ID != 0 {
 		t.Errorf("huge k: got %v", got)
+	}
+}
+
+// TestTopKCtxMatchesTopK pins the ctx variants to the plain ones on a live
+// context: same input, bit-identical output, nil error.
+func TestTopKCtxMatchesTopK(t *testing.T) {
+	const n, k = 1000, 7
+	rng := rand.New(rand.NewSource(11))
+	sims := make([]float64, n)
+	for i := range sims {
+		sims[i] = rng.Float64()
+	}
+	want := TopK(n, k, 3, func(i int) float64 { return sims[i] })
+	got, err := TopKCtx(context.Background(), n, k, 3, func(i int) float64 { return sims[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TopKCtx diverged: got %v, want %v", got, want)
+	}
+	gotR, err := TopKRangeCtx(context.Background(), n, k, 3, func(lo, hi int, out []float64) {
+		copy(out, sims[lo:hi])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotR, want) {
+		t.Errorf("TopKRangeCtx diverged: got %v, want %v", gotR, want)
+	}
+}
+
+// TestTopKRangeCtxPreCanceled: a context that is already dead must refuse
+// the scan before a single kernel call runs.
+func TestTopKRangeCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	got, err := TopKRangeCtx(ctx, 1000, 5, 2, func(lo, hi int, out []float64) { called = true })
+	if !errors.Is(err, context.Canceled) || got != nil {
+		t.Fatalf("pre-canceled scan: got %v, err %v", got, err)
+	}
+	if called {
+		t.Error("kernel ran under a dead context")
+	}
+}
+
+// TestTopKRangeCtxCancelMidScan cancels after the first tile: the scan
+// must stop within a bounded number of further kernel calls (one in-flight
+// tile per worker) and report the cancellation, not a partial result.
+func TestTopKRangeCtxCancelMidScan(t *testing.T) {
+	const n = 64 * topkColTile
+	ctx, cancel := context.WithCancel(context.Background())
+	var tiles atomic.Int64
+	got, err := TopKRangeCtx(ctx, n, 5, 2, func(lo, hi int, out []float64) {
+		if tiles.Add(1) == 1 {
+			cancel()
+		}
+		for i := range out {
+			out[i] = float64(lo + i)
+		}
+	})
+	if !errors.Is(err, context.Canceled) || got != nil {
+		t.Fatalf("mid-scan cancel: got %v, err %v", got, err)
+	}
+	// 2 workers × 32 tiles each; after the cancel each worker may finish
+	// the tile it is in plus start at most the one it dequeued before the
+	// flag flipped. Anything close to the full 64 means polling is broken.
+	if c := tiles.Load(); c > 8 {
+		t.Errorf("scan ran %d tiles after cancellation, want ≤ 8", c)
+	}
+}
+
+// TestTopKRangeCtxDeadline: an expiring deadline aborts the scan with
+// context.DeadlineExceeded even when the kernel itself never checks time.
+func TestTopKRangeCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	const n = 1024 * topkColTile
+	got, err := TopKRangeCtx(ctx, n, 3, 1, func(lo, hi int, out []float64) {
+		time.Sleep(time.Millisecond) // ~1s total scan without the deadline
+		for i := range out {
+			out[i] = 0.5
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) || got != nil {
+		t.Fatalf("deadline scan: got %v, err %v", got, err)
 	}
 }
 

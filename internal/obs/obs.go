@@ -281,3 +281,12 @@ var DefTimeBuckets = []float64{
 	0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
 	1, 5, 10, 30, 60, 120, 300, 600,
 }
+
+// DefWaitBuckets is the default bucket layout for request-scale latencies
+// in seconds — admission queue waits and query service times: dense in the
+// sub-second range where shed thresholds live, capped at the minute scale
+// past which a request has long exceeded any sane deadline.
+var DefWaitBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}

@@ -213,9 +213,7 @@ func TestDegradedReadOnlyMode(t *testing.T) {
 		if resp.StatusCode != http.StatusServiceUnavailable {
 			t.Fatalf("degraded PUT attempt %d: status %d, want 503", attempt, resp.StatusCode)
 		}
-		if resp.Header.Get("Retry-After") == "" {
-			t.Fatalf("degraded PUT attempt %d: no Retry-After header", attempt)
-		}
+		assertRetryAfter(t, resp)
 		resp.Body.Close()
 	}
 	if !store.Degraded() {

@@ -174,9 +174,7 @@ func TestTrafficProceedsDuringBuild(t *testing.T) {
 	if resp.StatusCode != http.StatusConflict {
 		t.Errorf("concurrent build: status %d, want 409", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("concurrent build 409 missing Retry-After header")
-	}
+	assertRetryAfter(t, resp)
 
 	close(release)
 	if code := <-buildStatus; code != http.StatusOK {

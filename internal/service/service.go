@@ -61,6 +61,36 @@
 // /healthz, /stats (durable/degraded/wal_* fields) and the obs "degraded"
 // gauge surface the condition. Degraded mode is sticky until restart — the
 // WAL tail must be assumed torn once an append fails.
+//
+// # Admission control and overload
+//
+// Every route except /healthz and /debug/pprof passes through an
+// internal/admit controller before its handler runs. Requests are
+// partitioned into three independent classes — cheap reads (neighbors,
+// stats, metrics), expensive similarity queries, and mutating writes
+// (uploads, builds) — each with a concurrency limit and a bounded wait
+// queue, plus an optional global token-bucket rate limit. Each admitted
+// request gets a context deadline (per-class default, lowerable per
+// request via the X-Request-Timeout header: a Go duration or integer
+// seconds; never raisable). Rejected work fails fast with an honest
+// status: 429 when rate-limited, 503 when shed (queue full or the
+// adaptive wait-time signal tripped) or when the deadline expired while
+// queued — always with a Retry-After computed from limiter state, never a
+// hardcoded constant.
+//
+// /query runs under its request context: the scan (knn.TopKRangeCtx)
+// polls the context per tile, so a disconnected client or an expired
+// deadline stops burning the corpus within one tile; both cases are
+// counted (query.canceled.total, query.deadline.total). Graph builds keep
+// their own explicit lifecycle (DELETE to cancel, -build-timeout) and
+// deliberately ignore the request deadline.
+//
+// Degraded mode and overload are distinct, independently-reported
+// conditions: degraded means the data dir stopped accepting writes
+// (uploads 503 until restart, reads fine), overloaded means admission is
+// currently shedding (transient; clears when pressure drops). /healthz
+// names whichever applies; /stats carries both the degraded fields and
+// the per-class admission counters.
 package service
 
 import (
@@ -79,6 +109,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"goldfinger/internal/admit"
 	"goldfinger/internal/core"
 	"goldfinger/internal/durable"
 	"goldfinger/internal/knn"
@@ -123,7 +154,13 @@ type Server struct {
 	writeMu    sync.Mutex
 	compacting atomic.Bool // threshold-triggered compaction in flight
 
-	obs          *obs.Registry
+	obs *obs.Registry
+
+	// admit is the admission front door: per-class concurrency limits,
+	// bounded queues, deadlines, optional rate limit. Replaced wholesale by
+	// SetAdmission before serving; never nil.
+	admit *admit.Controller
+
 	buildTimeout atomic.Int64                       // ns; 0 = no deadline
 	buildCancel  atomic.Pointer[context.CancelFunc] // non-nil while a build runs
 	buildStartNS atomic.Int64                       // UnixNano of the running build; 0 when idle
@@ -179,12 +216,27 @@ func (s *Server) packedSnapshot() (*packedCache, error) {
 	return c, nil
 }
 
-// NewServer creates a service accepting fingerprints of the given length.
+// NewServer creates a service accepting fingerprints of the given length,
+// with the default admission configuration (admit.DefaultConfig).
 func NewServer(bits int) (*Server, error) {
 	if bits <= 0 {
 		return nil, fmt.Errorf("service: fingerprint length must be positive, got %d", bits)
 	}
-	return &Server{bits: bits, index: map[string]int{}, obs: obs.NewRegistry()}, nil
+	reg := obs.NewRegistry()
+	return &Server{
+		bits:  bits,
+		index: map[string]int{},
+		obs:   reg,
+		admit: admit.NewController(admit.DefaultConfig(), reg),
+	}, nil
+}
+
+// SetAdmission replaces the admission configuration (class limits, queue
+// bounds, deadlines, rate limit). Must be called before the handler
+// serves traffic — the controller is swapped wholesale and the swap is
+// not synchronized against in-flight requests.
+func (s *Server) SetAdmission(cfg admit.Config) {
+	s.admit = admit.NewController(cfg, s.obs)
 }
 
 // SetBuildTimeout bounds every subsequent graph build: a build running
@@ -305,16 +357,18 @@ func (s *Server) maybeCompactAsync() {
 	}()
 }
 
-// Handler returns the HTTP routes.
+// Handler returns the HTTP routes. All routes except /healthz (load
+// balancers must always reach it) and /debug/pprof (operator tooling) are
+// wrapped in admission control.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/users/", s.handleUsers) // PUT fingerprint, GET neighbors
+	mux.HandleFunc("/stats", s.admitted(admit.Read, s.handleStats))
+	mux.HandleFunc("/metrics", s.admitted(admit.Read, s.handleMetrics))
+	mux.HandleFunc("/users/", s.handleUsers) // PUT fingerprint, GET neighbors; class chosen per action
 	mux.HandleFunc("/graph/build", s.handleBuildRoute)
 	mux.HandleFunc("/build", s.handleBuildRoute) // alias; DELETE /build cancels
-	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/query", s.admitted(admit.Query, s.handleQuery))
 	// Runtime profiling: pprof.Index serves the named profiles (heap,
 	// goroutine, block, ...) via the trailing path segment.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -325,6 +379,120 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// HeaderRequestTimeout is the request header a client sets to lower its
+// deadline below the class default: a Go duration ("750ms", "2s") or a
+// bare positive integer meaning seconds. It can never raise the deadline.
+const HeaderRequestTimeout = "X-Request-Timeout"
+
+// statusClientClosedRequest is nginx's conventional status for a request
+// aborted because the client went away. The client never sees it; it
+// keeps access logs and metrics honest.
+const statusClientClosedRequest = 499
+
+// admitted wraps h in admission control under the given class, applying
+// the class deadline to the request context.
+func (s *Server) admitted(class admit.Class, h http.HandlerFunc) http.HandlerFunc {
+	return s.admittedDeadline(class, true, h)
+}
+
+// admittedDeadline is admitted with deadline propagation optional: the
+// build route opts out because builds own their lifecycle (-build-timeout
+// and DELETE /graph/build), and killing a build because the *initiating*
+// request's class deadline passed would punish every client waiting on
+// the epoch.
+func (s *Server) admittedDeadline(class admit.Class, deadline bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		if deadline {
+			d := s.admit.Timeout(class)
+			if hdr := r.Header.Get(HeaderRequestTimeout); hdr != "" {
+				req, err := parseClientTimeout(hdr)
+				if err != nil {
+					httpError(w, http.StatusBadRequest, "bad %s %q: %v", HeaderRequestTimeout, hdr, err)
+					return
+				}
+				if d == 0 || req < d {
+					d = req
+				}
+			}
+			if d > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, d)
+				defer cancel()
+			}
+		}
+		release, res := s.admit.Admit(ctx, class)
+		if res.Rejected() {
+			setRetryAfter(w, res.RetryAfter)
+			switch res.Outcome {
+			case admit.RateLimited:
+				httpError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			case admit.DeadlineExceeded:
+				httpError(w, http.StatusServiceUnavailable,
+					"request deadline expired after %s in the %s admission queue", res.Wait.Round(time.Millisecond), class)
+			default: // admit.Shed
+				httpError(w, http.StatusServiceUnavailable,
+					"%s capacity exhausted; request shed", class)
+			}
+			return
+		}
+		defer release()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// parseClientTimeout parses an X-Request-Timeout value.
+func parseClientTimeout(v string) (time.Duration, error) {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0, errors.New("must be positive")
+		}
+		return time.Duration(secs) * time.Second, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, errors.New("want a Go duration or integer seconds")
+	}
+	if d <= 0 {
+		return 0, errors.New("must be positive")
+	}
+	return d, nil
+}
+
+// setRetryAfter writes the Retry-After header as RFC 9110 requires: a
+// non-negative integer number of seconds. Durations round up and floor at
+// 1 — "Retry-After: 0" is an invitation to hammer the server.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// degradedRetryAfter is the retry advice for writes rejected because the
+// data dir is read-only. Degraded mode is sticky until an operator
+// restarts the node, so the value is a polling hint, not an estimate.
+const degradedRetryAfter = 30 * time.Second
+
+// buildRetryAfter estimates when the in-flight build will be done: the
+// remaining configured deadline when one exists, else the last epoch's
+// build duration minus the elapsed time, else a 1s floor (setRetryAfter
+// clamps negatives up to 1).
+func (s *Server) buildRetryAfter() time.Duration {
+	var elapsed time.Duration
+	if ns := s.buildStartNS.Load(); ns > 0 {
+		elapsed = time.Since(time.Unix(0, ns))
+	}
+	if timeout := time.Duration(s.buildTimeout.Load()); timeout > 0 {
+		return timeout - elapsed
+	}
+	if ep := s.epoch.Load(); ep != nil && ep.duration > 0 {
+		return ep.duration - elapsed
+	}
+	return time.Second
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		methodNotAllowed(w, "GET", "GET required")
@@ -333,16 +501,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.obs.Snapshot())
 }
 
-// handleHealth stays 200 in degraded mode — the node still serves reads,
-// so a load balancer must not drain it — but the body and the /stats
-// degraded field tell operators the data dir stopped accepting writes.
+// handleHealth stays 200 in degraded and overloaded modes — the node
+// still serves (some) traffic, so a load balancer must not drain it — but
+// the body names each active condition distinctly: "degraded" means the
+// data dir stopped accepting writes (sticky until restart), "overloaded"
+// means admission is currently shedding (clears when pressure drops).
+// /healthz itself bypasses admission so the probe works during overload.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
-	if s.store != nil && s.store.Degraded() {
-		fmt.Fprintln(w, "degraded (read-only: data dir unwritable; queries still served)")
+	degraded := s.store != nil && s.store.Degraded()
+	overloaded := s.admit.Overloaded()
+	if !degraded && !overloaded {
+		fmt.Fprintln(w, "ok")
 		return
 	}
-	fmt.Fprintln(w, "ok")
+	if degraded {
+		fmt.Fprintln(w, "degraded (read-only: data dir unwritable; queries still served)")
+	}
+	if overloaded {
+		fmt.Fprintln(w, "overloaded (admission shedding excess load; accepted requests still served)")
+	}
 }
 
 // Stats is the /stats response.
@@ -364,6 +542,16 @@ type Stats struct {
 	// LastBuildError records why the most recent build published no epoch
 	// (canceled, timed out); empty after a successful build.
 	LastBuildError string `json:"last_build_error,omitempty"`
+
+	// Admission observability: per-class limiter state and decision
+	// counts, whether any class is currently shedding, the global
+	// rate-limit rejection count, and how many queries were abandoned
+	// mid-scan (client gone) or aborted at their deadline.
+	Admission      map[string]admit.ClassStats `json:"admission"`
+	Overloaded     bool                        `json:"overloaded,omitempty"`
+	RateLimited    int64                       `json:"rate_limited,omitempty"`
+	QueryCanceled  int64                       `json:"query_canceled,omitempty"`
+	QueryDeadlines int64                       `json:"query_deadlines,omitempty"`
 
 	// Durability: Durable reports whether a data dir is attached; Degraded
 	// flips when it stopped accepting writes (uploads get 503, reads keep
@@ -399,6 +587,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Bits:           s.bits,
 		BuildRunning:   s.building.Load(),
 		LastBuildError: s.obs.TextValue(metricLastError),
+		Admission:      s.admit.Snapshot(),
+		Overloaded:     s.admit.Overloaded(),
+		RateLimited:    s.admit.RateLimited(),
+		QueryCanceled:  s.obs.Counter(metricQueryCanceled).Value(),
+		QueryDeadlines: s.obs.Counter(metricQueryDeadline).Value(),
 	}
 	if s.store != nil {
 		info := s.store.Info()
@@ -434,7 +627,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // handleUsers routes /users/{id}/fingerprint and /users/{id}/neighbors. An
 // unknown action is a 404 (the resource does not exist); a known action
 // with the wrong method is a 405 carrying the Allow header RFC 9110
-// requires.
+// requires. Routing errors are answered before admission (they cost
+// nothing); the real work is admitted under the action's class — uploads
+// are writes, neighbor lookups are reads.
 func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/users/")
 	parts := strings.Split(rest, "/")
@@ -449,13 +644,17 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 			methodNotAllowed(w, "PUT", "use PUT to upload a fingerprint")
 			return
 		}
-		s.putFingerprint(w, r, id)
+		s.admitted(admit.Write, func(w http.ResponseWriter, r *http.Request) {
+			s.putFingerprint(w, r, id)
+		})(w, r)
 	case "neighbors":
 		if r.Method != http.MethodGet {
 			methodNotAllowed(w, "GET", "use GET to read neighbors")
 			return
 		}
-		s.getNeighbors(w, r, id)
+		s.admitted(admit.Read, func(w http.ResponseWriter, r *http.Request) {
+			s.getNeighbors(w, r, id)
+		})(w, r)
 	default:
 		httpError(w, http.StatusNotFound, "unknown action %q: want fingerprint or neighbors", action)
 	}
@@ -517,7 +716,7 @@ func (s *Server) putFingerprint(w http.ResponseWriter, r *http.Request, id strin
 	defer s.writeMu.Unlock()
 	if s.store != nil {
 		if s.store.Degraded() {
-			w.Header().Set("Retry-After", "30")
+			setRetryAfter(w, degradedRetryAfter)
 			httpError(w, http.StatusServiceUnavailable,
 				"data dir unwritable; server is read-only until restart")
 			return
@@ -527,7 +726,7 @@ func (s *Server) putFingerprint(w http.ResponseWriter, r *http.Request, id strin
 		s.mu.RUnlock()
 		if err := s.store.Append(durable.Record{MutSeq: next, ID: id, FP: fp}); err != nil {
 			s.obs.SetText(metricDurableError, err.Error())
-			w.Header().Set("Retry-After", "30")
+			setRetryAfter(w, degradedRetryAfter)
 			httpError(w, http.StatusServiceUnavailable, "persisting fingerprint: %v", err)
 			return
 		}
@@ -572,14 +771,21 @@ const (
 	metricBuildAlgo = "build.algorithm"
 
 	metricDurableError = "durable.last_error"
+
+	metricQuerySecs     = "query.seconds"
+	metricQueryCanceled = "query.canceled.total"
+	metricQueryDeadline = "query.deadline.total"
 )
 
-// handleBuildRoute dispatches the build endpoint: POST starts a build,
-// DELETE cancels the in-flight one.
+// handleBuildRoute dispatches the build endpoint: POST starts a build
+// (admitted as a write, without a request deadline — builds own their
+// lifecycle via -build-timeout and DELETE), DELETE cancels the in-flight
+// one. Cancellation bypasses admission: it relieves load, so it must
+// never queue behind the load it relieves.
 func (s *Server) handleBuildRoute(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
-		s.handleBuild(w, r)
+		s.admittedDeadline(admit.Write, false, s.handleBuild)(w, r)
 	case http.MethodDelete:
 		s.handleCancelBuild(w, r)
 	default:
@@ -622,7 +828,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if !s.building.CompareAndSwap(false, true) {
-		w.Header().Set("Retry-After", "1")
+		setRetryAfter(w, s.buildRetryAfter())
 		httpError(w, http.StatusConflict, "a build is already running; retry later")
 		return
 	}
@@ -639,6 +845,18 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 	} else {
 		ctx, cancel = context.WithCancel(ctx)
+	}
+	// A build legitimately outlives the http.Server WriteTimeout — the 200
+	// is written only when construction finishes — so stretch this one
+	// connection's write deadline to the build deadline (plus slack for
+	// serializing the response), or clear it for unbounded builds. Errors
+	// are ignored: test recorders don't implement deadlines, and the
+	// fallback is merely the server-wide timeout.
+	rc := http.NewResponseController(w)
+	if timeout > 0 {
+		_ = rc.SetWriteDeadline(time.Now().Add(timeout + 30*time.Second))
+	} else {
+		_ = rc.SetWriteDeadline(time.Time{})
 	}
 	s.buildCancel.Store(&cancel)
 	buildStart := time.Now()
@@ -823,10 +1041,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "packing corpus: %v", err)
 		return
 	}
+	// The scan runs under the request context (class deadline, client
+	// X-Request-Timeout, client disconnect): a caller nobody is waiting on
+	// stops burning the corpus within one tile. Both abort causes are
+	// counted; a deadline gets an honest 503 + Retry-After, a vanished
+	// client gets 499 for the logs.
 	corpus := snap.corpus
-	best := knn.TopKRange(corpus.NumUsers(), k, 0, func(lo, hi int, out []float64) {
+	queryStart := time.Now()
+	best, err := knn.TopKRangeCtx(r.Context(), corpus.NumUsers(), k, 0, func(lo, hi int, out []float64) {
 		corpus.JaccardQueryInto(fp, lo, hi, out)
 	})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.obs.Counter(metricQueryDeadline).Inc()
+			setRetryAfter(w, s.admit.RetryAfter(admit.Query))
+			httpError(w, http.StatusServiceUnavailable,
+				"query aborted at its deadline mid-scan; retry later (lower load) or with a larger %s", HeaderRequestTimeout)
+		} else {
+			s.obs.Counter(metricQueryCanceled).Inc()
+			httpError(w, statusClientClosedRequest, "query canceled by client")
+		}
+		return
+	}
+	s.obs.Histogram(metricQuerySecs, obs.DefWaitBuckets).ObserveSince(queryStart)
 	out := make([]NeighborJSON, 0, len(best))
 	for _, b := range best {
 		out = append(out, NeighborJSON{User: snap.users[b.ID], Similarity: b.Sim})
