@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race racecheck crashcheck loadcheck cover bench benchsmoke benchjson experiments fuzz fuzzshort clean
+.PHONY: all build check test race racecheck parity crashcheck loadcheck cover bench benchsmoke benchjson benchquery experiments fuzz fuzzshort clean
 
 all: build test
 
@@ -13,7 +13,7 @@ build:
 # fault-injection suite, the overload/load-shedding suite, a short fuzz
 # burst over every fuzz target, and a one-iteration benchmark smoke so
 # the perf-critical kernel benches can never rot unnoticed.
-check: benchsmoke racecheck crashcheck loadcheck fuzzshort
+check: benchsmoke benchquery racecheck crashcheck loadcheck fuzzshort
 	$(GO) vet ./...
 
 test: check
@@ -24,8 +24,15 @@ race: racecheck
 # The whole test suite — including the cross-algorithm correctness harness
 # and the HTTP cancel/timeout tests — under the race detector, with test
 # order shuffled so inter-test ordering dependencies can't hide.
-racecheck:
+racecheck: parity
 	$(GO) test -race -shuffle=on ./...
+
+# The scan-vs-graph parity floor on its own: graph-navigated /query must
+# hold recall@10 >= 0.9 against the exact scan at n=10k (also part of the
+# ./... sweep above; kept addressable so a search change can be checked
+# in isolation).
+parity:
+	$(GO) test -count=1 -run 'GraphScanParity' ./internal/knn
 
 # The durability suite under the race detector: fault-injection crash
 # sweeps (FaultCrash at every mutating filesystem op), torn-tail recovery,
@@ -61,6 +68,13 @@ benchsmoke:
 # trajectory is tracked across PRs.
 benchjson:
 	$(GO) run ./cmd/benchknn -out BENCH_knn.json
+
+# A fast scan-vs-graph query bench on a small clustered corpus: exercises
+# the full benchknn query path (generate, Hyrec build, both serving
+# modes) in seconds, so `make check` catches a bench that no longer runs
+# without paying for the n=100k measurement.
+benchquery:
+	$(GO) run ./cmd/benchknn -n 500 -k 5 -queries 5 -qn 4000 -out -
 
 # Regenerate every table and figure of the paper at the default scale.
 experiments:

@@ -11,7 +11,7 @@ import (
 func TestRunSmallCorpus(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var buf bytes.Buffer
-	if err := run([]string{"-n", "300", "-k", "5", "-queries", "2", "-out", out}, &buf); err != nil {
+	if err := run([]string{"-n", "300", "-k", "5", "-queries", "2", "-qn", "600", "-out", out}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	blob, err := os.ReadFile(out)
@@ -30,6 +30,38 @@ func TestRunSmallCorpus(t *testing.T) {
 	}
 	if rep.TopKQuery.BeforeNsOp <= 0 || rep.TopKQuery.AfterNsOp <= 0 {
 		t.Errorf("missing query timings: %+v", rep.TopKQuery)
+	}
+	if len(rep.Query) != 1 {
+		t.Fatalf("query section has %d entries, want 1", len(rep.Query))
+	}
+	qb := rep.Query[0]
+	if qb.N != 600 || qb.K != 5 {
+		t.Errorf("query bench params = %+v", qb)
+	}
+	if qb.GraphBuildNs <= 0 || qb.ScanP50Ns <= 0 || qb.GraphP50Ns <= 0 {
+		t.Errorf("missing query bench timings: %+v", qb)
+	}
+	if qb.RecallAtK < 0 || qb.RecallAtK > 1 {
+		t.Errorf("recall out of range: %+v", qb)
+	}
+}
+
+func TestRunQueryBenchDisabled(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "300", "-k", "5", "-queries", "2", "-qn", "0", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Query != nil {
+		t.Errorf("qn=0 still produced a query section: %+v", rep.Query)
 	}
 }
 

@@ -117,6 +117,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	rate := fs.Float64("rate", 200, "open-loop arrival rate, requests/second")
 	mix := fs.Float64("mix", 0.9, "fraction of arrivals that are /query POSTs; the rest are fingerprint PUTs")
 	k := fs.Int("k", 10, "neighbors per query")
+	mode := fs.String("mode", "auto", "/query mode to drive: auto, scan or graph")
+	build := fs.Bool("build", false, "POST /graph/build after seeding so graph-mode queries have a fresh epoch")
 	bits := fs.Int("bits", 1024, "fingerprint length; must match the server's -bits")
 	seedUsers := fs.Int("users", 512, "users to upload before the run so queries scan a real corpus")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request client timeout")
@@ -140,6 +142,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *seedUsers < 1 || *k < 1 || *maxOutstanding < 1 {
 		return fmt.Errorf("need -users >= 1, -k >= 1, -max-outstanding >= 1")
 	}
+	switch *mode {
+	case "auto", "scan", "graph":
+	default:
+		return fmt.Errorf("bad -mode %q (auto, scan, graph)", *mode)
+	}
 
 	scheme, err := core.NewScheme(*bits, uint64(*seed))
 	if err != nil {
@@ -148,6 +155,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	l := &loader{
 		base:    "http://" + *addr,
 		k:       *k,
+		mode:    *mode,
 		maxOut:  int64(*maxOutstanding),
 		timeout: *timeout,
 		client: &http.Client{
@@ -164,6 +172,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "knnload: seeding %d users at %s\n", *seedUsers, *addr)
 	if err := l.seed(ctx, *seedUsers); err != nil {
 		return fmt.Errorf("seeding corpus: %w", err)
+	}
+	if *build {
+		fmt.Fprintf(out, "knnload: building graph (k=%d)\n", *k)
+		if err := l.build(ctx); err != nil {
+			return fmt.Errorf("building graph: %w", err)
+		}
 	}
 
 	fmt.Fprintf(out, "knnload: %v open-loop at %.0f req/s (mix %.0f%% query), %d slow conns, %d oversized\n",
@@ -230,6 +244,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 type loader struct {
 	base    string
 	k       int
+	mode    string // /query mode parameter: auto, scan or graph
 	maxOut  int64
 	timeout time.Duration
 	client  *http.Client
@@ -320,6 +335,28 @@ func (l *loader) seed(ctx context.Context, n int) error {
 	}
 }
 
+// build POSTs /graph/build so graph-mode queries find a fresh epoch. The
+// request runs without the per-request client timeout — a build over the
+// seeded corpus can legitimately take longer than one query is allowed to.
+func (l *loader) build(ctx context.Context) error {
+	url := fmt.Sprintf("%s/graph/build?k=%d", l.base, l.k)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Transport: l.client.Transport}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
 // openLoop dispatches arrivals on the clock until ctx expires. When the
 // generator falls behind schedule it fires immediately without sleeping —
 // arrivals owed are arrivals sent, which is what makes the loop open.
@@ -350,7 +387,7 @@ func (l *loader) openLoop(ctx context.Context, rate, mix float64, seed int64) {
 			defer l.wg.Done()
 			defer l.outstanding.Add(-1)
 			if isQuery {
-				l.fire(http.MethodPost, fmt.Sprintf("%s/query?k=%d", l.base, l.k))
+				l.fire(http.MethodPost, fmt.Sprintf("%s/query?k=%d&mode=%s", l.base, l.k, l.mode))
 			} else {
 				l.fire(http.MethodPut, fmt.Sprintf("%s/users/load-put-%d/fingerprint", l.base, userID))
 			}

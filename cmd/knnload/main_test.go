@@ -285,3 +285,36 @@ func TestOverloadGracefulDegradation(t *testing.T) {
 		time.Sleep(100 * time.Millisecond)
 	}
 }
+
+// TestLoadGraphMode drives graph-mode queries: -build installs an epoch
+// after seeding, -mode graph routes every query down the navigated path,
+// and the queries must succeed (a 409 would show up as a non-200 status).
+func TestLoadGraphMode(t *testing.T) {
+	addr, _, shutdown := startTestServer(t, 512, admit.DefaultConfig(), time.Second)
+	defer shutdown()
+
+	out := filepath.Join(t.TempDir(), "load.json")
+	err := run(context.Background(), []string{
+		"-addr", addr, "-bits", "512", "-users", "64",
+		"-duration", "1500ms", "-rate", "150", "-mix", "1",
+		"-mode", "graph", "-build", "-timeout", "5s",
+		"-out", out, "-seed", "5",
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("knnload run: %v", err)
+	}
+	rep := readReport(t, out)
+	if rep.StatusCounts["200"] == 0 {
+		t.Errorf("no graph-mode query succeeded: %v", rep.StatusCounts)
+	}
+	if rep.StatusCounts["409"] != 0 {
+		t.Errorf("%d graph-mode queries hit 409: -build did not install an epoch", rep.StatusCounts["409"])
+	}
+}
+
+func TestRejectsBadMode(t *testing.T) {
+	err := run(context.Background(), []string{"-addr", "localhost:1", "-mode", "hybrid"}, io.Discard)
+	if err == nil {
+		t.Error("bad -mode accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSuffixCounts(t *testing.T) {
+	words := []uint64{0xF, 0, 1<<63 | 1, 0xFFFF}
+	suf := SuffixCounts(words)
+	if len(suf) != len(words)+1 {
+		t.Fatalf("len = %d, want %d", len(suf), len(words)+1)
+	}
+	if suf[len(words)] != 0 {
+		t.Errorf("suf[last] = %d, want 0", suf[len(words)])
+	}
+	for i := range words {
+		want := int32(0)
+		for _, w := range words[i:] {
+			want += int32(popcount(w))
+		}
+		if suf[i] != want {
+			t.Errorf("suf[%d] = %d, want %d", i, suf[i], want)
+		}
+	}
+	if got := SuffixCounts(nil); len(got) != 1 || got[0] != 0 {
+		t.Errorf("SuffixCounts(nil) = %v, want [0]", got)
+	}
+}
+
+func popcount(w uint64) int {
+	n := 0
+	for ; w != 0; w &= w - 1 {
+		n++
+	}
+	return n
+}
+
+// TestAndCountAbandonAgainstExact drives the early-abandon kernel with
+// random vectors and every interesting need threshold, asserting its two
+// contracts: a completed scan returns the exact count, and an abandoned
+// scan happens only when the exact count really is below need.
+func TestAndCountAbandonAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		nw := 1 + rng.Intn(20)
+		q := make([]uint64, nw)
+		r := make([]uint64, nw)
+		for i := range q {
+			// Sparse-ish rows so counts vary widely.
+			q[i] = rng.Uint64() & rng.Uint64() & rng.Uint64()
+			r[i] = rng.Uint64() & rng.Uint64()
+		}
+		exact := int32(AndCountWords(q, r))
+		suf := SuffixCounts(q)
+		for _, need := range []int32{-1, 0, 1, exact - 1, exact, exact + 1, exact + 10, suf[0] + 1} {
+			got, done := AndCountAbandon(q, r, suf, need)
+			if done {
+				if got != exact {
+					t.Fatalf("nw=%d need=%d: completed with %d, exact %d", nw, need, got, exact)
+				}
+			} else if exact >= need {
+				t.Fatalf("nw=%d need=%d: abandoned but exact %d >= need", nw, need, exact)
+			}
+		}
+	}
+}
+
+func TestAndCountAbandonImpossibleNeed(t *testing.T) {
+	q := []uint64{0xFF, 0, 0, 0, 0}
+	r := []uint64{0xFF, ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+	suf := SuffixCounts(q)
+	// The query holds 8 bits total, so need=9 is provably unreachable
+	// after the first block.
+	if _, done := AndCountAbandon(q, r, suf, 9); done {
+		t.Error("need beyond the query cardinality was not abandoned")
+	}
+	if got, done := AndCountAbandon(q, r, suf, 8); !done || got != 8 {
+		t.Errorf("reachable need: got (%d, %v), want (8, true)", got, done)
+	}
+}
+
+func TestAndCountAbandonLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	AndCountAbandon(make([]uint64, 2), make([]uint64, 3), SuffixCounts(make([]uint64, 2)), 1)
+}

@@ -50,6 +50,55 @@ func AndCountWords4(a, b []uint64) int {
 	return n0 + n1 + n2 + n3
 }
 
+// SuffixCounts returns suf of length len(words)+1 with
+// suf[i] = popcount(words[i:]) and suf[len(words)] = 0. A query's suffix
+// counts turn a partial AND+popcount into a provable upper bound on the
+// full intersection — the remaining intersection can never exceed the
+// query bits not yet scanned — which is what AndCountAbandon prunes with.
+func SuffixCounts(words []uint64) []int32 {
+	suf := make([]int32, len(words)+1)
+	for i := len(words) - 1; i >= 0; i-- {
+		suf[i] = suf[i+1] + int32(bits.OnesCount64(words[i]))
+	}
+	return suf
+}
+
+// AndCountAbandon computes popcount(query AND row) like AndCountWords, but
+// abandons the scan as soon as the running count plus qsuffix[i] — the
+// query bits in the words not yet scanned — cannot reach need. It returns
+// (count, true) when the scan completed (count is exact, and may still be
+// below need: the bound only proves impossibility, not attainment), or
+// (partial, false) when it proved count would end below need. qsuffix must
+// be SuffixCounts(query); the bound is checked once per 4-word block so
+// the unrolled inner loop keeps its instruction-level parallelism. It
+// panics if the lengths differ.
+func AndCountAbandon(query, row []uint64, qsuffix []int32, need int32) (int32, bool) {
+	if len(query) != len(row) {
+		panic(fmt.Sprintf("bitset: word-slice length mismatch %d != %d", len(query), len(row)))
+	}
+	row = row[:len(query)]
+	var n int32
+	i := 0
+	for ; i+4 <= len(query); i += 4 {
+		if n+qsuffix[i] < need {
+			return n, false
+		}
+		n += int32(bits.OnesCount64(query[i]&row[i])) +
+			int32(bits.OnesCount64(query[i+1]&row[i+1])) +
+			int32(bits.OnesCount64(query[i+2]&row[i+2])) +
+			int32(bits.OnesCount64(query[i+3]&row[i+3]))
+	}
+	if i < len(query) {
+		if n+qsuffix[i] < need {
+			return n, false
+		}
+		for ; i < len(query); i++ {
+			n += int32(bits.OnesCount64(query[i] & row[i]))
+		}
+	}
+	return n, true
+}
+
 // AndCountInto is the one-vs-many block kernel: corpus holds len(out)
 // fixed-stride rows back to back, and out[r] receives
 // popcount(query AND corpus[r*stride : r*stride+len(query)]). The query is

@@ -217,3 +217,79 @@ func (c *PackedCorpus) JaccardQueryInto(q Fingerprint, lo, hi int, out []float64
 func (c *PackedCorpus) CosineRangeInto(u, lo, hi int, out []float64) {
 	c.cosineInto(c.Row(u), c.cards[u], lo, hi, out)
 }
+
+// QueryScorer scores individual corpus rows against one external query
+// fingerprint — the per-node distance oracle of the graph-navigated search
+// path, where candidates arrive one at a time (by graph edge) instead of as
+// a contiguous range. Construction precomputes the query's suffix
+// popcounts once so every ScoreAbove call can abandon a row mid-scan the
+// moment the prefix-popcount bound proves the similarity cannot reach the
+// caller's floor. A QueryScorer is read-only and safe for concurrent use.
+type QueryScorer struct {
+	c      *PackedCorpus
+	words  []uint64
+	card   int32
+	suffix []int32 // suffix[i] = popcount(words[i:])
+}
+
+// NewQueryScorer builds the per-node oracle for q against the corpus. It
+// panics if the query length differs from the corpus length, matching
+// JaccardQueryInto.
+func (c *PackedCorpus) NewQueryScorer(q Fingerprint) *QueryScorer {
+	if q.NumBits() != c.bits {
+		panic(fmt.Sprintf("core: query has %d bits, corpus uses %d", q.NumBits(), c.bits))
+	}
+	words := q.bits.Words()
+	return &QueryScorer{c: c, words: words, card: int32(q.card), suffix: bitset.SuffixCounts(words)}
+}
+
+// NumUsers returns the number of scorable rows.
+func (s *QueryScorer) NumUsers() int { return s.c.NumUsers() }
+
+// Score returns Ĵ(query, v), bit-for-bit identical to JaccardQueryInto on
+// the same row.
+func (s *QueryScorer) Score(v int32) float64 {
+	inter := bitset.AndCountWords4(s.words, s.c.Row(int(v)))
+	union := int(s.card) + int(s.c.cards[v]) - inter
+	if union <= 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// ScoreAbove returns Ĵ(query, v) when it might reach floor. ok=false means
+// the similarity is provably below floor and was not computed exactly (the
+// returned value is meaningless); ok=true returns the exact estimate, which
+// can still be below floor — the bounds prove impossibility, not
+// attainment. Two bounds apply before and during the row scan:
+//
+//   - cardinality prefilter: the intersection can never exceed
+//     min(|query|, |row|), so rows whose cardinality caps the similarity
+//     under floor are rejected without touching their words;
+//   - prefix-popcount abandon: mid-scan, the remaining intersection is
+//     bounded by the query bits not yet scanned (bitset.AndCountAbandon).
+//
+// Both derive from Ĵ ≥ floor ⟺ inter ≥ floor·(|q|+|v|)/(1+floor).
+func (s *QueryScorer) ScoreAbove(v int32, floor float64) (float64, bool) {
+	cv := s.c.cards[v]
+	if floor <= 0 {
+		return s.Score(v), true
+	}
+	// Smallest integer intersection that reaches floor.
+	need := int32(math.Ceil(floor * float64(int(s.card)+int(cv)) / (1 + floor)))
+	if need < 1 {
+		need = 1 // floor > 0 needs at least one common bit
+	}
+	if s.card < need || cv < need {
+		return 0, false
+	}
+	inter, done := bitset.AndCountAbandon(s.words, s.c.Row(int(v)), s.suffix, need)
+	if !done {
+		return 0, false
+	}
+	union := int(s.card) + int(cv) - int(inter)
+	if union <= 0 {
+		return 0, false // zero-similarity convention; floor > 0 here
+	}
+	return float64(inter) / float64(union), true
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"goldfinger/internal/profile"
+)
+
+// TestQueryScorerMatchesQueryInto asserts the per-node oracle is
+// bit-for-bit identical to the batched query kernel on every row, for
+// lengths that are and are not word multiples and corpora with empty
+// fingerprints.
+func TestQueryScorerMatchesQueryInto(t *testing.T) {
+	for _, bits := range []int{64, 100, 1024} {
+		_, _, packed, _ := packedFixture(t, bits, int64(bits), 63)
+		s := MustScheme(bits, uint64(bits))
+		rng := rand.New(rand.NewSource(int64(bits) + 1))
+		for _, q := range []Fingerprint{
+			s.Fingerprint(profile.New()),
+			s.Fingerprint(randomProfile(rng, 80, 2000)),
+		} {
+			scorer := packed.NewQueryScorer(q)
+			if scorer.NumUsers() != packed.NumUsers() {
+				t.Fatalf("NumUsers = %d, want %d", scorer.NumUsers(), packed.NumUsers())
+			}
+			want := make([]float64, packed.NumUsers())
+			packed.JaccardQueryInto(q, 0, packed.NumUsers(), want)
+			for v := range want {
+				if got := scorer.Score(int32(v)); got != want[v] {
+					t.Fatalf("bits=%d row %d: Score = %v, JaccardQueryInto = %v", bits, v, got, want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestQueryScorerScoreAbove asserts the early-abandon contract against
+// exhaustively computed similarities: ok=true returns the exact estimate,
+// ok=false only ever fires when the exact estimate is strictly below the
+// floor.
+func TestQueryScorerScoreAbove(t *testing.T) {
+	_, _, packed, _ := packedFixture(t, 1024, 29, 200)
+	s := MustScheme(1024, 29)
+	rng := rand.New(rand.NewSource(30))
+	q := s.Fingerprint(randomProfile(rng, 60, 2000))
+	scorer := packed.NewQueryScorer(q)
+
+	abandoned := 0
+	for v := 0; v < packed.NumUsers(); v++ {
+		exact := scorer.Score(int32(v))
+		for _, floor := range []float64{-1, 0, exact / 2, exact, exact * 1.5, 0.99} {
+			got, ok := scorer.ScoreAbove(int32(v), floor)
+			if ok {
+				if got != exact {
+					t.Fatalf("row %d floor %g: ScoreAbove = %v, exact %v", v, floor, got, exact)
+				}
+			} else {
+				abandoned++
+				if exact >= floor {
+					t.Fatalf("row %d floor %g: abandoned but exact %v >= floor", v, floor, exact)
+				}
+			}
+		}
+	}
+	if abandoned == 0 {
+		t.Error("no candidate was ever abandoned; the bound is not engaging")
+	}
+}
+
+func TestQueryScorerLengthMismatchPanics(t *testing.T) {
+	_, _, packed, _ := packedFixture(t, 1024, 31, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched query length did not panic")
+		}
+	}()
+	packed.NewQueryScorer(MustScheme(512, 1).Fingerprint(profile.New(1, 2)))
+}

@@ -57,9 +57,19 @@ func (d *Dynamic) NumUsers() int { return len(d.profiles) }
 // Graph snapshots the current KNN graph.
 func (d *Dynamic) Graph() *Graph { return finalize(d.k, d.nhs) }
 
-// Profiles returns the maintainer's current profiles (shared, not copied;
-// callers must not mutate them).
-func (d *Dynamic) Profiles() []profile.Profile { return d.profiles }
+// Profiles returns a deep copy of the maintainer's current profiles.
+// Sharing the internal slice would let a caller mutate a profile behind
+// the maintainer's back, silently desynchronizing profiles from the
+// cached fps fingerprints (which only AddRating/AddUser keep in step);
+// the copy makes that class of bug impossible at the cost of an
+// inspection-path allocation.
+func (d *Dynamic) Profiles() []profile.Profile {
+	out := make([]profile.Profile, len(d.profiles))
+	for i, p := range d.profiles {
+		out[i] = append(profile.Profile(nil), p...)
+	}
+	return out
+}
 
 // sim estimates the similarity of two current users.
 func (d *Dynamic) sim(u, v int) float64 {

@@ -177,3 +177,44 @@ func TestDynamicAddUserLargeGraphDescends(t *testing.T) {
 		t.Errorf("clone's best neighbor similarity %.3f, expected ≈1 (its twin)", best.Sim)
 	}
 }
+
+// TestDynamicProfilesIsACopy is the regression test for the shared-slice
+// bug: Profiles used to hand out the maintainer's internal slice, so a
+// caller mutating a returned profile silently desynchronized profiles from
+// the cached fingerprints. Both levels (the slice of profiles and each
+// profile's item array) must now be isolated.
+func TestDynamicProfilesIsACopy(t *testing.T) {
+	dyn, _, _ := newDynamicFixture(t)
+	before := dyn.Graph()
+
+	got := dyn.Profiles()
+	// Mutate everything we were given, both levels.
+	for i := range got {
+		for j := range got[i] {
+			got[i][j] = profile.ItemID(999999 + j)
+		}
+		got[i] = profile.New(1)
+	}
+
+	fresh := dyn.Profiles()
+	for i := range fresh {
+		for j := range fresh[i] {
+			if fresh[i][j] != dyn.profiles[i][j] {
+				t.Fatalf("user %d item %d changed after caller mutation", i, j)
+			}
+		}
+	}
+	// The graph must still be derivable from unchanged state: repairing a
+	// user after the caller's vandalism must not see vandalized items.
+	after := dyn.Graph()
+	if len(after.Neighbors) != len(before.Neighbors) {
+		t.Fatal("graph shape changed")
+	}
+	for u := range before.Neighbors {
+		for i, nb := range before.Neighbors[u] {
+			if after.Neighbors[u][i] != nb {
+				t.Fatalf("user %d edge %d changed: %+v vs %+v", u, i, after.Neighbors[u][i], nb)
+			}
+		}
+	}
+}

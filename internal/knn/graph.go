@@ -2,6 +2,8 @@ package knn
 
 import (
 	"fmt"
+	"math"
+	"slices"
 	"sort"
 	"sync"
 )
@@ -54,34 +56,52 @@ func (g *Graph) AvgSimilarity(sim Provider) float64 {
 // Quality returns avg_sim(g) / avg_sim(exact) under the exact similarity
 // provider — paper Eq. 3. A value close to 1 means the approximation is as
 // good as the exact graph.
+//
+// Degenerate cases are defined rather than collapsed into an ambiguous 0:
+// when the exact average is 0 (an edgeless exact graph, or one whose edges
+// all have zero similarity) and g's average is also 0, the two graphs are
+// equally good and Quality is 1; when the exact average is 0 but g somehow
+// scores above it there is no ground truth to normalize by and Quality is
+// NaN — callers must not read that as "worthless graph" (and must guard
+// before JSON-encoding, which rejects NaN).
 func Quality(g, exact *Graph, sim Provider) float64 {
+	num := g.AvgSimilarity(sim)
 	denom := exact.AvgSimilarity(sim)
 	if denom == 0 {
-		return 0
+		if num == 0 {
+			return 1
+		}
+		return math.NaN()
 	}
-	return g.AvgSimilarity(sim) / denom
+	return num / denom
 }
 
 // Recall returns the fraction of exact KNN edges present in g (macro
 // average over users with a non-empty exact neighborhood). The paper's
 // quality metric (Eq. 3) is the headline measure; recall is the stricter
 // set-overlap view.
+// The per-user membership test reuses one sorted-ID scratch slice across
+// all n users instead of allocating a map per user — the map version's
+// O(n) allocation churn was large enough to distort the measurements of
+// the very search paths Recall judges (see BenchmarkRecall).
 func Recall(g, exact *Graph) float64 {
 	var sum float64
 	users := 0
+	in := make([]int32, 0, g.K) // reusable scratch: g's neighborhood, sorted
 	for u := range exact.Neighbors {
 		ex := exact.Neighbors[u]
 		if len(ex) == 0 {
 			continue
 		}
 		users++
-		in := map[int32]bool{}
+		in = in[:0]
 		for _, nb := range g.Neighbors[u] {
-			in[nb.ID] = true
+			in = append(in, nb.ID)
 		}
+		slices.Sort(in)
 		hits := 0
 		for _, nb := range ex {
-			if in[nb.ID] {
+			if _, found := slices.BinarySearch(in, nb.ID); found {
 				hits++
 			}
 		}

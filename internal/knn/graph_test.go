@@ -2,6 +2,7 @@ package knn
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"testing"
 
@@ -208,5 +209,131 @@ func TestFinalizeSortsNeighbors(t *testing.T) {
 	}
 	if nbrs[0].ID != 6 || nbrs[2].ID != 5 {
 		t.Errorf("order = %v", nbrs)
+	}
+}
+
+// TestQualityDegenerateCases pins the previously ambiguous 0-denominator
+// behavior: both graphs scoring 0 means "as good as exact" (1), while a
+// zero exact average with a non-zero approximate one has no ground truth
+// to normalize by and must be NaN — not a silent 0 that reads as "worthless
+// graph" and not an Inf that poisons aggregates undetectably.
+func TestQualityDegenerateCases(t *testing.T) {
+	p := NewExplicitProvider(fourUsers())
+	edgeless := &Graph{K: 2, Neighbors: make([][]Neighbor, 4)}
+	// u3 shares no items with anyone: edges from it have similarity 0.
+	zeroSim := &Graph{K: 2, Neighbors: [][]Neighbor{
+		{}, {}, {},
+		{{ID: 0, Sim: 0}},
+	}}
+	positive := &Graph{K: 2, Neighbors: [][]Neighbor{
+		{{ID: 2, Sim: 0.75}}, {}, {}, {},
+	}}
+
+	if got := Quality(edgeless, edgeless, p); got != 1 {
+		t.Errorf("Quality(edgeless, edgeless) = %g, want 1", got)
+	}
+	if got := Quality(zeroSim, edgeless, p); got != 1 {
+		t.Errorf("Quality(zero-sim, edgeless) = %g, want 1", got)
+	}
+	if got := Quality(edgeless, zeroSim, p); got != 1 {
+		t.Errorf("Quality(edgeless, zero-sim) = %g, want 1", got)
+	}
+	if got := Quality(positive, edgeless, p); !math.IsNaN(got) {
+		t.Errorf("Quality(positive, edgeless) = %g, want NaN", got)
+	}
+	if got := Quality(positive, zeroSim, p); !math.IsNaN(got) {
+		t.Errorf("Quality(positive, zero-sim) = %g, want NaN", got)
+	}
+}
+
+// TestRecallMatchesMapReference cross-checks the sorted-scratch membership
+// test against the straightforward map-based implementation it replaced,
+// on wide random graphs where an off-by-one in the binary search would
+// surface.
+func TestRecallMatchesMapReference(t *testing.T) {
+	mapRecall := func(g, exact *Graph) float64 {
+		var sum float64
+		users := 0
+		for u := range exact.Neighbors {
+			ex := exact.Neighbors[u]
+			if len(ex) == 0 {
+				continue
+			}
+			users++
+			in := map[int32]bool{}
+			for _, nb := range g.Neighbors[u] {
+				in[nb.ID] = true
+			}
+			hits := 0
+			for _, nb := range ex {
+				if in[nb.ID] {
+					hits++
+				}
+			}
+			sum += float64(hits) / float64(len(ex))
+		}
+		if users == 0 {
+			return 0
+		}
+		return sum / float64(users)
+	}
+
+	rng := rand.New(rand.NewSource(19))
+	randomGraph := func(n, k int) *Graph {
+		g := &Graph{K: k, Neighbors: make([][]Neighbor, n)}
+		for u := range g.Neighbors {
+			// Some users deliberately keep fewer (or zero) neighbors.
+			for _, v := range rng.Perm(n)[:rng.Intn(k+1)] {
+				if v == u {
+					continue
+				}
+				g.Neighbors[u] = append(g.Neighbors[u], Neighbor{ID: int32(v), Sim: rng.Float64()})
+			}
+		}
+		return g
+	}
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(60, 12)
+		exact := randomGraph(60, 12)
+		got, want := Recall(g, exact), mapRecall(g, exact)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: Recall = %g, map reference = %g", trial, got, want)
+		}
+	}
+	if got := Recall(randomGraph(10, 3), &Graph{K: 3, Neighbors: make([][]Neighbor, 10)}); got != 0 {
+		t.Errorf("Recall against edgeless exact graph = %g, want 0", got)
+	}
+}
+
+// TestRecallAllocs guards the reusable-scratch rewrite: the map-per-user
+// version allocated O(n) maps per call.
+func TestRecallAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, k := 200, 10
+	g := &Graph{K: k, Neighbors: make([][]Neighbor, n)}
+	for u := range g.Neighbors {
+		for _, v := range rng.Perm(n)[:k] {
+			if v != u {
+				g.Neighbors[u] = append(g.Neighbors[u], Neighbor{ID: int32(v), Sim: rng.Float64()})
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() { Recall(g, g) })
+	if allocs > 3 {
+		t.Errorf("Recall allocates %.1f objects per call; scratch slice is not being reused", allocs)
+	}
+}
+
+// BenchmarkRecall is the benchmark guard for the map-per-user fix: run
+// with -benchmem, the map version reported n allocs/op, the scratch
+// version O(1).
+func BenchmarkRecall(b *testing.B) {
+	profiles, scheme := benchCorpus(2000)
+	corpus := scheme.PackProfiles(profiles, 0)
+	g, _ := BruteForce(NewPackedSHFProvider(corpus), 10, Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Recall(g, g)
 	}
 }

@@ -1,0 +1,367 @@
+package knn
+
+import (
+	"context"
+	"testing"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/dataset"
+	"goldfinger/internal/profile"
+)
+
+// clusteredProfiles generates community-structured profiles via the
+// repo's synthetic dataset generator — the similarity topology real
+// datasets have and the one graph navigation needs: random flat profiles
+// give the greedy descent no gradient to follow, while fully disjoint
+// clusters shatter the KNN graph into unreachable components. The Zipf
+// global pool keeps communities overlapping enough to navigate between.
+// extra profiles past n are held-out query users from the same
+// distribution.
+func clusteredProfiles(n, extra int, seed int64) []profile.Profile {
+	total := n + extra
+	scale := float64(total+2) / float64(dataset.ML10M.Users)
+	ds := dataset.Generate(dataset.ML10M, scale, seed)
+	if len(ds.Profiles) < total {
+		panic("clusteredProfiles: generator produced too few users")
+	}
+	return ds.Profiles[:total]
+}
+
+// searchFixture packs n clustered users, builds their exact KNN graph
+// (already symmetrized for navigation) and returns held-out query
+// fingerprints.
+func searchFixture(t testing.TB, n, k, queries int) (*core.PackedCorpus, *Graph, []core.Fingerprint) {
+	t.Helper()
+	profiles := clusteredProfiles(n, queries, 11)
+	scheme := core.MustScheme(1024, 11)
+	corpus := scheme.PackProfiles(profiles[:n], 0)
+	provider := NewPackedSHFProvider(corpus)
+	g, _ := BruteForce(provider, k, Options{})
+	qs := make([]core.Fingerprint, queries)
+	for i := range qs {
+		qs[i] = scheme.Fingerprint(profiles[n+i])
+	}
+	return corpus, g.Navigable(provider), qs
+}
+
+// scanTopK is the ground truth: the exact linear scan the graph search is
+// judged against.
+func scanTopK(corpus *core.PackedCorpus, q core.Fingerprint, k int) []Neighbor {
+	return TopKRange(corpus.NumUsers(), k, 1, func(lo, hi int, out []float64) {
+		corpus.JaccardQueryInto(q, lo, hi, out)
+	})
+}
+
+func recallAt(got, want []Neighbor) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	in := map[int32]bool{}
+	for _, nb := range got {
+		in[nb.ID] = true
+	}
+	hits := 0
+	for _, nb := range want {
+		if in[nb.ID] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(want))
+}
+
+func TestNavigable(t *testing.T) {
+	if (*Graph)(nil).Navigable(nil) != nil {
+		t.Error("nil graph must symmetrize to nil")
+	}
+	g := &Graph{K: 2, Neighbors: [][]Neighbor{
+		{{ID: 1, Sim: 0.5}, {ID: 2, Sim: 0.25}},
+		{{ID: 0, Sim: 0.5}},
+		{},
+	}}
+	nav := g.Navigable(nil)
+	want := [][]Neighbor{
+		{{ID: 1, Sim: 0.5}, {ID: 2, Sim: 0.25}}, // mutual 0↔1 deduplicated
+		{{ID: 0, Sim: 0.5}},
+		{{ID: 0, Sim: 0.25}}, // reverse edge of 0→2
+	}
+	for u := range want {
+		if len(nav.Neighbors[u]) != len(want[u]) {
+			t.Fatalf("node %d: %+v, want %+v", u, nav.Neighbors[u], want[u])
+		}
+		for i := range want[u] {
+			if nav.Neighbors[u][i] != want[u][i] {
+				t.Fatalf("node %d: %+v, want %+v", u, nav.Neighbors[u], want[u])
+			}
+		}
+	}
+	// The original graph must be untouched.
+	if len(g.Neighbors[2]) != 0 || len(g.Neighbors[0]) != 2 {
+		t.Error("Navigable mutated its receiver")
+	}
+}
+
+// navTestProvider serves a fixed similarity function; only the pairs the
+// diversity heuristic consults need to be defined.
+type navTestProvider struct {
+	n   int
+	sim func(u, v int) float64
+}
+
+func (p navTestProvider) NumUsers() int               { return p.n }
+func (p navTestProvider) Similarity(u, v int) float64 { return p.sim(u, v) }
+
+// TestNavigableDiversity: over the degree cap, a best-first cap keeps only
+// the strongest (mutually near-duplicate) edges, while the diversity
+// heuristic must sacrifice one of them to retain the weak long-range edge
+// that keeps distant regions reachable.
+func TestNavigableDiversity(t *testing.T) {
+	const n = 100
+	const far = int32(99)
+	g := &Graph{K: 2, Neighbors: make([][]Neighbor, n)}
+	// Hub 0: 70 near-duplicate neighbors (sims 0.80 down to 0.11) plus one
+	// distant neighbor at 0.1 — 71 candidates against the cap of 64.
+	for i := int32(1); i <= 70; i++ {
+		g.Neighbors[0] = append(g.Neighbors[0], Neighbor{ID: i, Sim: 0.80 - float64(i-1)*0.01})
+	}
+	g.Neighbors[0] = append(g.Neighbors[0], Neighbor{ID: far, Sim: 0.1})
+
+	p := navTestProvider{n: n, sim: func(u, v int) float64 {
+		if u == int(far) || v == int(far) {
+			return 0 // the far node resembles nothing else
+		}
+		return 0.9 // the near-duplicates resemble each other
+	}}
+
+	hasFar := func(nav *Graph) bool {
+		for _, nb := range nav.Neighbors[0] {
+			if nb.ID == far {
+				return true
+			}
+		}
+		return false
+	}
+	if hasFar(g.Navigable(nil)) {
+		t.Fatal("best-first cap kept the weakest edge; the fixture does not exercise the cap")
+	}
+	nav := g.Navigable(p)
+	if len(nav.Neighbors[0]) != 64 {
+		t.Fatalf("hub degree %d, want the cap 64", len(nav.Neighbors[0]))
+	}
+	if !hasFar(nav) {
+		t.Error("diversity selection dropped the long-range edge the cap exists to protect")
+	}
+	for i := 1; i < len(nav.Neighbors[0]); i++ {
+		if ranksAbove(nav.Neighbors[0][i], nav.Neighbors[0][i-1]) {
+			t.Fatalf("adjacency not sorted best-first at %d", i)
+		}
+	}
+}
+
+func TestGraphSearchFindsScanNeighbors(t *testing.T) {
+	const n, k = 2000, 10
+	corpus, g, qs := searchFixture(t, n, k, 20)
+	var recall float64
+	for _, q := range qs {
+		want := scanTopK(corpus, q, k)
+		got, stats, err := GraphSearch(g, corpus.NewQueryScorer(q), k, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != k {
+			t.Fatalf("result has %d neighbors, want %d", len(got), k)
+		}
+		for i := 1; i < len(got); i++ {
+			if ranksAbove(got[i], got[i-1]) {
+				t.Fatalf("result not sorted at %d: %+v", i, got)
+			}
+		}
+		if stats.Scored >= n {
+			t.Errorf("scored %d of %d nodes; the search degenerated into a scan", stats.Scored, n)
+		}
+		recall += recallAt(got, want)
+	}
+	recall /= float64(len(qs))
+	if recall < 0.9 {
+		t.Errorf("mean recall@%d = %.3f, want >= 0.9", k, recall)
+	}
+}
+
+func TestGraphSearchDeterministic(t *testing.T) {
+	corpus, g, qs := searchFixture(t, 400, 5, 1)
+	scorer := corpus.NewQueryScorer(qs[0])
+	first, stats1, err := GraphSearch(g, scorer, 5, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		got, stats, err := GraphSearch(g, scorer, 5, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(first) {
+			t.Fatalf("trial %d: %d results vs %d", trial, len(got), len(first))
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d: result diverged at %d: %+v vs %+v", trial, i, got[i], first[i])
+			}
+		}
+		if stats != stats1 {
+			t.Fatalf("trial %d: stats diverged: %+v vs %+v", trial, stats, stats1)
+		}
+	}
+}
+
+// TestGraphSearchKGreaterThanN: k beyond the node count must clamp, not
+// panic or return duplicates.
+func TestGraphSearchKGreaterThanN(t *testing.T) {
+	corpus, g, qs := searchFixture(t, 30, 5, 1)
+	got, _, err := GraphSearch(g, corpus.NewQueryScorer(qs[0]), 100, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) > 30 {
+		t.Fatalf("got %d results from a 30-node graph", len(got))
+	}
+	seen := map[int32]bool{}
+	for _, nb := range got {
+		if seen[nb.ID] {
+			t.Fatalf("duplicate neighbor %d", nb.ID)
+		}
+		seen[nb.ID] = true
+	}
+}
+
+func TestGraphSearchDegenerateInputs(t *testing.T) {
+	corpus, g, qs := searchFixture(t, 30, 5, 1)
+	oracle := corpus.NewQueryScorer(qs[0])
+	for name, tc := range map[string]struct {
+		g *Graph
+		k int
+	}{
+		"nil graph":   {nil, 5},
+		"empty graph": {&Graph{K: 5}, 5},
+		"k=0":         {g, 0},
+		"k<0":         {g, -3},
+	} {
+		got, _, err := GraphSearch(tc.g, oracle, tc.k, SearchOptions{})
+		if err != nil || got != nil {
+			t.Errorf("%s: got (%v, %v), want (nil, nil)", name, got, err)
+		}
+	}
+}
+
+// TestGraphSearchIsolatedNodesReturnShort: when the descent cannot reach k
+// distinct nodes (edgeless graph, seeds only), the result must come back
+// short — the signal the service uses to fall back to a scan — never
+// padded or fabricated.
+func TestGraphSearchIsolatedNodesReturnShort(t *testing.T) {
+	corpus, _, qs := searchFixture(t, 100, 5, 1)
+	edgeless := &Graph{K: 5, Neighbors: make([][]Neighbor, 100)}
+	got, stats, err := GraphSearch(edgeless, corpus.NewQueryScorer(qs[0]), 20, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the 8 default seeds are reachable.
+	if len(got) >= 20 {
+		t.Fatalf("edgeless graph returned %d results for k=20", len(got))
+	}
+	if len(got) == 0 {
+		t.Fatal("seeds themselves must still be scored")
+	}
+	if stats.Hops != len(got) {
+		// Every scored seed is expanded once (empty neighbor list).
+		t.Logf("hops=%d scored=%d", stats.Hops, stats.Scored)
+	}
+}
+
+// TestGraphSearchCancellation: a context canceled before or during the
+// search must surface ctx.Err() with no partial result.
+func TestGraphSearchCancellation(t *testing.T) {
+	_, g, _ := searchFixture(t, 400, 5, 1)
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, _, err := GraphSearch(g, OracleFunc(func(int32) float64 { return 0 }), 5, SearchOptions{Ctx: pre})
+	if err != context.Canceled || got != nil {
+		t.Fatalf("pre-canceled: got (%v, %v), want (nil, context.Canceled)", got, err)
+	}
+
+	// Cancel mid-search, at several depths: after `stop` oracle calls the
+	// context dies, and the search must return ctx.Err() within one hop.
+	for _, stop := range []int{1, 3, 20} {
+		ctx, cancel := context.WithCancel(context.Background())
+		calls := 0
+		oracle := OracleFunc(func(v int32) float64 {
+			calls++
+			if calls == stop {
+				cancel()
+			}
+			return 1 / float64(v+2)
+		})
+		got, _, err := GraphSearch(g, oracle, 5, SearchOptions{Ctx: ctx})
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("stop=%d: err = %v, want context.Canceled", stop, err)
+		}
+		if got != nil {
+			t.Fatalf("stop=%d: partial result %v returned alongside ctx.Err()", stop, got)
+		}
+	}
+}
+
+// TestGraphSearchPooledScratch guards the sync.Pool: steady-state queries
+// must allocate O(k) (the returned slice and the sort), never O(n) visited
+// arrays or heaps.
+func TestGraphSearchPooledScratch(t *testing.T) {
+	corpus, g, qs := searchFixture(t, 600, 10, 1)
+	scorer := corpus.NewQueryScorer(qs[0])
+	// Warm the pool so the first-use scratch growth is not measured.
+	if _, _, err := GraphSearch(g, scorer, 10, SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := GraphSearch(g, scorer, 10, SearchOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Errorf("GraphSearch allocates %.1f objects per query; scratch is not being pooled", allocs)
+	}
+}
+
+// TestGraphScanParity10k is the scan-vs-graph parity floor of `make
+// racecheck`: at n=10k on an NNDescent-built graph (the builder the query
+// bench and the serving recommendation use), graph-mode recall@10 against
+// the exact scan must stay at or above 0.9 while touching a small
+// fraction of the corpus.
+func TestGraphScanParity10k(t *testing.T) {
+	const n, k, queries = 10000, 10, 30
+	profiles := clusteredProfiles(n, queries, 23)
+	scheme := core.MustScheme(1024, 23)
+	corpus := scheme.PackProfiles(profiles[:n], 0)
+	provider := NewPackedSHFProvider(corpus)
+	built, _ := NNDescent(provider, k, Options{Seed: 23})
+	g := built.Navigable(provider)
+
+	var recall, frac float64
+	for i := 0; i < queries; i++ {
+		q := scheme.Fingerprint(profiles[n+i])
+		want := scanTopK(corpus, q, k)
+		got, stats, err := GraphSearch(g, corpus.NewQueryScorer(q), k, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recall += recallAt(got, want)
+		frac += float64(stats.Scored) / float64(n)
+	}
+	recall /= queries
+	frac /= queries
+	t.Logf("n=%d: recall@%d = %.3f, %.1f%% of corpus scored per query", n, k, recall, 100*frac)
+	if recall < 0.9 {
+		t.Errorf("graph-mode recall@%d = %.3f, below the 0.9 parity floor", k, recall)
+	}
+	if frac > 0.5 {
+		t.Errorf("graph search scored %.0f%% of the corpus per query; not sublinear", 100*frac)
+	}
+}

@@ -120,8 +120,13 @@ import (
 // and parameters it was built from. Readers load the current epoch with a
 // single atomic pointer read and never block builds or uploads.
 type graphEpoch struct {
-	seq       int64 // monotonically increasing build number (1-based)
-	graph     *knn.Graph
+	seq   int64 // monotonically increasing build number (1-based)
+	graph *knn.Graph
+	// nav is graph.Navigable(provider), precomputed once per epoch: /query
+	// descends the symmetrized, diversity-pruned adjacency (directed KNN
+	// edges alone leave hub-dominated regions unreachable and tank recall;
+	// uncapped reverse edges turn hub expansion into a partial scan).
+	nav       *knn.Graph
 	users     []string // user table snapshot the graph indices refer to
 	k         int
 	algorithm string
@@ -302,9 +307,18 @@ func (s *Server) UseStore(st *durable.Store, rec durable.Recovery) error {
 	s.store = st
 
 	if ep := rec.Epoch; ep != nil {
+		// Rebuilding the navigable graph wants a similarity oracle for
+		// diversity selection; pack the epoch's prefix of the recovered
+		// corpus (the user-table validation above guarantees it is one).
+		// A packing failure only degrades edge selection, never recovery.
+		var prov knn.Provider
+		if c, err := core.NewPackedCorpus(s.bits, rec.State.FPS[:len(ep.Users)]); err == nil {
+			prov = knn.NewPackedSHFProvider(c)
+		}
 		ge := &graphEpoch{
 			seq:       ep.Seq,
 			graph:     ep.Graph,
+			nav:       ep.Graph.Navigable(prov),
 			users:     ep.Users,
 			k:         ep.K,
 			algorithm: ep.Algorithm,
@@ -775,7 +789,25 @@ const (
 	metricQuerySecs     = "query.seconds"
 	metricQueryCanceled = "query.canceled.total"
 	metricQueryDeadline = "query.deadline.total"
+
+	// Per-mode query observability: how many queries each mode served,
+	// how often the graph path fell back to a scan (short result: isolated
+	// or unreachable nodes), per-mode latency histograms, and gauges of
+	// the last graph search's depth and oracle work.
+	metricQueryScan      = "query.mode.scan.total"
+	metricQueryGraph     = "query.mode.graph.total"
+	metricQueryFallback  = "query.graph.fallback.total"
+	metricQueryScanSecs  = "query.scan.seconds"
+	metricQueryGraphSecs = "query.graph.seconds"
+	metricQueryHops      = "query.graph.hops"
+	metricQueryScored    = "query.graph.scored"
+	metricQueryAbandoned = "query.graph.abandoned"
 )
+
+// HeaderQueryMode is the response header naming how a /query was actually
+// served: "graph", "scan", or "scan-fallback" (graph mode attempted but
+// the descent could not reach k nodes, so the exact scan answered).
+const HeaderQueryMode = "X-Query-Mode"
 
 // handleBuildRoute dispatches the build endpoint: POST starts a build
 // (admitted as a write, without a request deadline — builds own their
@@ -934,6 +966,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	ep := &graphEpoch{
 		seq:       s.epochSeq.Add(1),
 		graph:     g,
+		nav:       g.Navigable(provider),
 		users:     users,
 		k:         k,
 		algorithm: algo,
@@ -1027,43 +1060,91 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		k = parsed
 	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "auto"
+	}
+	switch mode {
+	case "auto", "graph", "scan":
+	default:
+		httpError(w, http.StatusBadRequest, "unknown mode %q (auto, graph, scan)", mode)
+		return
+	}
 	fp, ok := s.readBoundedFingerprint(w, r)
 	if !ok {
 		return
 	}
 
 	// Snapshot the packed corpus (reusing the cached packing unless an
-	// upload landed since), then scan outside the lock so a long query never
-	// stalls uploads. The query fingerprint was validated to the server's
-	// bit length above, so it always matches the corpus.
+	// upload landed since), then search/scan outside the lock so a long
+	// query never stalls uploads. The query fingerprint was validated to
+	// the server's bit length above, so it always matches the corpus.
 	snap, err := s.packedSnapshot()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "packing corpus: %v", err)
 		return
 	}
-	// The scan runs under the request context (class deadline, client
+
+	// Mode selection. The graph path navigates the served epoch's KNN
+	// graph instead of scanning all n rows; auto picks it only when the
+	// epoch is fresh (built at this exact mutation count), because a stale
+	// graph cannot see users uploaded after it was built — those queries
+	// fall back to the scan, which covers the full corpus. An explicit
+	// mode=graph serves the (possibly stale) epoch's user set and is the
+	// caller's statement that approximate-but-fast beats exact-but-O(n).
+	ep := s.epoch.Load()
+	if mode == "graph" && ep == nil {
+		httpError(w, http.StatusConflict, "graph not built; POST /graph/build first or use mode=scan")
+		return
+	}
+	useGraph := mode == "graph" || (mode == "auto" && ep != nil && ep.mutSeq == snap.mutSeq)
+
+	// Both paths run under the request context (class deadline, client
 	// X-Request-Timeout, client disconnect): a caller nobody is waiting on
-	// stops burning the corpus within one tile. Both abort causes are
-	// counted; a deadline gets an honest 503 + Retry-After, a vanished
+	// stops burning the corpus within one tile or hop. Both abort causes
+	// are counted; a deadline gets an honest 503 + Retry-After, a vanished
 	// client gets 499 for the logs.
 	corpus := snap.corpus
 	queryStart := time.Now()
-	best, err := knn.TopKRangeCtx(r.Context(), corpus.NumUsers(), k, 0, func(lo, hi int, out []float64) {
-		corpus.JaccardQueryInto(fp, lo, hi, out)
-	})
-	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
-			s.obs.Counter(metricQueryDeadline).Inc()
-			setRetryAfter(w, s.admit.RetryAfter(admit.Query))
-			httpError(w, http.StatusServiceUnavailable,
-				"query aborted at its deadline mid-scan; retry later (lower load) or with a larger %s", HeaderRequestTimeout)
-		} else {
-			s.obs.Counter(metricQueryCanceled).Inc()
-			httpError(w, statusClientClosedRequest, "query canceled by client")
+	var best []knn.Neighbor
+	served := "scan"
+	if useGraph {
+		kEff := min(k, len(ep.users))
+		res, sstats, serr := knn.GraphSearch(ep.nav, corpus.NewQueryScorer(fp), kEff,
+			knn.SearchOptions{Ctx: r.Context()})
+		if serr != nil {
+			s.queryAborted(w, serr)
+			return
 		}
-		return
+		s.obs.Gauge(metricQueryHops).Set(int64(sstats.Hops))
+		s.obs.Gauge(metricQueryScored).Set(int64(sstats.Scored))
+		s.obs.Gauge(metricQueryAbandoned).Set(int64(sstats.Abandoned))
+		if len(res) < kEff {
+			// The descent could not reach k distinct nodes (isolated
+			// nodes, disconnected clusters): deliver the scan's exact
+			// answer instead of a silently short one.
+			s.obs.Counter(metricQueryFallback).Inc()
+			served = "scan-fallback"
+		} else {
+			best = res
+			served = "graph"
+			s.obs.Counter(metricQueryGraph).Inc()
+			s.obs.Histogram(metricQueryGraphSecs, obs.DefWaitBuckets).ObserveSince(queryStart)
+		}
+	}
+	if served != "graph" {
+		best, err = knn.TopKRangeCtx(r.Context(), corpus.NumUsers(), k, 0, func(lo, hi int, out []float64) {
+			corpus.JaccardQueryInto(fp, lo, hi, out)
+		})
+		if err != nil {
+			s.queryAborted(w, err)
+			return
+		}
+		s.obs.Counter(metricQueryScan).Inc()
+		s.obs.Histogram(metricQueryScanSecs, obs.DefWaitBuckets).ObserveSince(queryStart)
 	}
 	s.obs.Histogram(metricQuerySecs, obs.DefWaitBuckets).ObserveSince(queryStart)
+	w.Header().Set(HeaderQueryMode, served)
 	out := make([]NeighborJSON, 0, len(best))
 	for _, b := range best {
 		out = append(out, NeighborJSON{User: snap.users[b.ID], Similarity: b.Sim})
@@ -1077,6 +1158,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return out[i].User < out[j].User
 	})
 	writeJSON(w, http.StatusOK, out)
+}
+
+// queryAborted answers a query whose context died mid-search/mid-scan: a
+// deadline gets an honest 503 + Retry-After, a vanished client 499.
+func (s *Server) queryAborted(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.obs.Counter(metricQueryDeadline).Inc()
+		setRetryAfter(w, s.admit.RetryAfter(admit.Query))
+		httpError(w, http.StatusServiceUnavailable,
+			"query aborted at its deadline; retry later (lower load) or with a larger %s", HeaderRequestTimeout)
+		return
+	}
+	s.obs.Counter(metricQueryCanceled).Inc()
+	httpError(w, statusClientClosedRequest, "query canceled by client")
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
