@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race racecheck parity crashcheck loadcheck cover bench benchsmoke benchjson benchquery experiments fuzz fuzzshort clean
+.PHONY: all build check test race racecheck parity crashcheck loadcheck cover bench benchsmoke benchjson benchquery benchcluster experiments fuzz fuzzshort clean
 
 all: build test
 
@@ -13,7 +13,7 @@ build:
 # fault-injection suite, the overload/load-shedding suite, a short fuzz
 # burst over every fuzz target, and a one-iteration benchmark smoke so
 # the perf-critical kernel benches can never rot unnoticed.
-check: benchsmoke benchquery racecheck crashcheck loadcheck fuzzshort
+check: benchsmoke benchquery benchcluster racecheck crashcheck loadcheck fuzzshort
 	$(GO) vet ./...
 
 test: check
@@ -75,6 +75,13 @@ benchjson:
 # without paying for the n=100k measurement.
 benchquery:
 	$(GO) run ./cmd/benchknn -n 500 -k 5 -queries 5 -qn 4000 -out -
+
+# The cluster-and-conquer quality smoke: the fingerprint-hash bucketed
+# build must hold quality >= 0.90 and recall >= 0.60 against the exact
+# brute force at n=2000 while doing strictly fewer comparisons. count=1
+# so a kernel or clustering change re-runs the floor every time.
+benchcluster:
+	$(GO) test -count=1 -run 'ClusterBruteParity' ./internal/knn
 
 # Regenerate every table and figure of the paper at the default scale.
 experiments:

@@ -9,13 +9,24 @@
 // BatchProvider blocked kernels, and knn.TopKRange streaming
 // PackedCorpus.JaccardQueryInto.
 //
+// The cluster_build section compares the two approximate builders at scale
+// on one shared community-structured corpus: NNDescent vs the
+// cluster-and-conquer builder (fingerprint-hash bucketing, per-cluster
+// brute force, multi-view merge + one refinement sweep). Both are scored
+// against a sampled exact ground truth for quality (sum-of-similarities
+// ratio) and recall (edge overlap). The same section also reports the
+// GraphSearch entry-seeding comparison on the cluster-built graph: default
+// evenly-spread seeds vs seeds drawn from the query's own cluster buckets.
+//
 // The query section compares the two /query serving strategies at scale:
-// the exact O(n) packed scan vs greedy navigation of a Hyrec-built KNN
-// graph (knn.GraphSearch over its Navigable form), on a community-
-// structured corpus from the synthetic dataset generator (graph
-// navigation is only meaningful on data with similarity topology; the
-// uniform-random corpus above has none). It reports per-mode p50 latency,
-// recall against the scan, and the scored/abandoned split.
+// the exact O(n) packed scan vs greedy navigation of a KNN graph
+// (knn.GraphSearch over its Navigable form), on the same corpus. It
+// reports per-mode p50 latency, recall against the scan, and the
+// scored/abandoned split. At -qn scale the graph is the NNDescent build
+// from the cluster section; the -big n=1M point uses the cluster builder
+// (the only one that finishes in reasonable time at that scale on one
+// core) with bucket-derived entry seeds, matching the service's serving
+// path for cluster epochs.
 //
 // Usage:
 //
@@ -33,6 +44,7 @@ import (
 	"sort"
 	"time"
 
+	"goldfinger/internal/cluster"
 	"goldfinger/internal/core"
 	"goldfinger/internal/dataset"
 	"goldfinger/internal/knn"
@@ -68,9 +80,50 @@ type Report struct {
 	// external query fingerprint against the full corpus.
 	TopKQuery Pair `json:"topk_query"`
 
+	// ClusterBuild compares the approximate builders (NNDescent vs
+	// cluster-and-conquer) at -qn scale on the clustered corpus.
+	ClusterBuild *ClusterBench `json:"cluster_build,omitempty"`
+
 	// Query compares exact-scan vs graph-navigated serving per corpus
 	// size (one entry per -qn scale; -big adds n=1M).
 	Query []QueryBench `json:"query,omitempty"`
+}
+
+// BuilderBench is one approximate builder's measurement against the
+// sampled exact ground truth.
+type BuilderBench struct {
+	Algo        string `json:"algo"`
+	BuildNs     int64  `json:"build_ns"`
+	Comparisons int64  `json:"comparisons"`
+	// Quality is the sum of the builder's edge similarities over the sum
+	// of the exact top-k's, averaged over the sampled users (1.0 = every
+	// sampled neighborhood is as good as exact).
+	Quality float64 `json:"quality"`
+	// Recall is the sampled mean overlap with the exact top-k edge set.
+	Recall float64 `json:"recall"`
+}
+
+// ClusterBench is the NNDescent-vs-cluster build comparison plus the
+// entry-seeding comparison on the cluster-built graph.
+type ClusterBench struct {
+	N            int `json:"n"`
+	K            int `json:"k"`
+	SampledUsers int `json:"sampled_users"`
+
+	NNDescent BuilderBench `json:"nndescent"`
+	Cluster   BuilderBench `json:"cluster"`
+	// BuildSpeedup is NNDescent build ns over cluster build ns.
+	BuildSpeedup float64 `json:"build_speedup"`
+
+	// Entry seeding on the cluster graph: recall and hops of GraphSearch
+	// with the default evenly-spread seeds vs seeds drawn from the query
+	// fingerprint's own cluster buckets (the service's serving path for
+	// cluster epochs).
+	SeededQueries     int     `json:"seeded_queries"`
+	DefaultSeedRecall float64 `json:"default_seed_recall"`
+	ClusterSeedRecall float64 `json:"cluster_seed_recall"`
+	DefaultSeedHops   float64 `json:"default_seed_hops"`
+	ClusterSeedHops   float64 `json:"cluster_seed_hops"`
 }
 
 // QueryBench is one scan-vs-graph serving comparison on a clustered
@@ -78,8 +131,10 @@ type Report struct {
 type QueryBench struct {
 	N int `json:"n"`
 	K int `json:"k"`
+	// Builder is the algorithm that produced the navigated graph.
+	Builder string `json:"builder"`
 	// GraphBuildNs is the one-off cost the graph path amortizes: the
-	// Hyrec build plus symmetrizing it into the navigable form.
+	// graph build plus symmetrizing it into the navigable form.
 	GraphBuildNs int64 `json:"graph_build_ns"`
 	// ScanP50Ns / GraphP50Ns are median per-query latencies over the
 	// held-out query set.
@@ -107,8 +162,8 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 42, "random seed")
 	reps := fs.Int("reps", 1, "build repetitions (best-of)")
 	queries := fs.Int("queries", 30, "query repetitions (best-of)")
-	qn := fs.Int("qn", 100000, "scan-vs-graph query bench corpus size (0 disables)")
-	big := fs.Bool("big", false, "add an n=1M scan-vs-graph run")
+	qn := fs.Int("qn", 100000, "cluster-vs-nndescent and scan-vs-graph bench corpus size (0 disables)")
+	big := fs.Bool("big", false, "add an n=1M scan-vs-graph run on a cluster-built graph")
 	outPath := fs.String("out", "BENCH_knn.json", "output JSON path ('-' for stdout only)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -176,15 +231,33 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  topk query:       per-pair %v  packed %v  (%.2fx)\n",
 		time.Duration(perPairNs), time.Duration(packedQueryNs), rep.TopKQuery.Speedup)
 
-	sizes := []int{}
 	if *qn > 0 {
-		sizes = append(sizes, *qn)
+		bc, err := makeBenchCorpus(*qn, *queries, *bits, *seed)
+		if err != nil {
+			return err
+		}
+		cb, nnGraph, nnBuildNs, err := clusterBench(bc, *k, *seed, out)
+		if err != nil {
+			return err
+		}
+		rep.ClusterBuild = &cb
+		qb, err := queryBench(bc, "nndescent", nnGraph, nnBuildNs, nil, *k, out)
+		if err != nil {
+			return err
+		}
+		rep.Query = append(rep.Query, qb)
 	}
 	if *big {
-		sizes = append(sizes, 1_000_000)
-	}
-	for _, size := range sizes {
-		qb, err := queryBench(size, *bits, *k, *queries, *seed, out)
+		bc, err := makeBenchCorpus(1_000_000, *queries, *bits, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  query bench n=%d: building cluster graph...\n", bc.corpus.NumUsers())
+		provider := knn.NewPackedSHFProvider(bc.corpus)
+		buildStart := time.Now()
+		g, asn, _ := knn.ClusterConquerWith(provider, *k, knn.Options{Seed: *seed}, knn.ClusterConfig{})
+		buildNs := time.Since(buildStart).Nanoseconds()
+		qb, err := queryBench(bc, "cluster", g, buildNs, asn, *k, out)
 		if err != nil {
 			return err
 		}
@@ -207,52 +280,238 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// queryBench measures exact-scan vs graph-navigated top-k serving on a
-// clustered corpus of size users: NNDescent build + Navigable once, then
-// nq held-out queries through both paths, the scan doubling as ground
-// truth for the graph path's recall. NNDescent rather than Hyrec: at
-// n=100k on this corpus Hyrec's neighbor-of-neighbor gossip converges to
-// a graph whose edges have only ~0.16 recall against the exact top-k,
-// and no navigation strategy recovers from a near-random graph, while
-// NNDescent's reverse-neighbor sampling reaches ~0.85 in the same build
-// time.
-func queryBench(size, bits, k, nq int, seed int64, out io.Writer) (QueryBench, error) {
+// benchCorpus is the community-structured corpus shared by the cluster
+// and query sections at one size: size packed member fingerprints plus nq
+// held-out query fingerprints from the same generator.
+type benchCorpus struct {
+	scheme  *core.Scheme
+	corpus  *core.PackedCorpus
+	queries []core.Fingerprint
+}
+
+func makeBenchCorpus(size, nq, bits int, seed int64) (*benchCorpus, error) {
 	scale := float64(size+nq+2) / float64(dataset.ML10M.Users)
 	ds := dataset.Generate(dataset.ML10M, scale, seed)
 	if len(ds.Profiles) < size+nq {
-		return QueryBench{}, fmt.Errorf("query bench: generator produced %d users, need %d", len(ds.Profiles), size+nq)
+		return nil, fmt.Errorf("bench corpus: generator produced %d users, need %d", len(ds.Profiles), size+nq)
 	}
 	scheme, err := core.NewScheme(bits, uint64(seed))
 	if err != nil {
-		return QueryBench{}, err
+		return nil, err
 	}
-	corpus := scheme.PackProfiles(ds.Profiles[:size], 0)
+	bc := &benchCorpus{
+		scheme:  scheme,
+		corpus:  scheme.PackProfiles(ds.Profiles[:size], 0),
+		queries: make([]core.Fingerprint, nq),
+	}
+	for i := range bc.queries {
+		bc.queries[i] = scheme.Fingerprint(ds.Profiles[size+i])
+	}
+	return bc, nil
+}
 
-	fmt.Fprintf(out, "  query bench n=%d: building nndescent graph...\n", size)
-	provider := knn.NewPackedSHFProvider(corpus)
-	buildStart := time.Now()
-	g, _ := knn.NNDescent(provider, k, knn.Options{Seed: seed})
+// groundTruthSample holds the exact (self-excluded) top-k of a sampled
+// user, for scoring approximate builders.
+type groundTruthSample struct {
+	user  int
+	exact []knn.Neighbor
+}
+
+// sampleGroundTruth computes the exact top-k for up to maxSamples evenly
+// spaced users via the packed one-vs-many kernel — O(sample·n) instead of
+// the O(n²) full brute force, which at n=100k would dominate the bench.
+func sampleGroundTruth(c *core.PackedCorpus, k, maxSamples int) []groundTruthSample {
+	n := c.NumUsers()
+	s := min(maxSamples, n)
+	out := make([]groundTruthSample, 0, s)
+	for i := 0; i < s; i++ {
+		u := i * n / s
+		// k+1 then drop u: the scan includes the user itself at sim 1.
+		top := knn.TopKRange(n, k+1, 0, func(lo, hi int, dst []float64) {
+			c.JaccardRangeInto(u, lo, hi, dst)
+		})
+		exact := make([]knn.Neighbor, 0, k)
+		for _, nb := range top {
+			if int(nb.ID) != u && len(exact) < k {
+				exact = append(exact, nb)
+			}
+		}
+		out = append(out, groundTruthSample{user: u, exact: exact})
+	}
+	return out
+}
+
+// scoreBuilder computes sampled quality and recall of a built graph
+// against the exact ground truth.
+func scoreBuilder(g *knn.Graph, truth []groundTruthSample) (quality, recall float64) {
+	if len(truth) == 0 {
+		return 1, 1
+	}
+	for _, gt := range truth {
+		var exactSum float64
+		in := make(map[int32]bool, len(gt.exact))
+		for _, nb := range gt.exact {
+			exactSum += nb.Sim
+			in[nb.ID] = true
+		}
+		var gotSum float64
+		hits := 0
+		for _, nb := range g.Neighbors[gt.user] {
+			gotSum += nb.Sim
+			if in[nb.ID] {
+				hits++
+			}
+		}
+		if exactSum > 0 {
+			quality += gotSum / exactSum
+		} else {
+			quality++
+		}
+		if len(gt.exact) > 0 {
+			recall += float64(hits) / float64(len(gt.exact))
+		} else {
+			recall++
+		}
+	}
+	quality /= float64(len(truth))
+	recall /= float64(len(truth))
+	return quality, recall
+}
+
+// clusterSeeds mirrors the service's entry seeding for cluster epochs:
+// bucket-derived seeds from the query's own clusters plus a small
+// evenly-spaced spread as a connectivity hedge.
+func clusterSeeds(asn *cluster.Assignment, fp core.Fingerprint, n int) []int32 {
+	return knn.DefaultSeeds(asn.Seeds(fp.Bits().Words(), 48), n)
+}
+
+// clusterBench builds the corpus's KNN graph with NNDescent and with the
+// cluster-and-conquer builder, scores both against the sampled exact
+// ground truth, and compares default vs bucket-derived GraphSearch entry
+// seeding on the cluster graph. It returns the NNDescent graph (and its
+// build time) so the query section can reuse it instead of building twice.
+func clusterBench(bc *benchCorpus, k int, seed int64, out io.Writer) (ClusterBench, *knn.Graph, int64, error) {
+	size := bc.corpus.NumUsers()
+	provider := knn.NewPackedSHFProvider(bc.corpus)
+
+	// Collect before each timed build (as testing.B does) so neither
+	// builder pays for the other's garbage on the one available core.
+	fmt.Fprintf(out, "  cluster bench n=%d: building nndescent graph...\n", size)
+	runtime.GC()
+	nnStart := time.Now()
+	nnGraph, nnStats := knn.NNDescent(provider, k, knn.Options{Seed: seed})
+	nnNs := time.Since(nnStart).Nanoseconds()
+
+	fmt.Fprintf(out, "  cluster bench n=%d: building cluster graph...\n", size)
+	runtime.GC()
+	clStart := time.Now()
+	clGraph, asn, clStats := knn.ClusterConquerWith(provider, k, knn.Options{Seed: seed}, knn.ClusterConfig{})
+	clNs := time.Since(clStart).Nanoseconds()
+
+	truth := sampleGroundTruth(bc.corpus, k, 200)
+	cb := ClusterBench{
+		N: size, K: k, SampledUsers: len(truth),
+		NNDescent: BuilderBench{Algo: "nndescent", BuildNs: nnNs, Comparisons: nnStats.Comparisons},
+		Cluster:   BuilderBench{Algo: "cluster", BuildNs: clNs, Comparisons: clStats.Comparisons},
+	}
+	cb.NNDescent.Quality, cb.NNDescent.Recall = scoreBuilder(nnGraph, truth)
+	cb.Cluster.Quality, cb.Cluster.Recall = scoreBuilder(clGraph, truth)
+	if clNs > 0 {
+		cb.BuildSpeedup = float64(nnNs) / float64(clNs)
+	}
+	fmt.Fprintf(out, "  cluster build:    nndescent %v (q %.3f, r %.3f)  cluster %v (q %.3f, r %.3f)  (%.2fx)\n",
+		time.Duration(nnNs), cb.NNDescent.Quality, cb.NNDescent.Recall,
+		time.Duration(clNs), cb.Cluster.Quality, cb.Cluster.Recall, cb.BuildSpeedup)
+
+	// Entry seeding: same held-out queries, same cluster graph, recall vs
+	// the exact scan under default vs bucket-derived seeds.
+	nav := clGraph.Navigable(provider)
+	cb.SeededQueries = len(bc.queries)
+	for _, fp := range bc.queries {
+		exact, err := knn.TopKRangeCtx(nil, size, k, 0, func(lo, hi int, dst []float64) {
+			bc.corpus.JaccardQueryInto(fp, lo, hi, dst)
+		})
+		if err != nil {
+			return ClusterBench{}, nil, 0, err
+		}
+		scorer := bc.corpus.NewQueryScorer(fp)
+		def, defStats, err := knn.GraphSearch(nav, scorer, k, knn.SearchOptions{})
+		if err != nil {
+			return ClusterBench{}, nil, 0, err
+		}
+		sed, sedStats, err := knn.GraphSearch(nav, scorer, k, knn.SearchOptions{
+			Seeds: clusterSeeds(asn, fp, size),
+		})
+		if err != nil {
+			return ClusterBench{}, nil, 0, err
+		}
+		cb.DefaultSeedRecall += recallOf(def, exact)
+		cb.ClusterSeedRecall += recallOf(sed, exact)
+		cb.DefaultSeedHops += float64(defStats.Hops)
+		cb.ClusterSeedHops += float64(sedStats.Hops)
+	}
+	if nq := float64(len(bc.queries)); nq > 0 {
+		cb.DefaultSeedRecall /= nq
+		cb.ClusterSeedRecall /= nq
+		cb.DefaultSeedHops /= nq
+		cb.ClusterSeedHops /= nq
+	}
+	fmt.Fprintf(out, "  entry seeding:    default recall %.3f (%.1f hops)  cluster recall %.3f (%.1f hops)\n",
+		cb.DefaultSeedRecall, cb.DefaultSeedHops, cb.ClusterSeedRecall, cb.ClusterSeedHops)
+	return cb, nnGraph, nnNs, nil
+}
+
+func recallOf(got, exact []knn.Neighbor) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	in := make(map[int32]bool, len(got))
+	for _, nb := range got {
+		in[nb.ID] = true
+	}
+	hits := 0
+	for _, nb := range exact {
+		if in[nb.ID] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(exact))
+}
+
+// queryBench measures exact-scan vs graph-navigated top-k serving on the
+// bench corpus: symmetrize the prebuilt graph into its navigable form,
+// then run the held-out queries through both paths, the scan doubling as
+// ground truth for the graph path's recall. When asn is non-nil the graph
+// queries use bucket-derived entry seeds (the service's path for cluster
+// epochs); otherwise the default evenly-spread seeds.
+func queryBench(bc *benchCorpus, builder string, g *knn.Graph, buildNs int64, asn *cluster.Assignment, k int, out io.Writer) (QueryBench, error) {
+	size := bc.corpus.NumUsers()
+	provider := knn.NewPackedSHFProvider(bc.corpus)
+	navStart := time.Now()
 	nav := g.Navigable(provider)
-	buildNs := time.Since(buildStart).Nanoseconds()
+	buildNs += time.Since(navStart).Nanoseconds()
 
-	qb := QueryBench{N: size, K: k, GraphBuildNs: buildNs}
+	qb := QueryBench{N: size, K: k, Builder: builder, GraphBuildNs: buildNs}
+	nq := len(bc.queries)
 	scanNs := make([]int64, 0, nq)
 	graphNs := make([]int64, 0, nq)
 	var recall float64
-	for i := 0; i < nq; i++ {
-		q := scheme.Fingerprint(ds.Profiles[size+i])
-
+	for _, fp := range bc.queries {
 		start := time.Now()
-		exact, err := knn.TopKRangeCtx(nil, corpus.NumUsers(), k, 0, func(lo, hi int, dst []float64) {
-			corpus.JaccardQueryInto(q, lo, hi, dst)
+		exact, err := knn.TopKRangeCtx(nil, size, k, 0, func(lo, hi int, dst []float64) {
+			bc.corpus.JaccardQueryInto(fp, lo, hi, dst)
 		})
 		scanNs = append(scanNs, time.Since(start).Nanoseconds())
 		if err != nil {
 			return QueryBench{}, err
 		}
 
+		var opts knn.SearchOptions
+		if asn != nil {
+			opts.Seeds = clusterSeeds(asn, fp, size)
+		}
 		start = time.Now()
-		got, stats, err := knn.GraphSearch(nav, corpus.NewQueryScorer(q), k, knn.SearchOptions{})
+		got, stats, err := knn.GraphSearch(nav, bc.corpus.NewQueryScorer(fp), k, opts)
 		graphNs = append(graphNs, time.Since(start).Nanoseconds())
 		if err != nil {
 			return QueryBench{}, err
@@ -260,21 +519,7 @@ func queryBench(size, bits, k, nq int, seed int64, out io.Writer) (QueryBench, e
 		if len(got) < min(k, size) {
 			qb.Fallbacks++
 		}
-		in := make(map[int32]bool, len(got))
-		for _, nb := range got {
-			in[nb.ID] = true
-		}
-		hits := 0
-		for _, nb := range exact {
-			if in[nb.ID] {
-				hits++
-			}
-		}
-		if len(exact) > 0 {
-			recall += float64(hits) / float64(len(exact))
-		} else {
-			recall++
-		}
+		recall += recallOf(got, exact)
 		qb.AvgHops += float64(stats.Hops)
 		qb.AvgScored += float64(stats.Scored)
 		qb.AvgAbandoned += float64(stats.Abandoned)

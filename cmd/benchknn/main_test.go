@@ -35,7 +35,7 @@ func TestRunSmallCorpus(t *testing.T) {
 		t.Fatalf("query section has %d entries, want 1", len(rep.Query))
 	}
 	qb := rep.Query[0]
-	if qb.N != 600 || qb.K != 5 {
+	if qb.N != 600 || qb.K != 5 || qb.Builder != "nndescent" {
 		t.Errorf("query bench params = %+v", qb)
 	}
 	if qb.GraphBuildNs <= 0 || qb.ScanP50Ns <= 0 || qb.GraphP50Ns <= 0 {
@@ -43,6 +43,27 @@ func TestRunSmallCorpus(t *testing.T) {
 	}
 	if qb.RecallAtK < 0 || qb.RecallAtK > 1 {
 		t.Errorf("recall out of range: %+v", qb)
+	}
+	cb := rep.ClusterBuild
+	if cb == nil {
+		t.Fatal("missing cluster_build section")
+	}
+	if cb.N != 600 || cb.K != 5 || cb.SampledUsers <= 0 {
+		t.Errorf("cluster bench params = %+v", cb)
+	}
+	if cb.NNDescent.BuildNs <= 0 || cb.Cluster.BuildNs <= 0 ||
+		cb.NNDescent.Comparisons <= 0 || cb.Cluster.Comparisons <= 0 {
+		t.Errorf("missing cluster bench timings: %+v", cb)
+	}
+	for _, bb := range []BuilderBench{cb.NNDescent, cb.Cluster} {
+		if bb.Recall < 0 || bb.Recall > 1 || bb.Quality < 0 {
+			t.Errorf("%s scores out of range: %+v", bb.Algo, bb)
+		}
+	}
+	if cb.SeededQueries <= 0 ||
+		cb.DefaultSeedRecall < 0 || cb.DefaultSeedRecall > 1 ||
+		cb.ClusterSeedRecall < 0 || cb.ClusterSeedRecall > 1 {
+		t.Errorf("seeding comparison out of range: %+v", cb)
 	}
 }
 
@@ -62,6 +83,9 @@ func TestRunQueryBenchDisabled(t *testing.T) {
 	}
 	if rep.Query != nil {
 		t.Errorf("qn=0 still produced a query section: %+v", rep.Query)
+	}
+	if rep.ClusterBuild != nil {
+		t.Errorf("qn=0 still produced a cluster_build section: %+v", rep.ClusterBuild)
 	}
 }
 

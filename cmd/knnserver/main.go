@@ -143,6 +143,10 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		"per-request deadline for /query, admission queue included (0 disables; clients can lower it with X-Request-Timeout)")
 	rateLimit := fs.Float64("rate-limit", 0,
 		"global request rate limit in requests/second, enforced with a token bucket (0 disables)")
+	clusterViews := fs.Int("cluster-views", 0,
+		"independent clustering views for algo=cluster builds (0 uses the default)")
+	clusterMaxSize := fs.Int("cluster-max-size", 0,
+		"maximum cluster size for algo=cluster builds; oversized buckets are split recursively (0 uses the default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -174,6 +178,12 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	if *rateLimit < 0 {
 		return fmt.Errorf("-rate-limit must be non-negative, got %g", *rateLimit)
 	}
+	if *clusterViews < 0 {
+		return fmt.Errorf("-cluster-views must be non-negative, got %d", *clusterViews)
+	}
+	if *clusterMaxSize < 0 {
+		return fmt.Errorf("-cluster-max-size must be non-negative, got %d", *clusterMaxSize)
+	}
 	fsyncPolicy, err := durable.ParseFsyncPolicy(*fsyncMode)
 	if err != nil {
 		return err
@@ -184,6 +194,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		return err
 	}
 	srv.SetBuildTimeout(*buildTimeout)
+	srv.SetClusterConfig(*clusterViews, *clusterMaxSize)
 
 	admitCfg := admit.DefaultConfig()
 	if *maxInflightQueries > 0 {

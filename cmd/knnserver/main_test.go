@@ -28,6 +28,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-max-inflight-queries", "-4"},
 		{"-query-timeout", "-5s"},
 		{"-rate-limit", "-100"},
+		{"-cluster-views", "-1"},
+		{"-cluster-max-size", "-64"},
 		{"-nosuchflag"},
 		{"stray-positional"},
 	} {
@@ -155,6 +157,52 @@ func TestRunHardenedServerServes(t *testing.T) {
 		t.Errorf("bad X-Request-Timeout: status %d, want 400", resp.StatusCode)
 	}
 	resp.Body.Close()
+}
+
+// TestRunClusterFlagsServeBuild boots with the cluster tuning flags set and
+// checks an algo=cluster build succeeds end to end at the binary boundary.
+func TestRunClusterFlagsServeBuild(t *testing.T) {
+	var logs bytes.Buffer
+	addr, shutdown := startServer(t, &logs, "-cluster-views", "2", "-cluster-max-size", "32")
+	defer shutdown()
+
+	scheme := core.MustScheme(256, 7)
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		p := profile.New(profile.ItemID(i*3+1), profile.ItemID(i*3+2), profile.ItemID(i*3+3), 1000)
+		if err := core.WriteFingerprint(&buf, scheme.Fingerprint(p)); err != nil {
+			t.Fatal(err)
+		}
+		req, _ := http.NewRequest(http.MethodPut,
+			fmt.Sprintf("http://%s/users/u%d/fingerprint", addr, i), &buf)
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("upload %d: status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp, err := client.Post("http://"+addr+"/graph/build?k=3&algo=cluster", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster build status %d", resp.StatusCode)
+	}
+	var br struct {
+		Algorithm string `json:"algorithm"`
+		Users     int    `json:"users"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Algorithm != "cluster" || br.Users != 20 {
+		t.Fatalf("build result %+v", br)
+	}
 }
 
 func TestRunRejectsBadFsyncPolicy(t *testing.T) {

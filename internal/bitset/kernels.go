@@ -118,6 +118,10 @@ func AndCountInto(query, corpus []uint64, stride int, out []int32) {
 		panic(fmt.Sprintf("bitset: corpus of %d words cannot hold %d rows of stride %d", len(corpus), rows, stride))
 	}
 	q := len(query)
+	if q == 16 && stride == 16 {
+		andCountInto16(query, corpus, out)
+		return
+	}
 	for r := 0; r < rows; r++ {
 		row := corpus[r*stride : r*stride+q : r*stride+q]
 		var n0, n1, n2, n3 int
@@ -132,5 +136,94 @@ func AndCountInto(query, corpus []uint64, stride int, out []int32) {
 			n0 += bits.OnesCount64(query[i] & row[i])
 		}
 		out[r] = int32(n0 + n1 + n2 + n3)
+	}
+}
+
+// andCountInto16 is AndCountInto specialized for the paper's default
+// geometry, b = 1024 (16 words per row, stride 16): the row loop body is
+// fully unrolled with four independent accumulator chains and no inner
+// loop control, and the query words are loaded into locals once so the
+// compiler keeps them in registers across the whole block instead of
+// re-reading the slice every row.
+func andCountInto16(query, corpus []uint64, out []int32) {
+	q := query[:16:16]
+	q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+	q4, q5, q6, q7 := q[4], q[5], q[6], q[7]
+	q8, q9, q10, q11 := q[8], q[9], q[10], q[11]
+	q12, q13, q14, q15 := q[12], q[13], q[14], q[15]
+	for r := range out {
+		row := corpus[r*16 : r*16+16 : r*16+16]
+		n0 := bits.OnesCount64(q0&row[0]) + bits.OnesCount64(q4&row[4]) +
+			bits.OnesCount64(q8&row[8]) + bits.OnesCount64(q12&row[12])
+		n1 := bits.OnesCount64(q1&row[1]) + bits.OnesCount64(q5&row[5]) +
+			bits.OnesCount64(q9&row[9]) + bits.OnesCount64(q13&row[13])
+		n2 := bits.OnesCount64(q2&row[2]) + bits.OnesCount64(q6&row[6]) +
+			bits.OnesCount64(q10&row[10]) + bits.OnesCount64(q14&row[14])
+		n3 := bits.OnesCount64(q3&row[3]) + bits.OnesCount64(q7&row[7]) +
+			bits.OnesCount64(q11&row[11]) + bits.OnesCount64(q15&row[15])
+		out[r] = int32(n0 + n1 + n2 + n3)
+	}
+}
+
+// AndCountGather is the one-vs-scattered kernel: out[i] receives
+// popcount(query AND corpus[ids[i]*stride : ids[i]*stride+len(query)]).
+// Candidate scoring in the refinement sweep picks a few hundred rows by id
+// per user — there is no contiguous range to stream, but hoisting the
+// query words into locals across the whole id list amortizes the query
+// loads exactly like the tiled kernel does per block. len(query) may be
+// smaller than stride (trailing pad words are ignored); it panics if the
+// geometry is inconsistent. Row ids are bounds-checked by the row slicing.
+func AndCountGather(query, corpus []uint64, stride int, ids []int32, out []int32) {
+	if len(ids) != len(out) {
+		panic(fmt.Sprintf("bitset: %d gather ids but %d outputs", len(ids), len(out)))
+	}
+	if stride < len(query) {
+		panic(fmt.Sprintf("bitset: stride %d shorter than query length %d", stride, len(query)))
+	}
+	q := len(query)
+	if q == 16 && stride == 16 {
+		andCountGather16(query, corpus, ids, out)
+		return
+	}
+	for i, id := range ids {
+		base := int(id) * stride
+		row := corpus[base : base+q : base+q]
+		var n0, n1, n2, n3 int
+		w := 0
+		for ; w+4 <= q; w += 4 {
+			n0 += bits.OnesCount64(query[w] & row[w])
+			n1 += bits.OnesCount64(query[w+1] & row[w+1])
+			n2 += bits.OnesCount64(query[w+2] & row[w+2])
+			n3 += bits.OnesCount64(query[w+3] & row[w+3])
+		}
+		for ; w < q; w++ {
+			n0 += bits.OnesCount64(query[w] & row[w])
+		}
+		out[i] = int32(n0 + n1 + n2 + n3)
+	}
+}
+
+// andCountGather16 is AndCountGather specialized for the paper's default
+// geometry exactly like andCountInto16: fully unrolled row body, four
+// independent accumulator chains, query words pinned in registers across
+// the whole id list.
+func andCountGather16(query, corpus []uint64, ids []int32, out []int32) {
+	q := query[:16:16]
+	q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+	q4, q5, q6, q7 := q[4], q[5], q[6], q[7]
+	q8, q9, q10, q11 := q[8], q[9], q[10], q[11]
+	q12, q13, q14, q15 := q[12], q[13], q[14], q[15]
+	for i, id := range ids {
+		base := int(id) * 16
+		row := corpus[base : base+16 : base+16]
+		n0 := bits.OnesCount64(q0&row[0]) + bits.OnesCount64(q4&row[4]) +
+			bits.OnesCount64(q8&row[8]) + bits.OnesCount64(q12&row[12])
+		n1 := bits.OnesCount64(q1&row[1]) + bits.OnesCount64(q5&row[5]) +
+			bits.OnesCount64(q9&row[9]) + bits.OnesCount64(q13&row[13])
+		n2 := bits.OnesCount64(q2&row[2]) + bits.OnesCount64(q6&row[6]) +
+			bits.OnesCount64(q10&row[10]) + bits.OnesCount64(q14&row[14])
+		n3 := bits.OnesCount64(q3&row[3]) + bits.OnesCount64(q7&row[7]) +
+			bits.OnesCount64(q11&row[11]) + bits.OnesCount64(q15&row[15])
+		out[i] = int32(n0 + n1 + n2 + n3)
 	}
 }

@@ -70,11 +70,12 @@ func TestAndCountWordsLengthMismatchPanics(t *testing.T) {
 func TestAndCountIntoMatchesPerRow(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	for _, tc := range []struct{ qwords, stride, rows int }{
-		{0, 0, 0},  // empty everything
-		{1, 1, 1},  // single word, single row
-		{2, 2, 7},  // b=100 geometry
-		{16, 16, 33},
-		{5, 8, 10}, // query shorter than stride (padded rows)
+		{0, 0, 0},    // empty everything
+		{1, 1, 1},    // single word, single row
+		{2, 2, 7},    // b=100 geometry
+		{16, 16, 33}, // b=1024 geometry: the fully-unrolled fast path
+		{16, 17, 5},  // q=16 but padded stride: must stay on the generic path
+		{5, 8, 10},   // query shorter than stride (padded rows)
 	} {
 		query := randomWords(rng, tc.qwords)
 		corpus := randomWords(rng, tc.rows*tc.stride)
@@ -87,6 +88,53 @@ func TestAndCountIntoMatchesPerRow(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestAndCountGatherMatchesPerRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct{ qwords, stride, rows int }{
+		{1, 1, 4},    // single word rows
+		{2, 2, 9},    // b=100 geometry
+		{16, 16, 40}, // b=1024 geometry: the fully-unrolled fast path
+		{16, 17, 6},  // q=16 but padded stride: must stay on the generic path
+		{5, 8, 10},   // query shorter than stride (padded rows)
+	} {
+		query := randomWords(rng, tc.qwords)
+		corpus := randomWords(rng, tc.rows*tc.stride)
+		// Scattered ids, out of order and with repeats.
+		ids := make([]int32, 0, 2*tc.rows)
+		for r := tc.rows - 1; r >= 0; r-- {
+			ids = append(ids, int32(r), int32((r*7+3)%tc.rows))
+		}
+		out := make([]int32, len(ids))
+		AndCountGather(query, corpus, tc.stride, ids, out)
+		for i, id := range ids {
+			want := int32(andCountRef(query, corpus[int(id)*tc.stride:int(id)*tc.stride+tc.qwords]))
+			if out[i] != want {
+				t.Fatalf("geometry %+v id %d: got %d, want %d", tc, id, out[i], want)
+			}
+		}
+	}
+}
+
+func TestAndCountGatherBadGeometryPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("stride<query", func() {
+		AndCountGather(make([]uint64, 4), make([]uint64, 8), 2, []int32{0}, make([]int32, 1))
+	})
+	assertPanics("ids/out mismatch", func() {
+		AndCountGather(make([]uint64, 2), make([]uint64, 8), 2, []int32{0, 1}, make([]int32, 1))
+	})
+	assertPanics("id out of range", func() {
+		AndCountGather(make([]uint64, 2), make([]uint64, 4), 2, []int32{2}, make([]int32, 1))
+	})
 }
 
 func TestAndCountIntoBadGeometryPanics(t *testing.T) {

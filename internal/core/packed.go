@@ -129,6 +129,24 @@ func (c *PackedCorpus) Fingerprint(i int) Fingerprint {
 // SizeBytes returns the in-memory footprint of the packed payload.
 func (c *PackedCorpus) SizeBytes() int { return len(c.words)*8 + len(c.cards)*4 }
 
+// Gather copies the given rows, in order, into a new contiguous corpus.
+// The cluster-and-conquer builder uses it to turn a cluster's scattered
+// member rows into a dense mini-corpus the one-vs-many kernels can
+// stream; out-of-range ids panic like any slice index.
+func (c *PackedCorpus) Gather(ids []int32) *PackedCorpus {
+	g := &PackedCorpus{
+		bits:   c.bits,
+		stride: c.stride,
+		words:  make([]uint64, len(ids)*c.stride),
+		cards:  make([]int32, len(ids)),
+	}
+	for i, id := range ids {
+		copy(g.words[i*c.stride:(i+1)*c.stride], c.Row(int(id)))
+		g.cards[i] = c.cards[id]
+	}
+	return g
+}
+
 // Jaccard estimates Jaccard's index between rows u and v (paper Eq. 4).
 // It is bit-for-bit identical to core.Jaccard on the unpacked fingerprints.
 func (c *PackedCorpus) Jaccard(u, v int) float64 {
@@ -200,6 +218,29 @@ func (c *PackedCorpus) cosineInto(query []uint64, qcard int32, lo, hi int, out [
 // streaming the corpus once — the one-vs-many kernel behind BatchProvider.
 func (c *PackedCorpus) JaccardRangeInto(u, lo, hi int, out []float64) {
 	c.jaccardInto(c.Row(u), c.cards[u], lo, hi, out)
+}
+
+// JaccardGatherInto estimates Ĵ(u, ids[i]) into out[i] for a scattered
+// candidate list, bit-for-bit identical to per-pair Jaccard. It feeds the
+// gather kernel (bitset.AndCountGather) in tile-sized chunks so the
+// intersection scratch stays on the stack.
+func (c *PackedCorpus) JaccardGatherInto(u int, ids []int32, out []float64) {
+	var inter [packTile]int32
+	row, cu := c.Row(u), int(c.cards[u])
+	for start := 0; start < len(ids); start += packTile {
+		end := min(start+packTile, len(ids))
+		chunk := ids[start:end]
+		bitset.AndCountGather(row, c.words, c.stride, chunk, inter[:len(chunk)])
+		for j, id := range chunk {
+			in := int(inter[j])
+			union := cu + int(c.cards[id]) - in
+			if union <= 0 {
+				out[start+j] = 0
+			} else {
+				out[start+j] = float64(in) / float64(union)
+			}
+		}
+	}
 }
 
 // JaccardQueryInto is JaccardRangeInto for an external query fingerprint

@@ -118,6 +118,30 @@ func TestPackedQueryIntoMatchesPerPair(t *testing.T) {
 	}
 }
 
+func TestPackedGatherIntoMatchesPerPair(t *testing.T) {
+	for _, bits := range []int{100, 1024} {
+		rng := rand.New(rand.NewSource(int64(bits) + 7))
+		_, _, packed, _ := packedFixture(t, bits, 3, 400)
+		n := packed.NumUsers()
+		for trial := 0; trial < 10; trial++ {
+			u := rng.Intn(n)
+			// Scattered, unordered, with repeats; lengths cross the tile
+			// boundary of the chunked kernel.
+			ids := make([]int32, 1+rng.Intn(300))
+			for i := range ids {
+				ids[i] = int32(rng.Intn(n))
+			}
+			out := make([]float64, len(ids))
+			packed.JaccardGatherInto(u, ids, out)
+			for i, id := range ids {
+				if want := packed.Jaccard(u, int(id)); out[i] != want {
+					t.Fatalf("bits=%d u=%d id=%d: gather %v, per-pair %v", bits, u, id, out[i], want)
+				}
+			}
+		}
+	}
+}
+
 // TestPackedFingerprintViews checks the zero-copy views: they compare,
 // serialize, and measure exactly like the fingerprints they were packed
 // from.

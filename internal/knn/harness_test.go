@@ -67,6 +67,13 @@ func TestHarnessApproximateQualityFloors(t *testing.T) {
 			},
 			floor: map[string]float64{"native": 0.70, "goldfinger": 0.70},
 		},
+		{
+			// At harness scale every view collapses to one cluster, so the
+			// scan is exact and quality should effectively match BruteForce.
+			algo:  "cluster",
+			build: func(p Provider) (*Graph, Stats) { return ClusterConquer(p, k, Options{Seed: 1}) },
+			floor: map[string]float64{"native": 0.95, "goldfinger": 0.90},
+		},
 	}
 	for _, tc := range cases {
 		for mode, p := range providers {
@@ -141,6 +148,7 @@ func TestHarnessCancellationIsPrompt(t *testing.T) {
 		"lsh": func() (*Graph, Stats) {
 			return LSH(d.Profiles, p, k, LSHOptions{Seed: 1, Ctx: ctx})
 		},
+		"cluster": func() (*Graph, Stats) { return ClusterConquer(p, k, Options{Seed: 1, Ctx: ctx}) },
 	}
 	for name, build := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -238,6 +246,14 @@ func TestHarnessObsInstrumentation(t *testing.T) {
 				return s
 			},
 			phases: []string{"bucket", "scan"},
+		},
+		{
+			name: "cluster",
+			build: func(reg *obs.Registry) Stats {
+				_, s := ClusterConquer(p, k, Options{Seed: 1, Obs: reg})
+				return s
+			},
+			phases: []string{"bucket", "scan", "merge", "refine"},
 		},
 	}
 	for _, tc := range cases {

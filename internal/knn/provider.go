@@ -37,6 +37,54 @@ type BatchProvider interface {
 	SimilarityRange(u, lo, hi int, out []float64)
 }
 
+// GatherProvider is the scattered extension of Provider: one call scores a
+// user against an arbitrary id list, so a packed-corpus implementation can
+// keep the user's row in registers across the whole list (the gather
+// kernel) instead of dispatching an interface call per candidate. The
+// refinement sweep of the cluster builder — whose candidates are
+// neighbors-of-neighbors, never a contiguous range — type-asserts for it
+// and falls back to per-pair Similarity when absent.
+type GatherProvider interface {
+	Provider
+	// SimilarityGather computes Similarity(u, ids[i]) into out[i]. The
+	// results must be bit-for-bit identical to per-pair Similarity calls;
+	// out must have at least len(ids) entries.
+	SimilarityGather(u int, ids []int32, out []float64)
+}
+
+// SubsetProvider is the restriction extension of Provider: Subset returns a
+// provider over only the given users, reindexed densely — Subset(ids)
+// .Similarity(i, j) equals Similarity(ids[i], ids[j]) bit-for-bit. The
+// cluster-and-conquer builder uses it to hand each cluster a dense
+// mini-provider whose batched kernel streams contiguous gathered rows; ids
+// must be valid indices and must not be mutated afterwards.
+type SubsetProvider interface {
+	Provider
+	Subset(ids []int32) Provider
+}
+
+// subsetOf restricts p to ids, preferring the provider's own Subset (which
+// can preserve batching) and falling back to a per-pair index remap.
+func subsetOf(p Provider, ids []int32) Provider {
+	if s, ok := p.(SubsetProvider); ok {
+		return s.Subset(ids)
+	}
+	return &indexedSubset{inner: p, ids: ids}
+}
+
+// indexedSubset is the generic Subset fallback: a per-pair index remap over
+// an arbitrary provider.
+type indexedSubset struct {
+	inner Provider
+	ids   []int32
+}
+
+func (p *indexedSubset) NumUsers() int { return len(p.ids) }
+
+func (p *indexedSubset) Similarity(u, v int) float64 {
+	return p.inner.Similarity(int(p.ids[u]), int(p.ids[v]))
+}
+
 // ExplicitProvider computes exact Jaccard similarities on explicit profiles
 // (the paper's "native" mode).
 type ExplicitProvider struct {
@@ -54,6 +102,19 @@ func (p *ExplicitProvider) NumUsers() int { return len(p.Profiles) }
 // Similarity returns the exact Jaccard index of the two profiles.
 func (p *ExplicitProvider) Similarity(u, v int) float64 {
 	return profile.Jaccard(p.Profiles[u], p.Profiles[v])
+}
+
+// Subset implements SubsetProvider by gathering the profile slices.
+func (p *ExplicitProvider) Subset(ids []int32) Provider {
+	return &ExplicitProvider{Profiles: gatherProfiles(p.Profiles, ids)}
+}
+
+func gatherProfiles(profiles []profile.Profile, ids []int32) []profile.Profile {
+	out := make([]profile.Profile, len(ids))
+	for i, id := range ids {
+		out[i] = profiles[id]
+	}
+	return out
 }
 
 // SHFProvider estimates Jaccard similarities from Single Hash Fingerprints
@@ -135,6 +196,26 @@ func (p *SHFProvider) SimilarityRange(u, lo, hi int, out []float64) {
 	}
 }
 
+// SimilarityGather implements GatherProvider on the packed corpus.
+func (p *SHFProvider) SimilarityGather(u int, ids []int32, out []float64) {
+	if c := p.corpus(); c != nil {
+		c.JaccardGatherInto(u, ids, out)
+		return
+	}
+	for i, id := range ids {
+		out[i] = p.Similarity(u, int(id))
+	}
+}
+
+// Subset implements SubsetProvider: the selected rows are gathered into a
+// dense mini-corpus, so the subset keeps the batched kernel path.
+func (p *SHFProvider) Subset(ids []int32) Provider {
+	if c := p.corpus(); c != nil {
+		return NewPackedSHFProvider(c.Gather(ids))
+	}
+	return &indexedSubset{inner: p, ids: ids}
+}
+
 // FuncProvider computes similarities on explicit profiles with an
 // arbitrary set-similarity function — the paper's fsim requirement covers
 // any function positively correlated with common items (e.g. cosine,
@@ -157,6 +238,11 @@ func (p *FuncProvider) Similarity(u, v int) float64 {
 	return p.Sim(p.Profiles[u], p.Profiles[v])
 }
 
+// Subset implements SubsetProvider by gathering the profile slices.
+func (p *FuncProvider) Subset(ids []int32) Provider {
+	return &FuncProvider{Profiles: gatherProfiles(p.Profiles, ids), Sim: p.Sim}
+}
+
 // SHFCosineProvider estimates binary cosine similarities from fingerprints.
 // Like SHFProvider it implements BatchProvider over a lazily packed corpus.
 type SHFCosineProvider struct {
@@ -171,8 +257,39 @@ func NewSHFCosineProvider(scheme *core.Scheme, profiles []profile.Profile) *SHFC
 	return &SHFCosineProvider{Fingerprints: scheme.FingerprintAll(profiles)}
 }
 
+// NewPackedSHFCosineProvider wraps an already-packed corpus directly,
+// mirroring NewPackedSHFProvider for the cosine estimator.
+func NewPackedSHFCosineProvider(c *core.PackedCorpus) *SHFCosineProvider {
+	p := &SHFCosineProvider{}
+	p.packOnce.Do(func() {})
+	p.packed.Store(c)
+	return p
+}
+
 // NumUsers returns the number of users.
-func (p *SHFCosineProvider) NumUsers() int { return len(p.Fingerprints) }
+func (p *SHFCosineProvider) NumUsers() int {
+	if p.Fingerprints != nil {
+		return len(p.Fingerprints)
+	}
+	if c := p.packed.Load(); c != nil {
+		return c.NumUsers()
+	}
+	return 0
+}
+
+// corpus returns the packed corpus, packing the fingerprint slice on first
+// use, exactly like (*SHFProvider).corpus.
+func (p *SHFCosineProvider) corpus() *core.PackedCorpus {
+	p.packOnce.Do(func() {
+		if len(p.Fingerprints) == 0 {
+			return
+		}
+		if c, err := core.NewPackedCorpus(p.Fingerprints[0].NumBits(), p.Fingerprints); err == nil {
+			p.packed.Store(c)
+		}
+	})
+	return p.packed.Load()
+}
 
 // Similarity returns the SHF cosine estimate.
 func (p *SHFCosineProvider) Similarity(u, v int) float64 {
@@ -184,21 +301,22 @@ func (p *SHFCosineProvider) Similarity(u, v int) float64 {
 
 // SimilarityRange implements BatchProvider on the packed corpus.
 func (p *SHFCosineProvider) SimilarityRange(u, lo, hi int, out []float64) {
-	p.packOnce.Do(func() {
-		if len(p.Fingerprints) == 0 {
-			return
-		}
-		if c, err := core.NewPackedCorpus(p.Fingerprints[0].NumBits(), p.Fingerprints); err == nil {
-			p.packed.Store(c)
-		}
-	})
-	if c := p.packed.Load(); c != nil {
+	if c := p.corpus(); c != nil {
 		c.CosineRangeInto(u, lo, hi, out)
 		return
 	}
 	for v := lo; v < hi; v++ {
 		out[v-lo] = p.Similarity(u, v)
 	}
+}
+
+// Subset implements SubsetProvider via a gathered mini-corpus, keeping the
+// batched kernel path like (*SHFProvider).Subset.
+func (p *SHFCosineProvider) Subset(ids []int32) Provider {
+	if c := p.corpus(); c != nil {
+		return NewPackedSHFCosineProvider(c.Gather(ids))
+	}
+	return &indexedSubset{inner: p, ids: ids}
 }
 
 // CountingProvider wraps a Provider and counts similarity computations.
@@ -242,6 +360,52 @@ func (p *CountingProvider) SimilarityRange(u, lo, hi int, out []float64) {
 		}
 	}
 	p.AddComparisons(int64(hi - lo))
+}
+
+// SimilarityGather implements GatherProvider, delegating to the wrapped
+// provider's gather kernel when it has one and folding the whole list into
+// the counter at once, mirroring SimilarityRange.
+func (p *CountingProvider) SimilarityGather(u int, ids []int32, out []float64) {
+	if g, ok := p.Inner.(GatherProvider); ok {
+		g.SimilarityGather(u, ids, out)
+	} else {
+		for i, id := range ids {
+			out[i] = p.Inner.Similarity(u, int(id))
+		}
+	}
+	p.AddComparisons(int64(len(ids)))
+}
+
+// Subset implements SubsetProvider: the subset delegates to the wrapped
+// provider's subset while folding its comparisons into this counter, so
+// per-cluster scans stay visible in the totals.
+func (p *CountingProvider) Subset(ids []int32) Provider {
+	return &countingSubset{parent: p, inner: subsetOf(p.Inner, ids)}
+}
+
+// countingSubset is a restricted view whose comparisons count toward the
+// parent CountingProvider.
+type countingSubset struct {
+	parent *CountingProvider
+	inner  Provider
+}
+
+func (p *countingSubset) NumUsers() int { return p.inner.NumUsers() }
+
+func (p *countingSubset) Similarity(u, v int) float64 {
+	p.parent.comparisons.Add(1)
+	return p.inner.Similarity(u, v)
+}
+
+func (p *countingSubset) SimilarityRange(u, lo, hi int, out []float64) {
+	if b, ok := p.inner.(BatchProvider); ok {
+		b.SimilarityRange(u, lo, hi, out)
+	} else {
+		for v := lo; v < hi; v++ {
+			out[v-lo] = p.inner.Similarity(u, v)
+		}
+	}
+	p.parent.AddComparisons(int64(hi - lo))
 }
 
 // Comparisons returns the number of similarity computations so far.

@@ -1,0 +1,8 @@
+//go:build race
+
+package knn
+
+// raceEnabled lets heavyweight tests skip themselves under the race
+// detector, where their similarity-kernel inner loops run an order of
+// magnitude slower without exercising any additional synchronization.
+const raceEnabled = true

@@ -68,6 +68,37 @@ type SearchOptions struct {
 	Ctx context.Context
 }
 
+// DefaultSeeds appends GraphSearch's default entry points for an n-node
+// graph — max(8, n/64) evenly-spread node ids — to dst and returns it.
+// Callers that pass explicit SearchOptions.Seeds (e.g. cluster-bucket
+// warm starts) should layer them on top of this spread: explicit seeds
+// replace the default entirely, and a directed KNN graph keeps whole
+// regions reachable only from some entry points, so shrinking the spread
+// to a handful of warm seeds costs far more recall than the warm starts
+// buy back.
+func DefaultSeeds(dst []int32, n int) []int32 {
+	return appendSpreadSeeds(dst, n, 0)
+}
+
+// appendSpreadSeeds appends ns (0 means max(8, n/64)) evenly-spread node
+// ids to dst.
+func appendSpreadSeeds(dst []int32, n, ns int) []int32 {
+	if ns <= 0 {
+		ns = max(8, n/64)
+	}
+	if ns > n {
+		ns = n
+	}
+	for i := 0; i < ns; i++ {
+		id := int32(0)
+		if ns > 1 {
+			id = int32(i * (n - 1) / (ns - 1))
+		}
+		dst = append(dst, id)
+	}
+	return dst
+}
+
 // SearchStats reports how one GraphSearch unfolded.
 type SearchStats struct {
 	// Hops is the number of nodes expanded (beam iterations).
@@ -343,20 +374,7 @@ func GraphSearch(g *Graph, oracle SearchOracle, k int, opts SearchOptions) ([]Ne
 
 	seeds := opts.Seeds
 	if len(seeds) == 0 {
-		ns := opts.NumSeeds
-		if ns <= 0 {
-			ns = max(8, n/64)
-		}
-		if ns > n {
-			ns = n
-		}
-		for i := 0; i < ns; i++ {
-			id := int32(0)
-			if ns > 1 {
-				id = int32(i * (n - 1) / (ns - 1))
-			}
-			st.seeds = append(st.seeds, id)
-		}
+		st.seeds = appendSpreadSeeds(st.seeds, n, opts.NumSeeds)
 		seeds = st.seeds
 	}
 	for _, v := range seeds {

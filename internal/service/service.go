@@ -110,6 +110,7 @@ import (
 	"time"
 
 	"goldfinger/internal/admit"
+	"goldfinger/internal/cluster"
 	"goldfinger/internal/core"
 	"goldfinger/internal/durable"
 	"goldfinger/internal/knn"
@@ -126,8 +127,13 @@ type graphEpoch struct {
 	// descends the symmetrized, diversity-pruned adjacency (directed KNN
 	// edges alone leave hub-dominated regions unreachable and tank recall;
 	// uncapped reverse edges turn hub expansion into a partial scan).
-	nav       *knn.Graph
-	users     []string // user table snapshot the graph indices refer to
+	nav   *knn.Graph
+	users []string // user table snapshot the graph indices refer to
+	// clusters is the fingerprint-hash bucketing a cluster build derived
+	// (nil for other algorithms and for recovered epochs): /query reuses
+	// its hashes to pick graph-search entry points near the query instead
+	// of evenly spread ones.
+	clusters  *cluster.Assignment
 	k         int
 	algorithm string
 	builtAt   time.Time
@@ -169,6 +175,11 @@ type Server struct {
 	buildTimeout atomic.Int64                       // ns; 0 = no deadline
 	buildCancel  atomic.Pointer[context.CancelFunc] // non-nil while a build runs
 	buildStartNS atomic.Int64                       // UnixNano of the running build; 0 when idle
+
+	// clusterViews / clusterMaxSize tune algo=cluster builds; 0 selects
+	// the cluster package defaults.
+	clusterViews   atomic.Int64
+	clusterMaxSize atomic.Int64
 
 	// buildHook, when non-nil, runs after the build snapshot is taken and
 	// before the algorithm starts. Test instrumentation only.
@@ -252,6 +263,20 @@ func (s *Server) SetBuildTimeout(d time.Duration) {
 		d = 0
 	}
 	s.buildTimeout.Store(int64(d))
+}
+
+// SetClusterConfig tunes subsequent algo=cluster builds: views is the
+// number of independent cluster views (t), maxSize the cluster size cap.
+// Zero keeps the cluster package defaults. Safe to call at any time.
+func (s *Server) SetClusterConfig(views, maxSize int) {
+	if views < 0 {
+		views = 0
+	}
+	if maxSize < 0 {
+		maxSize = 0
+	}
+	s.clusterViews.Store(int64(views))
+	s.clusterMaxSize.Store(int64(maxSize))
 }
 
 // Metrics returns the server's metrics registry (the /metrics export).
@@ -853,9 +878,9 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		algo = "hyrec"
 	}
 	switch algo {
-	case "bruteforce", "hyrec", "nndescent":
+	case "bruteforce", "hyrec", "nndescent", "cluster":
 	default:
-		httpError(w, http.StatusBadRequest, "unknown algorithm %q (bruteforce, hyrec, nndescent)", algo)
+		httpError(w, http.StatusBadRequest, "unknown algorithm %q (bruteforce, hyrec, nndescent, cluster)", algo)
 		return
 	}
 
@@ -934,6 +959,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	bopts := knn.Options{Ctx: ctx, Obs: s.obs}
 	var g *knn.Graph
 	var stats knn.Stats
+	var clusters *cluster.Assignment
 	switch algo {
 	case "bruteforce":
 		g, stats = knn.BruteForce(provider, k, bopts)
@@ -941,6 +967,13 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		g, stats = knn.Hyrec(provider, k, bopts)
 	case "nndescent":
 		g, stats = knn.NNDescent(provider, k, bopts)
+	case "cluster":
+		// Keep the assignment: its hashes seed graph-search entry points
+		// on the query path for the lifetime of this epoch.
+		g, clusters, stats = knn.ClusterConquerWith(provider, k, bopts, knn.ClusterConfig{
+			Views:          int(s.clusterViews.Load()),
+			MaxClusterSize: int(s.clusterMaxSize.Load()),
+		})
 	}
 	duration := time.Since(start)
 
@@ -968,6 +1001,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		graph:     g,
 		nav:       g.Navigable(provider),
 		users:     users,
+		clusters:  clusters,
 		k:         k,
 		algorithm: algo,
 		builtAt:   start,
@@ -1111,7 +1145,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if useGraph {
 		kEff := min(k, len(ep.users))
 		res, sstats, serr := knn.GraphSearch(ep.nav, corpus.NewQueryScorer(fp), kEff,
-			knn.SearchOptions{Ctx: r.Context()})
+			knn.SearchOptions{Ctx: r.Context(), Seeds: querySeeds(ep, fp)})
 		if serr != nil {
 			s.queryAborted(w, serr)
 			return
@@ -1158,6 +1192,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return out[i].User < out[j].User
 	})
 	writeJSON(w, http.StatusOK, out)
+}
+
+// clusterQuerySeeds is the number of bucket-derived entry points a
+// cluster epoch contributes to a graph query.
+const clusterQuerySeeds = 48
+
+// querySeeds picks graph-search entry points for fp. With a cluster
+// epoch the query's own hash buckets supply entry points that are already
+// likely to be similar to it — the descent starts next to its target
+// instead of walking in from evenly spread strangers — layered on top of
+// the full default spread (knn.DefaultSeeds): the spread is what keeps
+// every region of a directed KNN graph reachable, and the warm bucket
+// seeds raise the beam's floor early so weaker paths are pruned sooner.
+// Without an assignment (other algorithms, recovered epochs) it returns
+// nil and GraphSearch uses its default spread alone.
+func querySeeds(ep *graphEpoch, fp core.Fingerprint) []int32 {
+	if ep.clusters == nil || len(ep.clusters.Views) == 0 {
+		return nil
+	}
+	seeds := ep.clusters.Seeds(fp.Bits().Words(), clusterQuerySeeds)
+	if len(seeds) == 0 {
+		return nil
+	}
+	return knn.DefaultSeeds(seeds, len(ep.users))
 }
 
 // queryAborted answers a query whose context died mid-search/mid-scan: a
