@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race racecheck parity crashcheck loadcheck cover bench benchsmoke benchjson benchquery benchcluster experiments fuzz fuzzshort clean
+.PHONY: all build check test race racecheck parity crashcheck loadcheck onlinecheck cover bench benchsmoke benchjson benchquery benchcluster experiments fuzz fuzzshort clean
 
 all: build test
 
@@ -13,7 +13,7 @@ build:
 # fault-injection suite, the overload/load-shedding suite, a short fuzz
 # burst over every fuzz target, and a one-iteration benchmark smoke so
 # the perf-critical kernel benches can never rot unnoticed.
-check: benchsmoke benchquery benchcluster racecheck crashcheck loadcheck fuzzshort
+check: benchsmoke benchquery benchcluster racecheck crashcheck loadcheck onlinecheck fuzzshort
 	$(GO) vet ./...
 
 test: check
@@ -50,6 +50,14 @@ crashcheck:
 # saturation measurement re-runs every time.
 loadcheck:
 	$(GO) test -race -count=1 ./cmd/knnload
+
+# The online-mutation suite: the churn harness (>=10k interleaved
+# insert/overwrite/delete mutations must hold quality and recall within
+# epsilon of a from-scratch build) and the online-insert latency floor
+# (p99 insert at n=10k). count=1 so the churn replays every time.
+onlinecheck:
+	$(GO) test -count=1 -run 'OnlineChurn|OnlineInsertLatency' ./internal/knn
+	$(GO) test -race -count=1 -run 'Online|LiveMutation|Delete' ./internal/service
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
@@ -92,6 +100,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadFingerprintSet -fuzztime=30s ./internal/core
 	$(GO) test -fuzz=FuzzParseMovieLens -fuzztime=30s ./internal/dataset
 	$(GO) test -fuzz=FuzzWALReplay -fuzztime=30s ./internal/durable
+	$(GO) test -fuzz=FuzzGraphDeltaReplay -fuzztime=30s ./internal/durable
 
 # 10 seconds per fuzz target — enough for the seeded corpora (codec round
 # trips, the capped-prealloc set path, the ratings parser) to shake out
@@ -101,6 +110,7 @@ fuzzshort:
 	$(GO) test -fuzz=FuzzReadFingerprintSet -fuzztime=10s ./internal/core
 	$(GO) test -fuzz=FuzzParseMovieLens -fuzztime=10s ./internal/dataset
 	$(GO) test -fuzz=FuzzWALReplay -fuzztime=10s ./internal/durable
+	$(GO) test -fuzz=FuzzGraphDeltaReplay -fuzztime=10s ./internal/durable
 
 clean:
 	$(GO) clean ./...

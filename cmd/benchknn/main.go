@@ -87,6 +87,36 @@ type Report struct {
 	// Query compares exact-scan vs graph-navigated serving per corpus
 	// size (one entry per -qn scale; -big adds n=1M).
 	Query []QueryBench `json:"query,omitempty"`
+
+	// OnlineInsert measures the live-mutation path at -qn scale: per-op
+	// latency of online inserts, overwrites and deletes against a built
+	// graph under an Online maintainer (the PUT/DELETE serving path).
+	OnlineInsert *OnlineBench `json:"online_insert,omitempty"`
+}
+
+// OnlineBench is the online-mutation latency section: each op is one
+// GraphSearch plus bounded reverse-edge repair, so per-op cost must stay
+// flat in n (p99 in single-digit milliseconds at n=100k).
+type OnlineBench struct {
+	N int `json:"n"`
+	K int `json:"k"`
+
+	Inserts     int   `json:"inserts"`
+	InsertP50Ns int64 `json:"insert_p50_ns"`
+	InsertP99Ns int64 `json:"insert_p99_ns"`
+	// AvgComparisons is the mean exact-similarity evaluations one insert
+	// spends (search + repair) — the n-independence witness.
+	AvgComparisons float64 `json:"avg_comparisons"`
+
+	Overwrites     int   `json:"overwrites"`
+	OverwriteP50Ns int64 `json:"overwrite_p50_ns"`
+	Deletes        int   `json:"deletes"`
+	DeleteP50Ns    int64 `json:"delete_p50_ns"`
+
+	// SnapshotP50Ns is the read-side cost of materializing a fresh flat
+	// snapshot after a mutation (lazy, amortized over all readers until
+	// the next mutation) — the O(n) copy the mutation path no longer pays.
+	SnapshotP50Ns int64 `json:"snapshot_p50_ns"`
 }
 
 // BuilderBench is one approximate builder's measurement against the
@@ -232,7 +262,7 @@ func run(args []string, out io.Writer) error {
 		time.Duration(perPairNs), time.Duration(packedQueryNs), rep.TopKQuery.Speedup)
 
 	if *qn > 0 {
-		bc, err := makeBenchCorpus(*qn, *queries, *bits, *seed)
+		bc, err := makeBenchCorpus(*qn, *queries, *bits, *seed, true)
 		if err != nil {
 			return err
 		}
@@ -246,9 +276,14 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		rep.Query = append(rep.Query, qb)
+		ob, err := onlineBench(bc, nnGraph, *k, out)
+		if err != nil {
+			return err
+		}
+		rep.OnlineInsert = &ob
 	}
 	if *big {
-		bc, err := makeBenchCorpus(1_000_000, *queries, *bits, *seed)
+		bc, err := makeBenchCorpus(1_000_000, *queries, *bits, *seed, false)
 		if err != nil {
 			return err
 		}
@@ -280,16 +315,19 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// benchCorpus is the community-structured corpus shared by the cluster
-// and query sections at one size: size packed member fingerprints plus nq
-// held-out query fingerprints from the same generator.
+// benchCorpus is the community-structured corpus shared by the cluster,
+// query and online sections at one size: size packed member fingerprints
+// plus nq held-out query fingerprints from the same generator. fps holds
+// the members' unpacked fingerprints when keepFPs was set (the online
+// maintainer needs them; skipped at -big scale to keep peak memory down).
 type benchCorpus struct {
 	scheme  *core.Scheme
 	corpus  *core.PackedCorpus
 	queries []core.Fingerprint
+	fps     []core.Fingerprint
 }
 
-func makeBenchCorpus(size, nq, bits int, seed int64) (*benchCorpus, error) {
+func makeBenchCorpus(size, nq, bits int, seed int64, keepFPs bool) (*benchCorpus, error) {
 	scale := float64(size+nq+2) / float64(dataset.ML10M.Users)
 	ds := dataset.Generate(dataset.ML10M, scale, seed)
 	if len(ds.Profiles) < size+nq {
@@ -306,6 +344,9 @@ func makeBenchCorpus(size, nq, bits int, seed int64) (*benchCorpus, error) {
 	}
 	for i := range bc.queries {
 		bc.queries[i] = scheme.Fingerprint(ds.Profiles[size+i])
+	}
+	if keepFPs {
+		bc.fps = scheme.FingerprintAll(ds.Profiles[:size])
 	}
 	return bc, nil
 }
@@ -536,6 +577,95 @@ func queryBench(bc *benchCorpus, builder string, g *knn.Graph, buildNs int64, as
 	fmt.Fprintf(out, "  query n=%d:       scan p50 %v  graph p50 %v  (%.2fx, recall@%d %.3f, %d fallbacks)\n",
 		size, time.Duration(qb.ScanP50Ns), time.Duration(qb.GraphP50Ns), qb.Speedup, k, qb.RecallAtK, qb.Fallbacks)
 	return qb, nil
+}
+
+// onlineBench measures the live-mutation path: an Online maintainer is
+// seeded with the prebuilt graph, then timed through a burst of inserts
+// (cycling the held-out query fingerprints), overwrites and deletes. Each
+// op is a beam search plus bounded reverse-edge repair, so the latencies
+// must stay flat in n — p99 insert in single-digit milliseconds at -qn
+// 100k is the acceptance bar `make check` watches via benchquery.
+func onlineBench(bc *benchCorpus, g *knn.Graph, k int, out io.Writer) (OnlineBench, error) {
+	size := bc.corpus.NumUsers()
+	if len(bc.fps) != size {
+		return OnlineBench{}, fmt.Errorf("online bench: corpus kept %d fingerprints, need %d", len(bc.fps), size)
+	}
+	o, err := knn.NewOnline(g, nil, append([]core.Fingerprint(nil), bc.fps...), nil, k, uint64(size))
+	if err != nil {
+		return OnlineBench{}, err
+	}
+
+	const targetInserts = 200
+	inserts := max(len(bc.queries), min(targetInserts, 4*len(bc.queries)))
+	insNs := make([]int64, 0, inserts)
+	var comparisons int64
+	runtime.GC()
+	for i := 0; i < inserts; i++ {
+		fp := bc.queries[i%len(bc.queries)]
+		start := time.Now()
+		_, res := o.Insert(fp)
+		insNs = append(insNs, time.Since(start).Nanoseconds())
+		comparisons += int64(res.Comparisons)
+	}
+
+	nOps := min(100, size/2)
+	ovrNs := make([]int64, 0, nOps)
+	for i := 0; i < nOps; i++ {
+		node := int32(i * size / max(nOps, 1))
+		fp := bc.queries[i%len(bc.queries)]
+		start := time.Now()
+		if _, err := o.Overwrite(node, fp); err != nil {
+			return OnlineBench{}, err
+		}
+		ovrNs = append(ovrNs, time.Since(start).Nanoseconds())
+	}
+	nDel := min(nOps, inserts)
+	delNs := make([]int64, 0, nDel)
+	snapNs := make([]int64, 0, nDel)
+	for i := 0; i < nDel; i++ {
+		node := int32(size + i) // the freshly inserted nodes
+		start := time.Now()
+		if _, err := o.Delete(node); err != nil {
+			return OnlineBench{}, err
+		}
+		delNs = append(delNs, time.Since(start).Nanoseconds())
+		// Each delete invalidates the cached snapshot, so this times a
+		// real materialization, not the cached fast path.
+		start = time.Now()
+		o.Snapshot()
+		snapNs = append(snapNs, time.Since(start).Nanoseconds())
+	}
+
+	ob := OnlineBench{
+		N: size, K: k,
+		Inserts:        inserts,
+		InsertP50Ns:    median(insNs),
+		InsertP99Ns:    percentile(insNs, 99),
+		AvgComparisons: float64(comparisons) / float64(inserts),
+		Overwrites:     nOps,
+		OverwriteP50Ns: median(ovrNs),
+		Deletes:        nDel,
+		DeleteP50Ns:    median(delNs),
+		SnapshotP50Ns:  median(snapNs),
+	}
+	fmt.Fprintf(out, "  online n=%d:      insert p50 %v p99 %v (%.0f cmps)  overwrite p50 %v  delete p50 %v  snapshot p50 %v\n",
+		size, time.Duration(ob.InsertP50Ns), time.Duration(ob.InsertP99Ns), ob.AvgComparisons,
+		time.Duration(ob.OverwriteP50Ns), time.Duration(ob.DeleteP50Ns), time.Duration(ob.SnapshotP50Ns))
+	return ob, nil
+}
+
+// percentile returns the p-th percentile (nearest-rank) of ns; sorts in
+// place.
+func percentile(ns []int64, p int) int64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	idx := len(ns) * p / 100
+	if idx >= len(ns) {
+		idx = len(ns) - 1
+	}
+	return ns[idx]
 }
 
 func median(ns []int64) int64 {

@@ -6,8 +6,12 @@
 // generator does not slow down just because the server does, which is
 // exactly the regime admission control exists for.
 //
-// The workload is a query/upload mix against a corpus the generator seeds
-// itself, plus two optional chaos modes: -slow holds slow-loris
+// The workload is a query/mutation mix against a corpus the generator
+// seeds itself: -mix splits arrivals between /query POSTs and mutations,
+// and -delmix further splits the mutations between fingerprint PUTs
+// (fresh users, plus overwrites and revivals of the seeded namespace) and
+// DELETEs of seeded users — live-graph churn, not just appends. On top of
+// that ride two optional chaos modes: -slow holds slow-loris
 // connections that dribble a byte at a time into the request body (the
 // server's read timeout must reap them), and -oversize sends fingerprint
 // bodies larger than the server's wire size (the server must answer 413
@@ -22,7 +26,7 @@
 // Usage:
 //
 //	knnload -addr localhost:8080 -duration 30s -rate 2000 -mix 0.9 \
-//	  -slow 16 -oversize 8 -out BENCH_load.json
+//	  -delmix 0.2 -slow 16 -oversize 8 -out BENCH_load.json
 package main
 
 import (
@@ -73,6 +77,7 @@ type Report struct {
 	DurationSec float64 `json:"duration_sec"`
 	TargetRate  float64 `json:"target_rate"`
 	QueryMix    float64 `json:"query_mix"`
+	DeleteMix   float64 `json:"delete_mix"`
 	K           int     `json:"k"`
 	Bits        int     `json:"bits"`
 	SeedUsers   int     `json:"seed_users"`
@@ -115,7 +120,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	addr := fs.String("addr", "", "target server host:port (required)")
 	duration := fs.Duration("duration", 10*time.Second, "load duration")
 	rate := fs.Float64("rate", 200, "open-loop arrival rate, requests/second")
-	mix := fs.Float64("mix", 0.9, "fraction of arrivals that are /query POSTs; the rest are fingerprint PUTs")
+	mix := fs.Float64("mix", 0.9, "fraction of arrivals that are /query POSTs; the rest are mutations")
+	delmix := fs.Float64("delmix", 0, "fraction of the mutation arrivals that are DELETEs of seeded users; the rest are fingerprint PUTs")
 	k := fs.Int("k", 10, "neighbors per query")
 	mode := fs.String("mode", "auto", "/query mode to drive: auto, scan or graph")
 	build := fs.Bool("build", false, "POST /graph/build after seeding so graph-mode queries have a fresh epoch")
@@ -139,6 +145,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *rate <= 0 || *duration <= 0 || *mix < 0 || *mix > 1 {
 		return fmt.Errorf("need -rate > 0, -duration > 0, 0 <= -mix <= 1")
 	}
+	if *delmix < 0 || *delmix > 1 {
+		return fmt.Errorf("need 0 <= -delmix <= 1")
+	}
 	if *seedUsers < 1 || *k < 1 || *maxOutstanding < 1 {
 		return fmt.Errorf("need -users >= 1, -k >= 1, -max-outstanding >= 1")
 	}
@@ -156,6 +165,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		base:    "http://" + *addr,
 		k:       *k,
 		mode:    *mode,
+		seedN:   *seedUsers,
 		maxOut:  int64(*maxOutstanding),
 		timeout: *timeout,
 		client: &http.Client{
@@ -180,8 +190,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
-	fmt.Fprintf(out, "knnload: %v open-loop at %.0f req/s (mix %.0f%% query), %d slow conns, %d oversized\n",
-		*duration, *rate, *mix*100, *slow, *oversize)
+	fmt.Fprintf(out, "knnload: %v open-loop at %.0f req/s (mix %.0f%% query, %.0f%% of mutations DELETE), %d slow conns, %d oversized\n",
+		*duration, *rate, *mix*100, *delmix*100, *slow, *oversize)
 	runCtx, cancel := context.WithTimeout(ctx, *duration)
 	defer cancel()
 
@@ -196,7 +206,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	start := time.Now()
-	l.openLoop(runCtx, *rate, *mix, *seed)
+	l.openLoop(runCtx, *rate, *mix, *delmix, *seed)
 	l.wg.Wait() // drain in-flight requests before reading the tallies
 	chaos.Wait()
 	elapsed := time.Since(start)
@@ -210,6 +220,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	rep.DurationSec = elapsed.Seconds()
 	rep.TargetRate = *rate
 	rep.QueryMix = *mix
+	rep.DeleteMix = *delmix
 	rep.K = *k
 	rep.Bits = *bits
 	rep.SeedUsers = *seedUsers
@@ -245,6 +256,7 @@ type loader struct {
 	base    string
 	k       int
 	mode    string // /query mode parameter: auto, scan or graph
+	seedN   int    // seeded-corpus size: mutation targets for DELETEs and revivals
 	maxOut  int64
 	timeout time.Duration
 	client  *http.Client
@@ -360,7 +372,7 @@ func (l *loader) build(ctx context.Context) error {
 // openLoop dispatches arrivals on the clock until ctx expires. When the
 // generator falls behind schedule it fires immediately without sleeping —
 // arrivals owed are arrivals sent, which is what makes the loop open.
-func (l *loader) openLoop(ctx context.Context, rate, mix float64, seed int64) {
+func (l *loader) openLoop(ctx context.Context, rate, mix, delmix float64, seed int64) {
 	interval := time.Duration(float64(time.Second) / rate)
 	rng := rand.New(rand.NewSource(seed + 1))
 	start := time.Now()
@@ -380,15 +392,26 @@ func (l *loader) openLoop(ctx context.Context, rate, mix float64, seed int64) {
 			continue
 		}
 		isQuery := rng.Float64() < mix
+		isDelete := !isQuery && rng.Float64() < delmix
+		// A quarter of the PUTs overwrite (or revive, after a DELETE hit
+		// them) the seeded namespace; the rest land on fresh ids. Deletes
+		// always target seeded users so they tombstone real graph nodes.
+		seedTarget := !isQuery && rng.Intn(4) == 0
 		userID := rng.Intn(1 << 20)
+		seedID := rng.Intn(l.seedN)
 		l.outstanding.Add(1)
 		l.wg.Add(1)
 		go func() {
 			defer l.wg.Done()
 			defer l.outstanding.Add(-1)
-			if isQuery {
+			switch {
+			case isQuery:
 				l.fire(http.MethodPost, fmt.Sprintf("%s/query?k=%d&mode=%s", l.base, l.k, l.mode))
-			} else {
+			case isDelete:
+				l.fire(http.MethodDelete, fmt.Sprintf("%s/users/load-%d/fingerprint", l.base, seedID))
+			case seedTarget:
+				l.fire(http.MethodPut, fmt.Sprintf("%s/users/load-%d/fingerprint", l.base, seedID))
+			default:
 				l.fire(http.MethodPut, fmt.Sprintf("%s/users/load-put-%d/fingerprint", l.base, userID))
 			}
 		}()
@@ -400,7 +423,11 @@ func (l *loader) openLoop(ctx context.Context, rate, mix float64, seed int64) {
 // its own laggards would hide exactly the hangs the report must expose.
 func (l *loader) fire(method, url string) {
 	l.sent.Add(1)
-	req, err := http.NewRequest(method, url, bytes.NewReader(l.body()))
+	var body io.Reader
+	if method != http.MethodDelete {
+		body = bytes.NewReader(l.body())
+	}
+	req, err := http.NewRequest(method, url, body)
 	if err != nil {
 		l.transport.Add(1)
 		return

@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	PUT    /users/{id}/fingerprint   upload a binary SHF (internal/core codec)
+//	DELETE /users/{id}/fingerprint   tombstone a user (204; reads answer 410)
 //	POST   /graph/build?k=30&algo=hyrec
 //	DELETE /graph/build              cancel the in-flight build (alias: /build)
 //	GET    /users/{id}/neighbors
@@ -16,24 +17,35 @@
 //
 // # Graph epochs
 //
-// Each successful POST /graph/build produces a new immutable graph epoch —
-// the KNN graph pinned to the exact user set and fingerprints it was built
-// from. Construction runs outside any lock, so uploads, neighborhood reads
-// and queries all proceed at full speed while a build is running. The
-// contract:
+// Each successful POST /graph/build produces a new graph epoch, and the
+// epoch then tracks mutations online: uploads, overwrites and deletes
+// apply to the live graph immediately instead of pinning it stale until
+// the next rebuild. Construction runs outside any lock, so uploads,
+// neighborhood reads and queries all proceed at full speed while a build
+// is running. The contract:
 //
-//   - A stale epoch keeps serving the user set it was built from: users who
-//     re-upload a fingerprint see their *old* neighborhood until the next
-//     build (GET /stats reports graph_stale: true).
-//   - GET /users/{id}/neighbors for a user registered after the current
-//     epoch was built returns 409 Conflict ("registered after epoch N";
-//     rebuild to include them) — never an error page or a crash.
+//   - A user uploaded after the epoch was built is inserted into the live
+//     graph (greedy search for its neighborhood, reverse-edge repair with
+//     a diversity-pruned degree cap) and is immediately visible to
+//     GET /users/{id}/neighbors and graph-mode queries — no 409, no
+//     rebuild required. Re-uploads rewire the user's neighborhood in
+//     place.
+//   - DELETE /users/{id}/fingerprint tombstones the user: subsequent
+//     reads answer 410 Gone, queries and neighbor lists never return the
+//     user, and the graph repairs around the hole lazily. A later re-PUT
+//     of the same id revives it.
+//   - Periodic rebuilds are still worthwhile (they restore batch-quality
+//     edges and compact tombstones) but are a background optimization,
+//     not a visibility requirement. GET /stats reports graph_stale only
+//     in the legacy frozen-epoch mode.
 //   - At most one build runs at a time: a concurrent POST /graph/build gets
-//     409 Conflict with a Retry-After header instead of queuing.
+//     409 Conflict with a Retry-After header instead of queuing. The
+//     publish path drains mutations accepted during the build so nothing
+//     is lost at the swap.
 //   - GET /stats exposes the epoch sequence number, the user count, the
 //     algorithm, the build duration and comparison count of the current
-//     epoch, and build_running plus the live phase/progress while a
-//     construction is in flight.
+//     epoch, the online node/live/tombstone counts, and build_running
+//     plus the live phase/progress while a construction is in flight.
 //
 // # Cancellation and deadlines
 //

@@ -214,8 +214,9 @@ func TestScaleInvariantsAcrossPresets(t *testing.T) {
 // TestServiceEpochLifecycleOverHTTP drives the deployed service end to end
 // through its HTTP surface: clients upload serialized SHFs, trigger a
 // build, keep uploading while the epoch is live, and observe the epoch
-// contract (pinned user set, 409 for post-epoch users, epoch advance on
-// rebuild) — the §2.5 deployment under churn rather than one-shot.
+// contract (post-epoch users inserted into the live graph and served
+// immediately, epoch advance on rebuild) — the §2.5 deployment under
+// churn rather than one-shot.
 func TestServiceEpochLifecycleOverHTTP(t *testing.T) {
 	d := dataset.Generate(dataset.ML1M, 0.01, 11)
 	scheme := core.MustScheme(1024, 11)
@@ -263,8 +264,8 @@ func TestServiceEpochLifecycleOverHTTP(t *testing.T) {
 		t.Fatalf("first build = %+v", build)
 	}
 
-	// Churn: more users arrive after the build. The live epoch keeps
-	// serving the original cohort and refuses the newcomers cleanly.
+	// Churn: more users arrive after the build. The live epoch inserts
+	// them online — newcomers are served immediately, no rebuild needed.
 	upload("late-a", d.Profiles[initial])
 	upload("late-b", d.Profiles[initial+1])
 	resp, err = http.Get(ts.URL + "/users/u000/neighbors")
@@ -283,9 +284,13 @@ func TestServiceEpochLifecycleOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	nbrs = nil
+	if err := json.NewDecoder(resp.Body).Decode(&nbrs); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("post-epoch user: status %d, want 409", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK || len(nbrs) == 0 {
+		t.Fatalf("post-epoch user: status %d with %d neighbors, want live 200", resp.StatusCode, len(nbrs))
 	}
 
 	// Rebuild folds the newcomers in and advances the epoch.

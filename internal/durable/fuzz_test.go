@@ -3,6 +3,8 @@ package durable
 import (
 	"bytes"
 	"testing"
+
+	"goldfinger/internal/knn"
 )
 
 // FuzzWALReplay hammers ScanWAL — the function every recovery and every
@@ -60,6 +62,110 @@ func FuzzWALReplay(f *testing.F) {
 		if !bytes.Equal(re, data[:goodLen]) {
 			t.Fatalf("re-encoding %d accepted records (%d bytes) != accepted prefix (%d bytes)",
 				len(recs), len(re), goodLen)
+		}
+	})
+}
+
+// FuzzGraphDeltaReplay hammers the graph-delta half of recovery. A WAL
+// stream interleaving legacy put/delete records with graph deltas is
+// scanned, and every accepted delta is replayed onto a small epoch the way
+// Open's warm-up does. Invariants:
+//
+//   - neither the scan nor the replay ever panics,
+//   - byte accounting and CRC discipline hold exactly as in FuzzWALReplay
+//     (graph deltas re-encode bit for bit),
+//   - replay can never corrupt the epoch: after every accepted delta the
+//     adjacency stays structurally sound — every neighbor in range, no
+//     self-loops, and users/dead/adjacency in lock step. A delta the
+//     validator rejects ends the warm-up (recovery falls back to the
+//     stale-but-correct persisted graph), it never half-applies onward.
+func FuzzGraphDeltaReplay(f *testing.F) {
+	puts := testRecords(f, 3)
+	adj := func(id int32, nbrs ...knn.Neighbor) knn.TouchedNode {
+		return knn.TouchedNode{ID: id, Neighbors: nbrs}
+	}
+	recs := []Record{
+		puts[0],
+		{Kind: KindGraphDelta, MutSeq: 1, Delta: &GraphDelta{Op: DeltaInsert, Node: 0, Adj: []knn.TouchedNode{adj(0)}}},
+		puts[1],
+		{Kind: KindGraphDelta, MutSeq: 2, Delta: &GraphDelta{Op: DeltaInsert, Node: 1, Adj: []knn.TouchedNode{
+			adj(1, knn.Neighbor{ID: 0, Sim: 0.75}),
+			adj(0, knn.Neighbor{ID: 1, Sim: 0.75}),
+		}}},
+		puts[2],
+		{Kind: KindGraphDelta, MutSeq: 3, Delta: &GraphDelta{Op: DeltaInsert, Node: 2, Adj: []knn.TouchedNode{
+			adj(2, knn.Neighbor{ID: 0, Sim: 0.5}, knn.Neighbor{ID: 1, Sim: 0.25}),
+			adj(1, knn.Neighbor{ID: 0, Sim: 0.75}, knn.Neighbor{ID: 2, Sim: 0.25}),
+		}}},
+		{Kind: KindDelete, MutSeq: 4, ID: "user-001"},
+		{Kind: KindGraphDelta, MutSeq: 4, Delta: &GraphDelta{Op: DeltaDelete, Node: 1, Adj: []knn.TouchedNode{
+			adj(2, knn.Neighbor{ID: 0, Sim: 0.5}),
+		}}},
+	}
+	valid := encodeAll(f, recs)
+	f.Add([]byte{})
+	f.Add(valid)
+	// Torn tails: inside the last delta, inside a header, one byte short.
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:len(valid)*3/4])
+	f.Add(valid[:len(valid)/3])
+	// Bit flips sweeping headers, ops, node ids, counts and sim bits.
+	for i := 0; i < len(valid); i += 37 {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x40
+		f.Add(mut)
+	}
+	// A forged huge adjacency count inside an otherwise valid stream, and
+	// a forged record length.
+	f.Add(append(append([]byte(nil), valid...), 0xff, 0xff, 0xff, 0x7f, 3, 0, 0, 0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 9, 9, 9, 9, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, goodLen, err := ScanWAL(data)
+		if goodLen < 0 || goodLen > len(data) {
+			t.Fatalf("goodLen %d out of range [0,%d]", goodLen, len(data))
+		}
+		if dropped := len(data) - goodLen; (err == nil) != (dropped == 0) {
+			t.Fatalf("err=%v but %d bytes dropped", err, dropped)
+		}
+		var re []byte
+		for _, r := range recs {
+			var aerr error
+			re, aerr = AppendRecord(re, r)
+			if aerr != nil {
+				t.Fatalf("accepted record does not re-encode: %v", aerr)
+			}
+		}
+		if !bytes.Equal(re, data[:goodLen]) {
+			t.Fatalf("re-encoding %d accepted records != accepted prefix", len(recs))
+		}
+
+		// Replay the accepted deltas onto an empty epoch the way recovery
+		// warms a graph, stopping at the first rejected delta.
+		users := []string{"u0", "u1", "u2", "u3", "u4", "u5", "u6", "u7"}
+		ep := &EpochData{K: 2, Graph: &knn.Graph{K: 2}}
+		for _, r := range recs {
+			if r.Kind != KindGraphDelta {
+				continue
+			}
+			if aerr := applyDeltaToEpoch(ep, r.Delta, users); aerr != nil {
+				break
+			}
+			n := len(ep.Graph.Neighbors)
+			if len(ep.Users) != n || len(ep.Dead) != n {
+				t.Fatalf("epoch out of lock step: %d nodes, %d users, %d dead flags",
+					n, len(ep.Users), len(ep.Dead))
+			}
+			for u, nbrs := range ep.Graph.Neighbors {
+				for _, nb := range nbrs {
+					if int(nb.ID) < 0 || int(nb.ID) >= n {
+						t.Fatalf("node %d references out-of-range neighbor %d (n=%d)", u, nb.ID, n)
+					}
+					if int(nb.ID) == u {
+						t.Fatalf("node %d acquired a self-loop", u)
+					}
+				}
+			}
 		}
 	})
 }

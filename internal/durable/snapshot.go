@@ -21,8 +21,10 @@ import (
 // one, and the trailer catches torn or bit-rotted content.
 
 var (
-	stateMagic = [4]byte{'G', 'F', 'S', '1'} // user table + fingerprints
-	epochMagic = [4]byte{'G', 'F', 'E', '1'} // latest graph epoch
+	stateMagicV1 = [4]byte{'G', 'F', 'S', '1'} // user table + fingerprints
+	epochMagicV1 = [4]byte{'G', 'F', 'E', '1'} // latest graph epoch
+	stateMagic   = [4]byte{'G', 'F', 'S', '2'} // v1 + tombstone bitmap
+	epochMagic   = [4]byte{'G', 'F', 'E', '2'} // v1 + tombstone bitmap
 )
 
 // maxSnapshotNeighbors bounds one serialized neighborhood so a corrupt
@@ -30,12 +32,14 @@ var (
 const maxSnapshotNeighbors = 1 << 20
 
 // State is the durable image of the service's mutable state: the dense
-// user table, the fingerprint per user, and the mutation counter the pair
-// was captured at.
+// user table, the fingerprint per user, the tombstone per user, and the
+// mutation counter the set was captured at. Deleted users keep their slot
+// (IDs are positional and append-only); nil Deleted means none.
 type State struct {
-	Users  []string
-	FPS    []core.Fingerprint
-	MutSeq uint64
+	Users   []string
+	FPS     []core.Fingerprint
+	Deleted []bool
+	MutSeq  uint64
 }
 
 // EpochData is the durable image of one published graph epoch — everything
@@ -52,6 +56,9 @@ type EpochData struct {
 	MutSeq    uint64
 	Users     []string
 	Graph     *knn.Graph
+	// Dead marks tombstoned nodes of an online-maintained epoch; nil means
+	// none. Always the same length as Users when non-nil.
+	Dead []bool
 }
 
 // sealSnapshot prepends magic and appends the CRC-32C trailer.
@@ -66,24 +73,81 @@ func sealSnapshot(magic [4]byte, payload []byte) []byte {
 
 // openSnapshot verifies magic and trailer and returns the payload.
 func openSnapshot(magic [4]byte, data []byte) ([]byte, error) {
+	payload, _, err := openSnapshotAny(data, magic)
+	return payload, err
+}
+
+// openSnapshotAny accepts any of the given magics (format versions) and
+// returns the payload plus the magic that matched.
+func openSnapshotAny(data []byte, magics ...[4]byte) ([]byte, [4]byte, error) {
 	if len(data) < 8 {
-		return nil, fmt.Errorf("durable: snapshot is %d bytes, too short", len(data))
+		return nil, [4]byte{}, fmt.Errorf("durable: snapshot is %d bytes, too short", len(data))
 	}
-	if !bytes.Equal(data[:4], magic[:]) {
-		return nil, fmt.Errorf("durable: bad snapshot magic %q (want %q)", data[:4], magic[:])
+	var matched [4]byte
+	found := false
+	for _, m := range magics {
+		if bytes.Equal(data[:4], m[:]) {
+			matched, found = m, true
+			break
+		}
+	}
+	if !found {
+		return nil, [4]byte{}, fmt.Errorf("durable: bad snapshot magic %q (want %q)", data[:4], magics[len(magics)-1][:])
 	}
 	body, trailer := data[:len(data)-4], data[len(data)-4:]
 	want := binary.LittleEndian.Uint32(trailer)
 	if got := crc32.Checksum(body, crcTable); got != want {
-		return nil, fmt.Errorf("durable: snapshot CRC mismatch (want %08x, got %08x)", want, got)
+		return nil, [4]byte{}, fmt.Errorf("durable: snapshot CRC mismatch (want %08x, got %08x)", want, got)
 	}
-	return body[4:], nil
+	return body[4:], matched, nil
+}
+
+// writeBitmap appends a length-prefixed, bit-packed bool slice.
+func writeBitmap(buf *bytes.Buffer, bits []bool) {
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(bits)))
+	buf.Write(u32[:])
+	packed := make([]byte, (len(bits)+7)/8)
+	for i, set := range bits {
+		if set {
+			packed[i/8] |= 1 << (i % 8)
+		}
+	}
+	buf.Write(packed)
+}
+
+// readBitmap reads a bitmap that must describe exactly want entries.
+func readBitmap(r *bytes.Reader, want int) ([]bool, error) {
+	var u32 [4]byte
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return nil, fmt.Errorf("durable: reading bitmap length: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(u32[:])
+	if int64(n) != int64(want) {
+		return nil, fmt.Errorf("durable: bitmap describes %d entries, want %d", n, want)
+	}
+	packed := make([]byte, (want+7)/8)
+	if _, err := io.ReadFull(r, packed); err != nil {
+		return nil, fmt.Errorf("durable: reading bitmap: %w", err)
+	}
+	bits := make([]bool, want)
+	for i := range bits {
+		bits[i] = packed[i/8]&(1<<(i%8)) != 0
+	}
+	return bits, nil
 }
 
 // encodeState serializes a state snapshot.
 func encodeState(st State) ([]byte, error) {
 	if len(st.Users) != len(st.FPS) {
 		return nil, fmt.Errorf("durable: %d users but %d fingerprints", len(st.Users), len(st.FPS))
+	}
+	deleted := st.Deleted
+	if deleted == nil {
+		deleted = make([]bool, len(st.Users))
+	}
+	if len(deleted) != len(st.Users) {
+		return nil, fmt.Errorf("durable: %d users but %d tombstone flags", len(st.Users), len(deleted))
 	}
 	var buf bytes.Buffer
 	var u64 [8]byte
@@ -95,12 +159,13 @@ func encodeState(st State) ([]byte, error) {
 	if err := core.WriteFingerprintSet(&buf, st.FPS); err != nil {
 		return nil, err
 	}
+	writeBitmap(&buf, deleted)
 	return sealSnapshot(stateMagic, buf.Bytes()), nil
 }
 
 // decodeState parses a state snapshot, verifying checksum and structure.
 func decodeState(data []byte) (State, error) {
-	payload, err := openSnapshot(stateMagic, data)
+	payload, magic, err := openSnapshotAny(data, stateMagicV1, stateMagic)
 	if err != nil {
 		return State{}, err
 	}
@@ -119,6 +184,13 @@ func decodeState(data []byte) (State, error) {
 	if len(st.Users) != len(st.FPS) {
 		return State{}, fmt.Errorf("durable: state has %d users but %d fingerprints", len(st.Users), len(st.FPS))
 	}
+	if magic == stateMagic {
+		if st.Deleted, err = readBitmap(r, len(st.Users)); err != nil {
+			return State{}, err
+		}
+	} else {
+		st.Deleted = make([]bool, len(st.Users)) // v1 snapshots predate deletes
+	}
 	if r.Len() != 0 {
 		return State{}, fmt.Errorf("durable: %d trailing bytes in state snapshot", r.Len())
 	}
@@ -133,6 +205,13 @@ func encodeEpoch(ep EpochData) ([]byte, error) {
 	if ep.Graph.NumUsers() != len(ep.Users) {
 		return nil, fmt.Errorf("durable: epoch graph has %d nodes but %d users",
 			ep.Graph.NumUsers(), len(ep.Users))
+	}
+	dead := ep.Dead
+	if dead == nil {
+		dead = make([]bool, len(ep.Users))
+	}
+	if len(dead) != len(ep.Users) {
+		return nil, fmt.Errorf("durable: epoch has %d users but %d tombstone flags", len(ep.Users), len(dead))
 	}
 	var buf bytes.Buffer
 	w := func(v uint64) {
@@ -166,6 +245,7 @@ func encodeEpoch(ep EpochData) ([]byte, error) {
 			w(math.Float64bits(nb.Sim))
 		}
 	}
+	writeBitmap(&buf, dead)
 	return sealSnapshot(epochMagic, buf.Bytes()), nil
 }
 
@@ -173,7 +253,7 @@ func encodeEpoch(ep EpochData) ([]byte, error) {
 // that every neighbor index is a valid node — a recovered epoch must be
 // servable without bounds panics.
 func decodeEpoch(data []byte) (EpochData, error) {
-	payload, err := openSnapshot(epochMagic, data)
+	payload, magic, err := openSnapshotAny(data, epochMagicV1, epochMagic)
 	if err != nil {
 		return EpochData{}, err
 	}
@@ -269,6 +349,13 @@ func decodeEpoch(data []byte) (EpochData, error) {
 			nbrs[j] = knn.Neighbor{ID: int32(id), Sim: math.Float64frombits(sim)}
 		}
 		g.Neighbors[i] = nbrs
+	}
+	if magic == epochMagic {
+		if ep.Dead, err = readBitmap(r, len(ep.Users)); err != nil {
+			return EpochData{}, err
+		}
+	} else {
+		ep.Dead = make([]bool, len(ep.Users)) // v1 epochs predate tombstones
 	}
 	if r.Len() != 0 {
 		return EpochData{}, fmt.Errorf("durable: %d trailing bytes in epoch snapshot", r.Len())

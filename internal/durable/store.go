@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"goldfinger/internal/knn"
 	"goldfinger/internal/obs"
 )
 
@@ -60,9 +61,13 @@ type Recovery struct {
 	State State
 	// Epoch is the recovered graph epoch, nil if none was persisted (or the
 	// epoch snapshot was corrupt — state recovery does not depend on it).
+	// Graph-delta WAL records newer than the persisted epoch have been
+	// applied to it, so the graph is warm: current up to Epoch.MutSeq.
 	Epoch *EpochData
 	// RecordsReplayed counts WAL records applied over the snapshot.
 	RecordsReplayed int
+	// DeltasApplied counts graph-delta records applied onto the epoch.
+	DeltasApplied int
 	// BytesDropped counts torn-tail WAL bytes truncated during recovery.
 	BytesDropped int64
 	// Quarantined lists files renamed to *.corrupt instead of being loaded.
@@ -211,6 +216,10 @@ func Open(opts Options) (*Store, Recovery, error) {
 	}
 	replayed := obs.Local{C: opts.Metrics.Counter(MetricReplayedRecords)}
 	genRecs := make(map[uint64]int64, len(walGens)) // surviving records per segment
+	// Graph deltas are collected during the scan and applied onto the
+	// epoch snapshot afterwards: their skip rule is the epoch's mutSeq,
+	// not the state snapshot's (the epoch file may be older or newer).
+	var deltas []Record
 	for _, g := range walGens {
 		path := filepath.Join(opts.Dir, walName(g))
 		if g < baseGen {
@@ -231,15 +240,35 @@ func Open(opts Options) (*Store, Recovery, error) {
 		recs, goodLen, serr := ScanWAL(data)
 		genRecs[g] = int64(len(recs))
 		for _, r := range recs {
+			if r.Kind == KindGraphDelta {
+				deltas = append(deltas, r)
+				continue
+			}
 			if r.MutSeq <= rec.State.MutSeq {
 				continue // already covered by the snapshot
 			}
-			if i, ok := index[r.ID]; ok {
-				rec.State.FPS[i] = r.FP
-			} else {
-				index[r.ID] = len(rec.State.Users)
-				rec.State.Users = append(rec.State.Users, r.ID)
-				rec.State.FPS = append(rec.State.FPS, r.FP)
+			switch r.Kind {
+			case KindDelete:
+				if i, ok := index[r.ID]; ok {
+					for len(rec.State.Deleted) < len(rec.State.Users) {
+						rec.State.Deleted = append(rec.State.Deleted, false)
+					}
+					rec.State.Deleted[i] = true
+				}
+			default: // KindPut (incl. legacy zero kind)
+				if i, ok := index[r.ID]; ok {
+					rec.State.FPS[i] = r.FP
+					if i < len(rec.State.Deleted) {
+						rec.State.Deleted[i] = false // a put revives a tombstoned user
+					}
+				} else {
+					index[r.ID] = len(rec.State.Users)
+					rec.State.Users = append(rec.State.Users, r.ID)
+					rec.State.FPS = append(rec.State.FPS, r.FP)
+					if rec.State.Deleted != nil {
+						rec.State.Deleted = append(rec.State.Deleted, false)
+					}
+				}
 			}
 			rec.State.MutSeq = r.MutSeq
 			rec.RecordsReplayed++
@@ -289,9 +318,95 @@ func Open(opts Options) (*Store, Recovery, error) {
 		logf("durable: reading epoch snapshot: %v", rerr)
 	}
 
-	logf("durable: recovered %d users at mutSeq %d (snapshot gen %d, %d WAL records replayed, %d bytes dropped, %d files quarantined)",
-		len(rec.State.Users), rec.State.MutSeq, baseGen, rec.RecordsReplayed, rec.BytesDropped, len(rec.Quarantined))
+	// Warm the recovered epoch: replay the graph deltas it has not seen, in
+	// order. A delta that does not apply cleanly stops the warm-up — the
+	// epoch stays consistent at the last good mutation (stale but correct;
+	// the service sees MutSeq lag and falls back accordingly).
+	if rec.Epoch != nil {
+		ep := rec.Epoch
+		if ep.Dead == nil {
+			ep.Dead = make([]bool, len(ep.Users))
+		}
+		for _, d := range deltas {
+			if d.MutSeq <= ep.MutSeq {
+				continue
+			}
+			// Deltas are dense while the service keeps an epoch warm: every
+			// accepted mutation emits exactly one. A gap means the deltas in
+			// between are gone (compacted away against an older epoch file,
+			// or generated against a newer epoch whose save never landed) —
+			// applying across it would reconstruct a graph nobody ever
+			// served, so the warm-up stops at the last contiguous mutation.
+			if d.MutSeq != ep.MutSeq+1 {
+				logf("durable: graph delta sequence jumps from %d to %d; epoch graph stays at mutSeq %d",
+					ep.MutSeq, d.MutSeq, ep.MutSeq)
+				break
+			}
+			if err := applyDeltaToEpoch(ep, d.Delta, rec.State.Users); err != nil {
+				logf("durable: graph delta at mutSeq %d does not apply: %v; epoch graph stays at mutSeq %d",
+					d.MutSeq, err, ep.MutSeq)
+				break
+			}
+			ep.MutSeq = d.MutSeq
+			rec.DeltasApplied++
+		}
+	}
+
+	logf("durable: recovered %d users at mutSeq %d (snapshot gen %d, %d WAL records replayed, %d graph deltas applied, %d bytes dropped, %d files quarantined)",
+		len(rec.State.Users), rec.State.MutSeq, baseGen, rec.RecordsReplayed, rec.DeltasApplied, rec.BytesDropped, len(rec.Quarantined))
 	return s, rec, nil
+}
+
+// applyDeltaToEpoch replays one graph delta onto a recovered epoch:
+// verbatim adjacency assignment via knn.ApplyTouched, plus epoch
+// bookkeeping (user table growth on insert, tombstone flips). users is the
+// recovered state's user table — the identity source for nodes the epoch
+// has not seen yet.
+func applyDeltaToEpoch(ep *EpochData, d *GraphDelta, users []string) error {
+	if d == nil {
+		return errors.New("durable: record carries no delta")
+	}
+	n := len(ep.Graph.Neighbors)
+	grow := 0
+	switch d.Op {
+	case DeltaInsert:
+		if int(d.Node) != n {
+			return fmt.Errorf("durable: insert delta for node %d, epoch has %d nodes", d.Node, n)
+		}
+		grow = 1
+	case DeltaOverwrite, DeltaDelete:
+		if int(d.Node) >= n {
+			return fmt.Errorf("durable: delta for node %d, epoch has %d nodes", d.Node, n)
+		}
+	default:
+		return fmt.Errorf("durable: unknown delta op %d", d.Op)
+	}
+	if n+grow > len(users) {
+		return fmt.Errorf("durable: epoch would grow to %d nodes but state has %d users", n+grow, len(users))
+	}
+	// Pre-validate so ApplyTouched cannot grow past the single node this
+	// mutation may add.
+	for _, tn := range d.Adj {
+		if int(tn.ID) >= n+grow {
+			return fmt.Errorf("durable: delta touches node %d beyond %d", tn.ID, n+grow-1)
+		}
+	}
+	if err := knn.ApplyTouched(ep.Graph, d.Adj); err != nil {
+		return err
+	}
+	for len(ep.Users) < len(ep.Graph.Neighbors) {
+		ep.Users = append(ep.Users, users[len(ep.Users)])
+		ep.Dead = append(ep.Dead, false)
+	}
+	switch d.Op {
+	case DeltaDelete:
+		ep.Dead[d.Node] = true
+	default:
+		if int(d.Node) < len(ep.Dead) {
+			ep.Dead[d.Node] = false
+		}
+	}
+	return nil
 }
 
 // Append durably logs one mutation. It returns only after the record is
@@ -340,15 +455,22 @@ func (s *Store) ShouldCompact() bool {
 // seal + rotation; the snapshot encode/write happens with appends flowing
 // into the new segment.
 //
-// capture must return the caller's *current* state and may be invoked more
-// than once: a record can be durable in a sealed segment before the caller
-// has applied it in memory, so Compact re-captures until the returned
-// MutSeq covers every sealed record — deleting a sealed segment on the
-// strength of a snapshot that misses one of its records would lose an
-// acked write. If the caller's state does not catch up within five
-// seconds, the compaction is abandoned (sealed segments are kept; recovery
-// replays them) and an error is returned.
-func (s *Store) Compact(capture func() State) error {
+// capture must return the caller's *current* state — and, when one exists,
+// the current graph epoch (nil is fine) — and may be invoked more than
+// once: a record can be durable in a sealed segment before the caller has
+// applied it in memory, so Compact re-captures until the returned MutSeq
+// covers every sealed record — deleting a sealed segment on the strength
+// of a snapshot that misses one of its records would lose an acked write.
+// If the caller's state does not catch up within five seconds, the
+// compaction is abandoned (sealed segments are kept; recovery replays
+// them) and an error is returned.
+//
+// The epoch is persisted alongside the state snapshot before any sealed
+// segment is deleted: sealed segments carry the graph deltas that keep the
+// on-disk epoch warm, so deleting them while epoch.snap lags would silently
+// cool recovery. If only the epoch write fails the store degrades but the
+// state snapshot stands.
+func (s *Store) Compact(capture func() (State, *EpochData)) error {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	if s.degraded.Load() {
@@ -378,8 +500,9 @@ func (s *Store) Compact(capture func() State) error {
 	s.mu.Unlock()
 
 	var st State
+	var ep *EpochData
 	for deadline := time.Now().Add(5 * time.Second); ; {
-		st = capture()
+		st, ep = capture()
 		if st.MutSeq >= sealedSeq {
 			break
 		}
@@ -406,6 +529,21 @@ func (s *Store) Compact(capture func() State) error {
 	s.mSnapshots.Inc()
 	s.mWALBytes.Set(0)
 	s.mWALRecords.Set(0)
+
+	// Persist the epoch before deleting the sealed segments that carry its
+	// deltas — otherwise recovery would find an epoch older than any delta
+	// left on disk.
+	if ep != nil {
+		epData, eerr := encodeEpoch(*ep)
+		if eerr != nil {
+			s.logf("durable: encoding epoch during compaction: %v", eerr)
+		} else if werr := writeFileAtomic(s.fsys, s.dir, epochName, epData); werr != nil {
+			s.setDegraded(werr)
+			return werr
+		} else {
+			s.mSnapshots.Inc()
+		}
+	}
 
 	// Only after the new snapshot is durable: drop what it supersedes.
 	names, err := s.fsys.ReadDir(s.dir)

@@ -88,14 +88,14 @@ func TestRecoveryOverwriteWins(t *testing.T) {
 
 // captureOf returns a capture callback yielding the state equivalent to
 // applying recs in order.
-func captureOf(recs []Record) func() State {
+func captureOf(recs []Record) func() (State, *EpochData) {
 	var st State
 	for _, r := range recs {
 		st.Users = append(st.Users, r.ID)
 		st.FPS = append(st.FPS, r.FP)
 		st.MutSeq = r.MutSeq
 	}
-	return func() State { return st }
+	return func() (State, *EpochData) { return st, nil }
 }
 
 // TestCompactionTruncatesWAL: after a compaction the old segment and old
@@ -463,14 +463,14 @@ func TestConcurrentAppendsAndCompaction(t *testing.T) {
 	)
 	// capture mimics the service's packedSnapshot-style copy: the current
 	// mirror under the lock that writers update it under.
-	capture := func() State {
+	capture := func() (State, *EpochData) {
 		writeMu.Lock()
 		defer writeMu.Unlock()
 		return State{
 			Users:  append([]string(nil), mirror.Users...),
 			FPS:    append([]core.Fingerprint(nil), mirror.FPS...),
 			MutSeq: mirror.MutSeq,
-		}
+		}, nil
 	}
 	done := make(chan int, writers)
 	for w := 0; w < writers; w++ {
@@ -539,4 +539,191 @@ func TestParseGen(t *testing.T) {
 			t.Errorf("parseGen(%q) = %d,%v want %d,%v", tc.name, g, ok, tc.gen, tc.ok)
 		}
 	}
+}
+
+// deltaChurnOps is the fixed mutation script shared by the crash sweep's
+// scenario and its deterministic replay oracle: inserts, overwrites and a
+// delete, each producing one put/delete record plus one graph delta.
+var deltaChurnOps = []struct {
+	kind  byte // 'i' insert, 'o' overwrite, 'd' delete
+	node  int32
+	fpIdx int
+}{
+	{'i', 10, 10}, {'i', 11, 11}, {'d', 3, -1}, {'i', 12, 12},
+	{'o', 5, 13}, {'d', 11, -1}, {'i', 13, 14}, {'o', 0, 15},
+}
+
+// deltaChurnStep applies script op j to a live maintainer and returns its
+// mutation result.
+func deltaChurnStep(t testing.TB, o *knn.Online, fps []core.Fingerprint, j int) knn.MutationResult {
+	t.Helper()
+	op := deltaChurnOps[j]
+	switch op.kind {
+	case 'i':
+		id, res := o.Insert(fps[op.fpIdx])
+		if id != op.node {
+			t.Fatalf("script op %d: insert got node %d, want %d", j, id, op.node)
+		}
+		return res
+	case 'o':
+		res, err := o.Overwrite(op.node, fps[op.fpIdx])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	default:
+		res, err := o.Delete(op.node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+}
+
+// TestCrashDuringDeltaAppendRecoversWarmGraph sweeps a crash point across
+// a scenario that persists a built epoch and then streams mutation pairs
+// (put/delete record + graph delta) from a live maintainer. Whatever the
+// crash point — including mid-delta-append, leaving a torn tail, and
+// between a put and its delta, leaving a seq gap — recovery must produce
+// a warm epoch exactly equal to a cold deterministic replay of the same
+// mutation prefix: same adjacency, same similarities, same tombstones.
+// Torn tails are truncated and counted, never parsed.
+func TestCrashDuringDeltaAppendRecoversWarmGraph(t *testing.T) {
+	const (
+		k    = 3
+		base = 10
+	)
+	scheme := core.MustScheme(testBits, 7)
+	fps := make([]core.Fingerprint, base+6)
+	users := make([]string, base+6)
+	for i := range fps {
+		fps[i] = scheme.Fingerprint(profile.New(
+			profile.ItemID(i), profile.ItemID(i+1), profile.ItemID(2*i+3), profile.ItemID(3*i+7)))
+		users[i] = fmt.Sprintf("user-%03d", i)
+	}
+	baseGraph := func() *knn.Graph {
+		g, _ := knn.BruteForce(&knn.SHFProvider{Fingerprints: fps[:base]}, k, knn.Options{})
+		return g
+	}
+	newMaintainer := func(tb testing.TB) *knn.Online {
+		o, err := knn.NewOnline(baseGraph(), nil, append([]core.Fingerprint(nil), fps[:base]...), nil, k, base)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return o
+	}
+	// replayTo is the cold oracle: the maintainer state after n script ops.
+	replayTo := func(n int) (*knn.Graph, []bool) {
+		o := newMaintainer(t)
+		for j := 0; j < n; j++ {
+			deltaChurnStep(t, o, fps, j)
+		}
+		s := o.Snapshot()
+		return s.Graph, s.Dead
+	}
+
+	// run plays the scenario against fsys until a fault stops it.
+	run := func(tb testing.TB, fsys FS, dir string) {
+		st, _, err := Open(Options{Dir: dir, FS: fsys, Fsync: FsyncAlways})
+		if err != nil {
+			return
+		}
+		for i := 0; i < base; i++ {
+			if st.Append(Record{MutSeq: uint64(i + 1), ID: users[i], FP: fps[i]}) != nil {
+				return
+			}
+		}
+		if st.SaveEpoch(EpochData{
+			Seq: 1, K: k, Algorithm: "bruteforce", MutSeq: base,
+			Users: users[:base], Graph: baseGraph(), Dead: make([]bool, base),
+		}) != nil {
+			return
+		}
+		o := newMaintainer(tb)
+		for j, op := range deltaChurnOps {
+			res := deltaChurnStep(tb, o, fps, j)
+			seq := uint64(base + j + 1)
+			rec := Record{Kind: KindPut, MutSeq: seq, ID: users[max(op.fpIdx, int(op.node))], FP: fps[max(op.fpIdx, 0)]}
+			dop := DeltaOverwrite
+			switch op.kind {
+			case 'i':
+				dop = DeltaInsert
+				rec.ID = users[op.node]
+			case 'd':
+				dop = DeltaDelete
+				rec = Record{Kind: KindDelete, MutSeq: seq, ID: users[op.node]}
+			}
+			if st.Append(rec) != nil {
+				return
+			}
+			if st.Append(Record{Kind: KindGraphDelta, MutSeq: seq,
+				Delta: &GraphDelta{Op: dop, Node: op.node, Adj: res.Touched}}) != nil {
+				return
+			}
+		}
+	}
+
+	probe := &FaultFS{Inner: OSFS{}}
+	run(t, probe, t.TempDir())
+	total := probe.Ops()
+	if total == 0 {
+		t.Fatal("probe scenario performed no filesystem ops")
+	}
+
+	var tornSeen, warmSeen int
+	for failAt := 1; failAt <= total; failAt++ {
+		dir := t.TempDir()
+		run(t, &FaultFS{Inner: OSFS{}, FailAt: failAt, Mode: FaultCrash}, dir)
+		_, rec, err := Open(Options{Dir: dir, FS: OSFS{}, Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("failAt=%d: recovery failed: %v", failAt, err)
+		}
+		if rec.BytesDropped > 0 {
+			tornSeen++
+		}
+		ep := rec.Epoch
+		if ep == nil {
+			continue // crashed before the epoch snapshot landed
+		}
+		if ep.MutSeq < base || ep.MutSeq > uint64(base+len(deltaChurnOps)) {
+			t.Fatalf("failAt=%d: warm epoch at mutSeq %d, outside [%d,%d]",
+				failAt, ep.MutSeq, base, base+len(deltaChurnOps))
+		}
+		if ep.MutSeq > rec.State.MutSeq {
+			t.Fatalf("failAt=%d: epoch mutSeq %d ahead of state %d (frankengraph)",
+				failAt, ep.MutSeq, rec.State.MutSeq)
+		}
+		if ep.MutSeq > base {
+			warmSeen++
+		}
+		wantG, wantDead := replayTo(int(ep.MutSeq) - base)
+		if len(ep.Graph.Neighbors) != len(wantG.Neighbors) {
+			t.Fatalf("failAt=%d: warm graph has %d nodes, cold replay %d",
+				failAt, len(ep.Graph.Neighbors), len(wantG.Neighbors))
+		}
+		for u := range wantG.Neighbors {
+			got, want := ep.Graph.Neighbors[u], wantG.Neighbors[u]
+			if len(got) != len(want) {
+				t.Fatalf("failAt=%d: node %d has %d neighbors warm, %d cold", failAt, u, len(got), len(want))
+			}
+			for r := range want {
+				// Tie-tolerant: ranks must agree on similarity exactly; the
+				// deterministic replay makes IDs agree too, so check both.
+				if got[r] != want[r] {
+					t.Fatalf("failAt=%d: node %d rank %d: warm %+v, cold %+v",
+						failAt, u, r, got[r], want[r])
+				}
+			}
+			if dg, dw := ep.Dead[u], wantDead[u]; dg != dw {
+				t.Fatalf("failAt=%d: node %d dead=%v warm, %v cold", failAt, u, dg, dw)
+			}
+		}
+	}
+	if tornSeen == 0 {
+		t.Error("crash sweep never produced a torn tail")
+	}
+	if warmSeen == 0 {
+		t.Error("crash sweep never recovered a warm (delta-applied) epoch")
+	}
+	t.Logf("sweep: %d crash points, %d torn tails truncated, %d warm recoveries", total, tornSeen, warmSeen)
 }

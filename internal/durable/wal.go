@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 
 	"goldfinger/internal/core"
+	"goldfinger/internal/knn"
 )
 
 // The WAL is a flat stream of self-checking records — no file header, so a
@@ -16,50 +18,147 @@ import (
 //
 //	uint32 payloadLen | uint32 crc32c(payload) | payload
 //
-// payload:
+// payload, by leading kind byte:
 //
-//	uint8 recPut | uint64 mutSeq | uint32 idLen | id | fingerprint (core codec)
+//	recPut        | uint64 mutSeq | uint32 idLen | id | fingerprint (core codec)
+//	recDelete     | uint64 mutSeq | uint32 idLen | id
+//	recGraphDelta | uint64 mutSeq | uint8 op | uint32 node | uint32 adjCount |
+//	                adjCount × (uint32 node | uint32 nbrCount |
+//	                            nbrCount × (uint32 id | uint64 simBits))
 //
-// All integers little-endian. CRC-32C (Castagnoli) is hardware-accelerated
+// All integers little-endian; similarities are IEEE-754 bit patterns so
+// decode→encode is byte-exact. CRC-32C (Castagnoli) is hardware-accelerated
 // on amd64/arm64. mutSeq is the server's mutation counter value the record
 // establishes; replay applies records in order and skips any whose mutSeq
-// is already covered by the snapshot being replayed over.
+// is already covered by the snapshot being replayed over. A graph-delta
+// record rides behind the put/delete that caused it (same mutSeq): it
+// carries the full post-mutation KNN adjacency of every node the mutation
+// touched, so recovery replays it onto the persisted epoch graph verbatim
+// — a warm graph instead of "replay + rebuild". Structural bounds are
+// enforced at decode; semantic bounds (node indices vs. the epoch graph)
+// at apply time.
 
 // crcTable is the Castagnoli polynomial table shared by WAL records and
 // snapshot trailers.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// RecordKind discriminates WAL record payloads. The zero value is
+// normalized to KindPut on encode so pre-existing Record literals keep
+// meaning what they meant.
+type RecordKind uint8
+
 const (
-	recPut = 1 // fingerprint put (insert or overwrite)
+	KindPut        RecordKind = recPut
+	KindDelete     RecordKind = recDelete
+	KindGraphDelta RecordKind = recGraphDelta
+)
+
+const (
+	recPut        = 1 // fingerprint put (insert or overwrite)
+	recDelete     = 2 // user tombstone
+	recGraphDelta = 3 // post-mutation KNN adjacencies of the touched nodes
 
 	walHeaderBytes = 8
 	// maxWALPayload bounds one record so a corrupt length prefix cannot
 	// drive a multi-gigabyte allocation during replay. 64 MiB is orders of
 	// magnitude above any real record (id ≤ 4 KiB + one fingerprint).
 	maxWALPayload = 1 << 26
+	// maxDeltaTouched bounds the node count of one graph delta: a real
+	// mutation touches at most the degree cap plus its repairs, far under
+	// this.
+	maxDeltaTouched = 1 << 16
 )
 
-// Record is one durable mutation: user ID got fingerprint FP, moving the
-// mutation counter to MutSeq.
+// DeltaOp is the mutation class a graph delta records.
+type DeltaOp uint8
+
+const (
+	DeltaInsert    DeltaOp = 1
+	DeltaOverwrite DeltaOp = 2
+	DeltaDelete    DeltaOp = 3
+)
+
+// GraphDelta is the graph half of one mutation: the full post-mutation
+// KNN adjacency of every touched node. Replay assigns the adjacencies
+// verbatim (knn.ApplyTouched), so a warm-recovered graph is bit-identical
+// to the live one the delta was captured from.
+type GraphDelta struct {
+	Op   DeltaOp
+	Node int32 // the mutated node
+	Adj  []knn.TouchedNode
+}
+
+// Record is one durable mutation. KindPut carries ID+FP, KindDelete
+// carries ID, KindGraphDelta carries Delta; MutSeq is the mutation counter
+// value the record establishes.
 type Record struct {
+	Kind   RecordKind
 	MutSeq uint64
 	ID     string
 	FP     core.Fingerprint
+	Delta  *GraphDelta
 }
 
 // AppendRecord serializes rec onto buf and returns the extended slice.
 func AppendRecord(buf []byte, rec Record) ([]byte, error) {
+	kind := rec.Kind
+	if kind == 0 {
+		kind = KindPut
+	}
 	var payload bytes.Buffer
-	payload.WriteByte(recPut)
+	payload.WriteByte(byte(kind))
 	var u64 [8]byte
 	binary.LittleEndian.PutUint64(u64[:], rec.MutSeq)
 	payload.Write(u64[:])
 	var u32 [4]byte
-	binary.LittleEndian.PutUint32(u32[:], uint32(len(rec.ID)))
-	payload.Write(u32[:])
-	payload.WriteString(rec.ID)
-	if err := core.WriteFingerprint(&payload, rec.FP); err != nil {
-		return nil, fmt.Errorf("durable: encoding WAL fingerprint: %w", err)
+	switch kind {
+	case KindPut:
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(rec.ID)))
+		payload.Write(u32[:])
+		payload.WriteString(rec.ID)
+		if err := core.WriteFingerprint(&payload, rec.FP); err != nil {
+			return nil, fmt.Errorf("durable: encoding WAL fingerprint: %w", err)
+		}
+	case KindDelete:
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(rec.ID)))
+		payload.Write(u32[:])
+		payload.WriteString(rec.ID)
+	case KindGraphDelta:
+		d := rec.Delta
+		if d == nil {
+			return nil, fmt.Errorf("durable: graph-delta record has no delta")
+		}
+		if d.Op < DeltaInsert || d.Op > DeltaDelete {
+			return nil, fmt.Errorf("durable: unknown graph-delta op %d", d.Op)
+		}
+		if d.Node < 0 {
+			return nil, fmt.Errorf("durable: graph delta for negative node %d", d.Node)
+		}
+		if len(d.Adj) > maxDeltaTouched {
+			return nil, fmt.Errorf("durable: graph delta touches %d nodes, max %d", len(d.Adj), maxDeltaTouched)
+		}
+		payload.WriteByte(byte(d.Op))
+		binary.LittleEndian.PutUint32(u32[:], uint32(d.Node))
+		payload.Write(u32[:])
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(d.Adj)))
+		payload.Write(u32[:])
+		for _, tn := range d.Adj {
+			if tn.ID < 0 {
+				return nil, fmt.Errorf("durable: graph delta touches negative node %d", tn.ID)
+			}
+			binary.LittleEndian.PutUint32(u32[:], uint32(tn.ID))
+			payload.Write(u32[:])
+			binary.LittleEndian.PutUint32(u32[:], uint32(len(tn.Neighbors)))
+			payload.Write(u32[:])
+			for _, nb := range tn.Neighbors {
+				binary.LittleEndian.PutUint32(u32[:], uint32(nb.ID))
+				payload.Write(u32[:])
+				binary.LittleEndian.PutUint64(u64[:], math.Float64bits(nb.Sim))
+				payload.Write(u64[:])
+			}
+		}
+	default:
+		return nil, fmt.Errorf("durable: unknown WAL record kind %d", kind)
 	}
 	if payload.Len() > maxWALPayload {
 		return nil, fmt.Errorf("durable: WAL record payload is %d bytes, max %d", payload.Len(), maxWALPayload)
@@ -80,30 +179,117 @@ func decodeRecordPayload(payload []byte) (Record, error) {
 	if err != nil {
 		return Record{}, fmt.Errorf("durable: empty WAL payload")
 	}
-	if kind != recPut {
-		return Record{}, fmt.Errorf("durable: unknown WAL record type %d", kind)
-	}
-	var hdr [12]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var u64 [8]byte
+	if _, err := io.ReadFull(r, u64[:]); err != nil {
 		return Record{}, fmt.Errorf("durable: short WAL record header: %w", err)
 	}
-	mutSeq := binary.LittleEndian.Uint64(hdr[0:8])
-	idLen := binary.LittleEndian.Uint32(hdr[8:12])
-	if int64(idLen) > int64(r.Len()) {
-		return Record{}, fmt.Errorf("durable: WAL id length %d exceeds payload", idLen)
+	rec := Record{Kind: RecordKind(kind), MutSeq: binary.LittleEndian.Uint64(u64[:])}
+	readID := func() (string, error) {
+		var u32 [4]byte
+		if _, err := io.ReadFull(r, u32[:]); err != nil {
+			return "", fmt.Errorf("durable: short WAL record header: %w", err)
+		}
+		idLen := binary.LittleEndian.Uint32(u32[:])
+		if int64(idLen) > int64(r.Len()) {
+			return "", fmt.Errorf("durable: WAL id length %d exceeds payload", idLen)
+		}
+		id := make([]byte, idLen)
+		if _, err := io.ReadFull(r, id); err != nil {
+			return "", fmt.Errorf("durable: reading WAL id: %w", err)
+		}
+		return string(id), nil
 	}
-	id := make([]byte, idLen)
-	if _, err := io.ReadFull(r, id); err != nil {
-		return Record{}, fmt.Errorf("durable: reading WAL id: %w", err)
-	}
-	fp, err := core.ReadFingerprint(r)
-	if err != nil {
-		return Record{}, fmt.Errorf("durable: reading WAL fingerprint: %w", err)
+	switch RecordKind(kind) {
+	case KindPut:
+		if rec.ID, err = readID(); err != nil {
+			return Record{}, err
+		}
+		if rec.FP, err = core.ReadFingerprint(r); err != nil {
+			return Record{}, fmt.Errorf("durable: reading WAL fingerprint: %w", err)
+		}
+	case KindDelete:
+		if rec.ID, err = readID(); err != nil {
+			return Record{}, err
+		}
+	case KindGraphDelta:
+		if rec.Delta, err = decodeGraphDelta(r); err != nil {
+			return Record{}, err
+		}
+	default:
+		return Record{}, fmt.Errorf("durable: unknown WAL record type %d", kind)
 	}
 	if r.Len() != 0 {
 		return Record{}, fmt.Errorf("durable: %d trailing bytes in WAL payload", r.Len())
 	}
-	return Record{MutSeq: mutSeq, ID: string(id), FP: fp}, nil
+	return rec, nil
+}
+
+// decodeGraphDelta parses the graph-delta payload body. Counts are bounded
+// against the remaining payload before any allocation, so a forged count
+// cannot drive a large allocation; similarities must be valid Jaccard
+// values ([0,1]) so a bit flip in a sim cannot survive into a served
+// graph.
+func decodeGraphDelta(r *bytes.Reader) (*GraphDelta, error) {
+	var u32 [4]byte
+	var u64 [8]byte
+	op, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("durable: short graph delta: %w", err)
+	}
+	if DeltaOp(op) < DeltaInsert || DeltaOp(op) > DeltaDelete {
+		return nil, fmt.Errorf("durable: unknown graph-delta op %d", op)
+	}
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return nil, fmt.Errorf("durable: short graph delta: %w", err)
+	}
+	node := binary.LittleEndian.Uint32(u32[:])
+	if node > math.MaxInt32 {
+		return nil, fmt.Errorf("durable: graph-delta node %d overflows int32", node)
+	}
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return nil, fmt.Errorf("durable: short graph delta: %w", err)
+	}
+	adjCount := binary.LittleEndian.Uint32(u32[:])
+	if adjCount > maxDeltaTouched || int64(adjCount)*8 > int64(r.Len()) {
+		return nil, fmt.Errorf("durable: implausible graph-delta node count %d", adjCount)
+	}
+	d := &GraphDelta{Op: DeltaOp(op), Node: int32(node), Adj: make([]knn.TouchedNode, 0, adjCount)}
+	for i := uint32(0); i < adjCount; i++ {
+		if _, err := io.ReadFull(r, u32[:]); err != nil {
+			return nil, fmt.Errorf("durable: short graph delta: %w", err)
+		}
+		id := binary.LittleEndian.Uint32(u32[:])
+		if id > math.MaxInt32 {
+			return nil, fmt.Errorf("durable: graph-delta touched node %d overflows int32", id)
+		}
+		if _, err := io.ReadFull(r, u32[:]); err != nil {
+			return nil, fmt.Errorf("durable: short graph delta: %w", err)
+		}
+		nbrCount := binary.LittleEndian.Uint32(u32[:])
+		if nbrCount > maxSnapshotNeighbors || int64(nbrCount)*12 > int64(r.Len()) {
+			return nil, fmt.Errorf("durable: implausible graph-delta neighborhood size %d at node %d", nbrCount, id)
+		}
+		nbrs := make([]knn.Neighbor, nbrCount)
+		for j := range nbrs {
+			if _, err := io.ReadFull(r, u32[:]); err != nil {
+				return nil, fmt.Errorf("durable: short graph delta: %w", err)
+			}
+			nid := binary.LittleEndian.Uint32(u32[:])
+			if nid > math.MaxInt32 {
+				return nil, fmt.Errorf("durable: graph-delta neighbor %d overflows int32", nid)
+			}
+			if _, err := io.ReadFull(r, u64[:]); err != nil {
+				return nil, fmt.Errorf("durable: short graph delta: %w", err)
+			}
+			sim := math.Float64frombits(binary.LittleEndian.Uint64(u64[:]))
+			if !(sim >= 0 && sim <= 1) {
+				return nil, fmt.Errorf("durable: graph-delta similarity %v out of [0,1]", sim)
+			}
+			nbrs[j] = knn.Neighbor{ID: int32(nid), Sim: sim}
+		}
+		d.Adj = append(d.Adj, knn.TouchedNode{ID: int32(id), Neighbors: nbrs})
+	}
+	return d, nil
 }
 
 // ScanWAL parses a WAL byte stream into the longest prefix of valid

@@ -9,8 +9,11 @@ package knn
 
 import (
 	"context"
+	"math/rand"
+	"sort"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"goldfinger/internal/core"
 	"goldfinger/internal/dataset"
@@ -273,5 +276,150 @@ func TestHarnessObsInstrumentation(t *testing.T) {
 				t.Errorf("progress gauges dead: done=%d total=%d", done, total)
 			}
 		})
+	}
+}
+
+// TestHarnessOnlineChurnTracksBatchBuild is the online-maintenance half of
+// the harness: an Online maintainer absorbs ≥10k interleaved inserts,
+// deletes and overwrites, and the resulting live graph must match a
+// from-scratch ClusterConquer build over the exact same final corpus —
+// quality and recall within a small ε. This is the correctness bar for
+// serving mutations without a rebuild.
+func TestHarnessOnlineChurnTracksBatchBuild(t *testing.T) {
+	scheme := core.MustScheme(1024, 99)
+	pool := dataset.Generate(dataset.ML1M, 0.65, 171) // ≈3900 users
+	fps := scheme.FingerprintAllParallel(pool.Profiles, 0)
+	const (
+		k         = 10
+		base      = 400
+		mutations = 10000
+		epsilon   = 0.05
+	)
+
+	// Seed epoch: a batch build over the first `base` users, exactly how
+	// the service hands a built epoch to the maintainer.
+	baseFPs := append([]core.Fingerprint(nil), fps[:base]...)
+	seedGraph, _ := ClusterConquer(&SHFProvider{Fingerprints: baseFPs}, k, Options{Seed: 1})
+	o, err := NewOnline(seedGraph, nil, baseFPs, nil, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// cur mirrors the maintainer's per-node fingerprints so the final
+	// corpus can be rebuilt from scratch for the comparison build.
+	cur := append([]core.Fingerprint(nil), fps[:base]...)
+	rng := rand.New(rand.NewSource(20260808))
+	pickLive := func() int32 {
+		s := o.Snapshot()
+		for {
+			id := int32(rng.Intn(len(cur)))
+			if !s.Dead[id] {
+				return id
+			}
+		}
+	}
+	overwrite := func() {
+		id := pickLive()
+		fp := fps[rng.Intn(len(fps))]
+		if _, err := o.Overwrite(id, fp); err != nil {
+			t.Fatal(err)
+		}
+		cur[id] = fp
+	}
+	next := base
+	var inserts, deletes, overwrites int
+	for m := 0; m < mutations; m++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.35: // insert; once the pool drains, mutate in place
+			if next < len(fps) {
+				id, _ := o.Insert(fps[next])
+				if int(id) != len(cur) {
+					t.Fatalf("insert %d got node id %d, want %d", m, id, len(cur))
+				}
+				cur = append(cur, fps[next])
+				next++
+				inserts++
+			} else {
+				overwrite()
+				overwrites++
+			}
+		case r < 0.50 && o.Snapshot().Live > 50:
+			if _, err := o.Delete(pickLive()); err != nil {
+				t.Fatal(err)
+			}
+			deletes++
+		default:
+			overwrite()
+			overwrites++
+		}
+	}
+	s := o.Snapshot()
+	if s.Seq != mutations {
+		t.Fatalf("snapshot seq = %d after %d mutations", s.Seq, mutations)
+	}
+	if err := s.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	liveG, liveFPs := liveSubgraph(s, cur)
+	if len(liveFPs) != s.Live {
+		t.Fatalf("live projection has %d nodes, snapshot says %d", len(liveFPs), s.Live)
+	}
+	p := &SHFProvider{Fingerprints: liveFPs}
+	exact, _ := BruteForce(p, k, Options{})
+	batch, _ := ClusterConquer(p, k, Options{Seed: 1})
+
+	qOnline, qBatch := Quality(liveG, exact, p), Quality(batch, exact, p)
+	rOnline, rBatch := Recall(liveG, exact), Recall(batch, exact)
+	t.Logf("churn: %d inserts / %d deletes / %d overwrites → %d live; quality online %.3f batch %.3f; recall online %.3f batch %.3f",
+		inserts, deletes, overwrites, s.Live, qOnline, qBatch, rOnline, rBatch)
+	if qOnline < qBatch-epsilon {
+		t.Errorf("online quality %.3f more than ε=%.2f below batch %.3f", qOnline, epsilon, qBatch)
+	}
+	if rOnline < rBatch-epsilon {
+		t.Errorf("online recall %.3f more than ε=%.2f below batch %.3f", rOnline, epsilon, rBatch)
+	}
+}
+
+// TestOnlineInsertLatencyFloor pins the serving-path cost of one online
+// insert at realistic scale: against a 10k-node base graph, the p99 insert
+// latency must stay in single-digit milliseconds. The graph search plus
+// bounded reverse-edge repair is O(ef·k) per insert, independent of n —
+// this floor catches an accidental O(n) scan sneaking into the mutation
+// path. BENCH_knn.json's online_insert section tracks the n=100k number;
+// this is the cheap every-`make onlinecheck` guard.
+func TestOnlineInsertLatencyFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs the full 10k base graph")
+	}
+	scheme := core.MustScheme(1024, 99)
+	d := dataset.Generate(dataset.ML1M, 1.70, 29) // ≈10.3k users
+	fps := scheme.FingerprintAllParallel(d.Profiles, 0)
+	const (
+		k       = 10
+		base    = 10000
+		inserts = 200
+	)
+	if len(fps) < base+inserts {
+		t.Fatalf("fixture has %d users, need %d", len(fps), base+inserts)
+	}
+	baseFPs := append([]core.Fingerprint(nil), fps[:base]...)
+	g, _ := ClusterConquer(&SHFProvider{Fingerprints: baseFPs}, k, Options{Seed: 3})
+	o, err := NewOnline(g, nil, baseFPs, nil, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := make([]time.Duration, 0, inserts)
+	for _, fp := range fps[base : base+inserts] {
+		start := time.Now()
+		o.Insert(fp)
+		lat = append(lat, time.Since(start))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50, p99 := lat[len(lat)/2], lat[len(lat)*99/100]
+	t.Logf("online insert at n=%d: p50 %v, p99 %v", base, p50, p99)
+	if p99 > 25*time.Millisecond {
+		t.Errorf("p99 insert latency %v at n=%d, want < 25ms", p99, base)
 	}
 }

@@ -62,6 +62,12 @@ type SearchOptions struct {
 	// Seeds overrides the entry points (node ids; out-of-range ids are
 	// ignored).
 	Seeds []int32
+	// Exclude, when non-nil, marks nodes that must never appear in the
+	// result: tombstoned (deleted) users of an online-maintained graph.
+	// Excluded nodes are still scored and traversed — a dead hub keeps
+	// bridging the regions its edges connect until lazy repair rewires
+	// them — they just never enter the result beam.
+	Exclude func(v int32) bool
 	// Ctx cancels a running search: it is polled once per seed and once
 	// per hop, and a canceled search returns ctx.Err() and no partial
 	// result. Nil means never cancel.
@@ -300,8 +306,11 @@ func heapDown(h []Neighbor, ahead func(a, b Neighbor) bool) {
 }
 
 // consider scores node v (already marked visited) and inserts it into the
-// beam when it improves it. ef bounds the result heap.
-func (st *searchState) consider(v int32, oracle SearchOracle, ef int, stats *SearchStats) {
+// beam when it improves it. ef bounds the result heap. An excluded node
+// never enters the result heap but still joins the candidate heap when its
+// similarity clears the floor — it can lead somewhere even though it may
+// not be an answer.
+func (st *searchState) consider(v int32, oracle SearchOracle, ef int, excluded bool, stats *SearchStats) {
 	floor := -1.0
 	if len(st.res) == ef {
 		floor = st.res[0].Sim
@@ -313,15 +322,20 @@ func (st *searchState) consider(v int32, oracle SearchOracle, ef int, stats *Sea
 	}
 	stats.Scored++
 	cand := Neighbor{ID: v, Sim: sim}
-	if len(st.res) == ef {
-		if !ranksAbove(cand, st.res[0]) {
-			return
+	if !excluded {
+		if len(st.res) == ef {
+			if !ranksAbove(cand, st.res[0]) {
+				return
+			}
+			st.res[0] = cand
+			heapDown(st.res, ranksBelow)
+		} else {
+			st.res = append(st.res, cand)
+			heapUp(st.res, len(st.res)-1, ranksBelow)
 		}
-		st.res[0] = cand
-		heapDown(st.res, ranksBelow)
-	} else {
-		st.res = append(st.res, cand)
-		heapUp(st.res, len(st.res)-1, ranksBelow)
+	} else if len(st.res) == ef && !ranksAbove(cand, st.res[0]) {
+		// Below the full beam's floor: not worth traversing either.
+		return
 	}
 	st.cand = append(st.cand, cand)
 	heapUp(st.cand, len(st.cand)-1, ranksAbove)
@@ -372,6 +386,10 @@ func GraphSearch(g *Graph, oracle SearchOracle, k int, opts SearchOptions) ([]Ne
 	defer searchPool.Put(st)
 	st.reset(n)
 
+	excl := opts.Exclude
+	if excl == nil {
+		excl = func(int32) bool { return false }
+	}
 	seeds := opts.Seeds
 	if len(seeds) == 0 {
 		st.seeds = appendSpreadSeeds(st.seeds, n, opts.NumSeeds)
@@ -386,7 +404,7 @@ func GraphSearch(g *Graph, oracle SearchOracle, k int, opts SearchOptions) ([]Ne
 		if v < 0 || int(v) >= n || st.visit(v) {
 			continue
 		}
-		st.consider(v, oracle, ef, &stats)
+		st.consider(v, oracle, ef, excl(v), &stats)
 	}
 
 	for len(st.cand) > 0 {
@@ -412,7 +430,7 @@ func GraphSearch(g *Graph, oracle SearchOracle, k int, opts SearchOptions) ([]Ne
 			if v < 0 || int(v) >= n || st.visit(v) {
 				continue
 			}
-			st.consider(v, oracle, ef, &stats)
+			st.consider(v, oracle, ef, excl(v), &stats)
 		}
 	}
 

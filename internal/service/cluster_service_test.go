@@ -84,7 +84,7 @@ func TestQuerySeedsHelper(t *testing.T) {
 	resp.Body.Close()
 	ep := srv.epoch.Load()
 	fp := scheme.Fingerprint(queryProfile(7))
-	seeds := querySeeds(ep, fp)
+	seeds := querySeeds(ep, fp, len(ep.users))
 	if len(seeds) == 0 {
 		t.Fatal("cluster epoch produced no query seeds")
 	}
@@ -96,7 +96,7 @@ func TestQuerySeedsHelper(t *testing.T) {
 
 	resp, _ = buildGraph(t, ts, "?k=3&algo=bruteforce")
 	resp.Body.Close()
-	if got := querySeeds(srv.epoch.Load(), fp); got != nil {
+	if got := querySeeds(srv.epoch.Load(), fp, 50); got != nil {
 		t.Fatalf("non-cluster epoch produced seeds %v, want nil", got)
 	}
 }

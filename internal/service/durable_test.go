@@ -131,14 +131,20 @@ func TestKillAndRestartRecovery(t *testing.T) {
 		}
 	}
 
-	// The recovered server keeps accepting writes and staying consistent.
+	// The recovered server keeps accepting writes, and because the epoch
+	// recovered warm (its maintainer resumed at the state's mutation
+	// counter), a new upload applies to the live graph immediately: the
+	// graph stays fresh and the new user is served without a rebuild.
 	resp2 := putFingerprint(t, ts2, scheme, userID(n), profileFor(n))
 	if resp2.StatusCode != http.StatusNoContent {
 		t.Fatalf("post-recovery upload: status %d", resp2.StatusCode)
 	}
 	resp2.Body.Close()
-	if st := getStats(t, ts2); st.Users != n+1 || !st.GraphStale {
+	if st := getStats(t, ts2); st.Users != n+1 || st.GraphStale || !st.GraphLive || st.OnlineNodes != n+1 {
 		t.Fatalf("post-recovery stats = %+v", st)
+	}
+	if status, nbrs := getNeighborList(t, ts2, userID(n)); status != http.StatusOK || len(nbrs) == 0 {
+		t.Fatalf("live-inserted user: status %d, %d neighbors, want 200 with edges", status, len(nbrs))
 	}
 }
 
@@ -272,9 +278,10 @@ func TestMethodAndActionRouting(t *testing.T) {
 		wantStatus   int
 		wantAllow    string
 	}{
-		{http.MethodPost, "/users/u1/fingerprint", http.StatusMethodNotAllowed, "PUT"},
-		{http.MethodGet, "/users/u1/fingerprint", http.StatusMethodNotAllowed, "PUT"},
-		{http.MethodDelete, "/users/u1/fingerprint", http.StatusMethodNotAllowed, "PUT"},
+		{http.MethodPost, "/users/u1/fingerprint", http.StatusMethodNotAllowed, "PUT, DELETE"},
+		{http.MethodGet, "/users/u1/fingerprint", http.StatusMethodNotAllowed, "PUT, DELETE"},
+		// DELETE is a valid method now; for an unknown user it is a 404.
+		{http.MethodDelete, "/users/u1/fingerprint", http.StatusNotFound, ""},
 		{http.MethodPut, "/users/u1/neighbors", http.StatusMethodNotAllowed, "GET"},
 		{http.MethodPost, "/users/u1/neighbors", http.StatusMethodNotAllowed, "GET"},
 		{http.MethodGet, "/users/u1/profile", http.StatusNotFound, ""},

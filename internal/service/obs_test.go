@@ -183,8 +183,8 @@ func TestCancelBuildKeepsServingOldEpoch(t *testing.T) {
 }
 
 // TestBuildTimeoutReturns504AndStaleFlag: a build that outlives the
-// configured deadline is aborted with 504 and the epoch it failed to
-// replace is reported stale.
+// configured deadline is aborted with 504; the epoch it failed to replace
+// survives — and since mutations apply to the live graph, it stays warm.
 func TestBuildTimeoutReturns504AndStaleFlag(t *testing.T) {
 	srv, ts, scheme := newInstrumentedServer(t)
 	uploadN(t, ts, scheme, 6, 1)
@@ -195,7 +195,7 @@ func TestBuildTimeoutReturns504AndStaleFlag(t *testing.T) {
 		t.Fatalf("first build: status %d", resp.StatusCode)
 	}
 
-	// New uploads make the epoch stale; the rebuild then times out.
+	// New uploads land in the live epoch; the rebuild then times out.
 	uploadN(t, ts, scheme, 2, 50)
 	srv.SetBuildTimeout(5 * time.Millisecond)
 	srv.buildHook = func() { time.Sleep(60 * time.Millisecond) } // guarantees the deadline fires
@@ -210,8 +210,11 @@ func TestBuildTimeoutReturns504AndStaleFlag(t *testing.T) {
 	if st.Epoch != 1 {
 		t.Errorf("timed-out build advanced the epoch: %+v", st)
 	}
-	if !st.GraphStale {
-		t.Error("stats do not flag the surviving epoch as stale")
+	if st.GraphStale || !st.GraphLive {
+		t.Errorf("surviving epoch not live after timed-out build: %+v", st)
+	}
+	if st.OnlineNodes != 8 {
+		t.Errorf("online_nodes = %d, want 8 (timed-out build must not lose live inserts)", st.OnlineNodes)
 	}
 	if st.LastBuildError == "" {
 		t.Error("stats did not record the timeout")
@@ -220,8 +223,7 @@ func TestBuildTimeoutReturns504AndStaleFlag(t *testing.T) {
 		t.Errorf("timeout counter = %d, want 1", m.Counters["build.timeout.total"])
 	}
 
-	// Clearing the deadline lets the rebuild through and drops the stale
-	// flag.
+	// Clearing the deadline lets the rebuild through.
 	srv.SetBuildTimeout(0)
 	resp, _ = buildGraph(t, ts, "?k=2&algo=bruteforce")
 	resp.Body.Close()

@@ -112,11 +112,11 @@ func TestQueryGraphMatchesScan(t *testing.T) {
 	}
 }
 
-// TestQueryAutoStaleEpochFallsBackToScan pins the freshness rule: any
-// upload after the build makes auto serve the scan (the graph cannot see
-// the new user), while an explicit mode=graph keeps serving the stale
-// epoch's user set.
-func TestQueryAutoStaleEpochFallsBackToScan(t *testing.T) {
+// TestQueryAutoLiveEpochServesNewUser pins the live-mutation freshness
+// rule: an upload after the build is inserted into the live graph, so auto
+// keeps serving the graph and the new user is findable through it
+// immediately — no scan fallback, no rebuild.
+func TestQueryAutoLiveEpochServesNewUser(t *testing.T) {
 	ts, scheme := newTestServer(t)
 	for i := 0; i < 12; i++ {
 		putFingerprint(t, ts, scheme, "u"+itoa(i), queryProfile(i)).Body.Close()
@@ -128,12 +128,58 @@ func TestQueryAutoStaleEpochFallsBackToScan(t *testing.T) {
 		t.Fatalf("fresh epoch served %q, want graph", served)
 	}
 
-	// A user uploaded after the build must be findable immediately.
+	// A user uploaded after the build must be findable immediately —
+	// through the graph, since the insert went into the live epoch.
+	late := profile.New(900, 901, 902, 903)
+	putFingerprint(t, ts, scheme, "late", late).Body.Close()
+	got, served, _ := postQuery(t, ts, scheme, late, "?k=1")
+	if served != "graph" {
+		t.Errorf("live epoch: auto served %q, want graph", served)
+	}
+	if len(got) != 1 || got[0].User != "late" {
+		t.Errorf("post-epoch user not found by auto query: %+v", got)
+	}
+}
+
+// TestQueryAutoStaleEpochFallsBackToScan keeps the genuine-staleness rule
+// covered: when the served epoch honestly lags the mutation counter (here:
+// a frozen test-installed epoch with no online maintainer), auto falls
+// back to the scan so new users stay findable.
+func TestQueryAutoStaleEpochFallsBackToScan(t *testing.T) {
+	srv, ts, scheme := newInstrumentedServer(t)
+	const n = 12
+	users := make([]string, n)
+	profiles := make([]profile.Profile, n)
+	for i := 0; i < n; i++ {
+		users[i] = "u" + itoa(i)
+		profiles[i] = queryProfile(i)
+		putFingerprint(t, ts, scheme, users[i], profiles[i]).Body.Close()
+	}
+	g, _ := knn.BruteForce(knn.NewSHFProvider(scheme, profiles), 2, knn.Options{})
+	srv.mu.RLock()
+	mutSeq := srv.mutSeq
+	srv.mu.RUnlock()
+	srv.epoch.Store(&graphEpoch{
+		seq:    srv.epochSeq.Add(1),
+		graph:  g,
+		nav:    g.Navigable(nil),
+		users:  users,
+		k:      2,
+		mutSeq: mutSeq,
+	})
+
+	// The frozen epoch matches the state: auto serves the graph.
+	if _, served, _ := postQuery(t, ts, scheme, queryProfile(0), "?k=1"); served != "graph" {
+		t.Fatalf("matching frozen epoch served %q, want graph", served)
+	}
+
+	// An upload the frozen epoch cannot absorb makes it genuinely stale:
+	// auto must fall back to the scan, which sees the new user.
 	late := profile.New(900, 901, 902, 903)
 	putFingerprint(t, ts, scheme, "late", late).Body.Close()
 	got, served, _ := postQuery(t, ts, scheme, late, "?k=1")
 	if served != "scan" {
-		t.Errorf("stale epoch: auto served %q, want scan", served)
+		t.Errorf("stale frozen epoch: auto served %q, want scan", served)
 	}
 	if len(got) != 1 || got[0].User != "late" {
 		t.Errorf("post-epoch user not found by auto query: %+v", got)

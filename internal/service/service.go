@@ -23,13 +23,23 @@
 // cache atomically. The corpus is never mutated in place, so readers of a
 // superseded cache stay safe.
 //
-// An epoch pins the graph to the user set it was built from: a user
-// registered after the epoch was built gets a clean 409 ("not in the built
-// graph; rebuild") instead of an out-of-range panic, and users who
-// re-uploaded keep being served the neighborhood of the fingerprint the
-// epoch was built from until the next build. At most one build runs at a
-// time: a concurrent POST /graph/build gets 409 with a Retry-After header
-// rather than queuing a redundant build.
+// An epoch is no longer frozen at build time: each published (or
+// recovered) epoch wraps its graph in a knn.Online maintainer, and every
+// accepted mutation — PUT (insert or overwrite) and DELETE of a
+// fingerprint — is applied to the live graph before the ack, so it is
+// visible to neighborhood reads and graph-mode queries immediately,
+// without a rebuild. Mutations serialize on writeMu (the same order the
+// WAL sees); readers get wait-free immutable snapshots from the
+// maintainer. A build still runs periodically to shed the accumulated
+// approximation drift of incremental repair: at publish it drains, under
+// writeMu, every mutation that landed while it ran into a fresh
+// maintainer, so the new epoch starts current. Only when the graph epoch
+// genuinely lags the state — crash recovery lost the tail of the graph
+// deltas, or no build has happened yet — do reads fall back to the old
+// contract: 409 for a user the epoch has never seen, scan fallback for
+// auto-mode queries. At most one build runs at a time: a concurrent POST
+// /graph/build gets 409 with a Retry-After header rather than queuing a
+// redundant build.
 //
 // # Observability and cancellation
 //
@@ -48,12 +58,15 @@
 // # Durability and degraded mode
 //
 // With a durable store attached (UseStore; the -data-dir flag on
-// cmd/knnserver), every accepted fingerprint PUT is appended to a
-// write-ahead log *before* the 204 is sent, successful builds persist the
+// cmd/knnserver), every accepted mutation (PUT or DELETE) is appended to a
+// write-ahead log *before* the 204 is sent, followed by the graph delta
+// the online maintainer produced for it, successful builds persist the
 // epoch and compact the WAL into a checksummed state snapshot, and startup
-// recovery reloads both — an acked upload and the last published epoch
-// survive a SIGKILL. All writers serialize through writeMu so WAL order
-// always matches in-memory apply order (mutSeq order).
+// recovery reloads all of it — an acked mutation, the last published
+// epoch, and the graph edits the deltas encode survive a SIGKILL, so the
+// server restarts with a warm graph instead of waiting for a rebuild. All
+// writers serialize through writeMu so WAL order always matches in-memory
+// apply order (mutSeq order).
 //
 // If the data directory fails a write at runtime the store flips to
 // degraded read-only mode: PUTs get 503 with Retry-After while neighbor
@@ -139,18 +152,27 @@ type graphEpoch struct {
 	builtAt   time.Time
 	duration  time.Duration
 	stats     knn.Stats
-	mutSeq    uint64 // mutation counter value the snapshot was taken at
+	mutSeq    uint64 // mutation counter value the epoch started from
+	// online maintains the epoch's graph under mutations: inserts, over-
+	// writes and deletes apply to it in mutSeq order (under writeMu), and
+	// every read path serves its current immutable snapshot. Node ids are
+	// dense server indices — identical to the user-table indices — so the
+	// snapshot's graph indexes the append-only user table directly. nil
+	// only for epochs installed directly by tests; those serve the frozen
+	// graph/nav fields under the old pinned-epoch contract.
+	online *knn.Online
 }
 
 // Server is the KNN-construction service. It is safe for concurrent use.
 type Server struct {
 	bits int
 
-	mu     sync.RWMutex
-	users  []string // dense index → external user id; append-only
-	index  map[string]int
-	fps    []core.Fingerprint
-	mutSeq uint64 // bumped on every fingerprint upload or replacement
+	mu      sync.RWMutex
+	users   []string // dense index → external user id; append-only
+	index   map[string]int
+	fps     []core.Fingerprint
+	deleted []bool // tombstones, same length as users; a re-upload revives
+	mutSeq  uint64 // bumped on every fingerprint upload, replacement or delete
 
 	epoch    atomic.Pointer[graphEpoch]
 	building atomic.Bool // build-in-progress guard
@@ -187,12 +209,17 @@ type Server struct {
 }
 
 // packedCache is one immutable packed snapshot of the corpus: the row-major
-// packed fingerprints, the user table they index into, and the mutation
-// counter value they were taken at.
+// packed fingerprints, the user table and tombstone bitmap they index into,
+// and the mutation counter value they were taken at. fps keeps the unpacked
+// fingerprints alive so a build publish can diff them against the current
+// state when draining pending mutations.
 type packedCache struct {
-	corpus *core.PackedCorpus
-	users  []string
-	mutSeq uint64
+	corpus  *core.PackedCorpus
+	users   []string
+	fps     []core.Fingerprint
+	deleted []bool
+	dead    int // number of true bits in deleted
+	mutSeq  uint64
 }
 
 // packedSnapshot returns a packed corpus consistent with the current
@@ -213,13 +240,21 @@ func (s *Server) packedSnapshot() (*packedCache, error) {
 	copy(users, s.users)
 	fps := make([]core.Fingerprint, len(s.fps))
 	copy(fps, s.fps)
+	deleted := make([]bool, len(s.deleted))
+	copy(deleted, s.deleted)
 	s.mu.RUnlock()
 
 	corpus, err := core.NewPackedCorpus(s.bits, fps)
 	if err != nil {
 		return nil, err
 	}
-	c := &packedCache{corpus: corpus, users: users, mutSeq: mutSeq}
+	dead := 0
+	for _, d := range deleted {
+		if d {
+			dead++
+		}
+	}
+	c := &packedCache{corpus: corpus, users: users, fps: fps, deleted: deleted, dead: dead, mutSeq: mutSeq}
 	for {
 		old := s.packed.Load()
 		if old != nil && old.mutSeq >= mutSeq {
@@ -327,6 +362,8 @@ func (s *Server) UseStore(st *durable.Store, rec durable.Recovery) error {
 	}
 	s.users = append([]string(nil), rec.State.Users...)
 	s.fps = append([]core.Fingerprint(nil), rec.State.FPS...)
+	s.deleted = make([]bool, len(rec.State.Users))
+	copy(s.deleted, rec.State.Deleted)
 	s.index = index
 	s.mutSeq = rec.State.MutSeq
 	s.store = st
@@ -340,10 +377,23 @@ func (s *Server) UseStore(st *durable.Store, rec durable.Recovery) error {
 		if c, err := core.NewPackedCorpus(s.bits, rec.State.FPS[:len(ep.Users)]); err == nil {
 			prov = knn.NewPackedSHFProvider(c)
 		}
+		nav := ep.Graph.Navigable(prov)
+		// Resume online maintenance where the recovered epoch left off: the
+		// maintainer's sequence number is the epoch's MutSeq, so if the WAL
+		// warm-up caught the epoch fully up to the state, the very next
+		// mutation applies live; if the delta tail was torn, the epoch lags
+		// and serves stale (scan fallback, 409 for unseen users) until the
+		// next build. The fingerprint prefix may be newer than the graph's
+		// edges in the stale case — harmless: it only feeds *future*
+		// mutations, which a lagging maintainer never receives.
+		online, oerr := knn.NewOnline(ep.Graph, nav, rec.State.FPS[:len(ep.Users)], ep.Dead, ep.K, ep.MutSeq)
+		if oerr != nil {
+			return fmt.Errorf("service: recovered epoch rejected by online maintainer: %w", oerr)
+		}
 		ge := &graphEpoch{
 			seq:       ep.Seq,
 			graph:     ep.Graph,
-			nav:       ep.Graph.Navigable(prov),
+			nav:       nav,
 			users:     ep.Users,
 			k:         ep.K,
 			algorithm: ep.Algorithm,
@@ -351,6 +401,7 @@ func (s *Server) UseStore(st *durable.Store, rec durable.Recovery) error {
 			duration:  ep.Duration,
 			stats:     ep.Stats,
 			mutSeq:    ep.MutSeq,
+			online:    online,
 		}
 		s.epoch.Store(ge)
 		s.epochSeq.Store(ep.Seq)
@@ -359,16 +410,62 @@ func (s *Server) UseStore(st *durable.Store, rec durable.Recovery) error {
 	return nil
 }
 
-// captureState snapshots the mutable state for a WAL compaction. The
-// copies are taken under the read lock; durable.Store.Compact re-invokes
-// it until the captured mutSeq covers every sealed WAL record.
-func (s *Server) captureState() durable.State {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return durable.State{
-		Users:  append([]string(nil), s.users...),
-		FPS:    append([]core.Fingerprint(nil), s.fps...),
-		MutSeq: s.mutSeq,
+// captureState snapshots the mutable state — and, when a live epoch
+// exists, its current graph — for a WAL compaction. durable.Store.Compact
+// re-invokes it until the captured mutSeq covers every sealed WAL record.
+//
+// The epoch snapshot is taken *before* the state so the epoch can never be
+// ahead of the state copy (mutations apply state first, then graph; the
+// reverse order could capture a graph node whose user the state copy
+// misses). That ordering can leave the epoch one step behind a racing
+// mutation, so a short retry loop waits for a matched pair; if the pair
+// stays mismatched (the epoch genuinely lags — recovery lost the delta
+// tail), the stable stale pair is returned as-is. Compaction then deletes
+// the sealed deltas the stale epoch never saw, which is safe: recovery
+// refuses non-contiguous deltas, so the epoch simply recovers stale again
+// rather than warm-and-wrong.
+//
+// This function deliberately never takes writeMu: Compact invokes it while
+// holding the store's snapshot lock, and a build publish holds writeMu
+// while saving its epoch (which takes that same snapshot lock) — capture
+// waiting on writeMu would deadlock the pair.
+func (s *Server) captureState() (durable.State, *durable.EpochData) {
+	var prevSeq uint64
+	var prevMut uint64
+	for attempt := 0; ; attempt++ {
+		ep := s.epoch.Load()
+		var snap *knn.OnlineSnapshot
+		if ep != nil && ep.online != nil {
+			snap = ep.online.Snapshot()
+		}
+		s.mu.RLock()
+		st := durable.State{
+			Users:   append([]string(nil), s.users...),
+			FPS:     append([]core.Fingerprint(nil), s.fps...),
+			Deleted: append([]bool(nil), s.deleted...),
+			MutSeq:  s.mutSeq,
+		}
+		s.mu.RUnlock()
+		if snap == nil {
+			return st, nil
+		}
+		stable := attempt > 0 && snap.Seq == prevSeq && st.MutSeq == prevMut
+		if snap.Seq == st.MutSeq || stable || attempt > 50 {
+			return st, &durable.EpochData{
+				Seq:       ep.seq,
+				K:         ep.k,
+				Algorithm: ep.algorithm,
+				BuiltAt:   ep.builtAt,
+				Duration:  ep.duration,
+				Stats:     ep.stats,
+				MutSeq:    snap.Seq,
+				Users:     st.Users[:snap.NumNodes()],
+				Graph:     snap.Graph,
+				Dead:      snap.Dead,
+			}
+		}
+		prevSeq, prevMut = snap.Seq, st.MutSeq
+		time.Sleep(200 * time.Microsecond)
 	}
 }
 
@@ -404,7 +501,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.admitted(admit.Read, s.handleStats))
 	mux.HandleFunc("/metrics", s.admitted(admit.Read, s.handleMetrics))
-	mux.HandleFunc("/users/", s.handleUsers) // PUT fingerprint, GET neighbors; class chosen per action
+	mux.HandleFunc("/users/", s.handleUsers) // PUT/DELETE fingerprint, GET neighbors; class chosen per action
 	mux.HandleFunc("/graph/build", s.handleBuildRoute)
 	mux.HandleFunc("/build", s.handleBuildRoute) // alias; DELETE /build cancels
 	mux.HandleFunc("/query", s.admitted(admit.Query, s.handleQuery))
@@ -570,6 +667,16 @@ type Stats struct {
 	GraphBuilt bool `json:"graph_built"`
 	GraphStale bool `json:"graph_stale"`
 
+	// Online-graph observability: GraphLive reports that the served epoch
+	// has an online maintainer tracking the state (mutations apply to the
+	// graph before they are acked, so GraphStale stays false under
+	// churn); OnlineNodes/OnlineLive are its total and non-tombstoned node
+	// counts, DeletedUsers the state-level tombstone count.
+	GraphLive    bool `json:"graph_live,omitempty"`
+	OnlineNodes  int  `json:"online_nodes,omitempty"`
+	OnlineLive   int  `json:"online_live,omitempty"`
+	DeletedUsers int  `json:"deleted_users,omitempty"`
+
 	BuildRunning bool `json:"build_running"`
 
 	// Live build observability: populated only while a build is running.
@@ -619,6 +726,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	users := len(s.users)
 	mutSeq := s.mutSeq
+	deletedUsers := 0
+	for _, d := range s.deleted {
+		if d {
+			deletedUsers++
+		}
+	}
 	s.mu.RUnlock()
 
 	st := Stats{
@@ -649,12 +762,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			st.BuildElapsedMS = float64(time.Since(time.Unix(0, ns))) / float64(time.Millisecond)
 		}
 	}
+	st.DeletedUsers = deletedUsers
 	if ep != nil {
 		st.GraphK = ep.k
 		st.GraphBuilt = true
-		st.GraphStale = mutSeq != ep.mutSeq
 		st.Epoch = ep.seq
 		st.EpochUsers = len(ep.users)
+		if ep.online != nil {
+			snap := ep.online.Snapshot()
+			st.GraphStale = mutSeq != snap.Seq
+			st.GraphLive = !st.GraphStale
+			st.OnlineNodes = snap.NumNodes()
+			st.OnlineLive = snap.Live
+			st.EpochUsers = snap.NumNodes()
+		} else {
+			st.GraphStale = mutSeq != ep.mutSeq
+		}
 		st.Algorithm = ep.algorithm
 		st.BuildDurationMS = float64(ep.duration) / float64(time.Millisecond)
 		st.Comparisons = ep.stats.Comparisons
@@ -679,13 +802,18 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 	id, action := parts[0], parts[1]
 	switch action {
 	case "fingerprint":
-		if r.Method != http.MethodPut {
-			methodNotAllowed(w, "PUT", "use PUT to upload a fingerprint")
-			return
+		switch r.Method {
+		case http.MethodPut:
+			s.admitted(admit.Write, func(w http.ResponseWriter, r *http.Request) {
+				s.putFingerprint(w, r, id)
+			})(w, r)
+		case http.MethodDelete:
+			s.admitted(admit.Write, func(w http.ResponseWriter, r *http.Request) {
+				s.deleteFingerprint(w, r, id)
+			})(w, r)
+		default:
+			methodNotAllowed(w, "PUT, DELETE", "use PUT to upload a fingerprint, DELETE to retire it")
 		}
-		s.admitted(admit.Write, func(w http.ResponseWriter, r *http.Request) {
-			s.putFingerprint(w, r, id)
-		})(w, r)
 	case "neighbors":
 		if r.Method != http.MethodGet {
 			methodNotAllowed(w, "GET", "use GET to read neighbors")
@@ -751,8 +879,13 @@ func (s *Server) putFingerprint(w http.ResponseWriter, r *http.Request, id strin
 	// append order. The WAL append happens *before* the in-memory apply and
 	// before the 204: an acked upload is durable; a failed append is a 503
 	// and the upload never happened.
+	start := time.Now()
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
+	s.mu.RLock()
+	next := s.mutSeq + 1
+	_, existing := s.index[id]
+	s.mu.RUnlock()
 	if s.store != nil {
 		if s.store.Degraded() {
 			setRetryAfter(w, degradedRetryAfter)
@@ -760,10 +893,7 @@ func (s *Server) putFingerprint(w http.ResponseWriter, r *http.Request, id strin
 				"data dir unwritable; server is read-only until restart")
 			return
 		}
-		s.mu.RLock()
-		next := s.mutSeq + 1
-		s.mu.RUnlock()
-		if err := s.store.Append(durable.Record{MutSeq: next, ID: id, FP: fp}); err != nil {
+		if err := s.store.Append(durable.Record{Kind: durable.KindPut, MutSeq: next, ID: id, FP: fp}); err != nil {
 			s.obs.SetText(metricDurableError, err.Error())
 			setRetryAfter(w, degradedRetryAfter)
 			httpError(w, http.StatusServiceUnavailable, "persisting fingerprint: %v", err)
@@ -771,19 +901,140 @@ func (s *Server) putFingerprint(w http.ResponseWriter, r *http.Request, id strin
 		}
 	}
 	s.mu.Lock()
-	if i, ok := s.index[id]; ok {
+	i, ok := s.index[id]
+	if ok {
 		s.fps[i] = fp
+		s.deleted[i] = false // a re-upload revives a tombstoned user
 	} else {
-		s.index[id] = len(s.users)
+		i = len(s.users)
+		s.index[id] = i
 		s.users = append(s.users, id)
 		s.fps = append(s.fps, fp)
+		s.deleted = append(s.deleted, false)
 	}
 	s.mutSeq++
 	s.mu.Unlock()
+	s.applyOnline(next, i, fp, false)
+	if existing {
+		s.obs.Counter(metricMutOverwrite).Inc()
+		s.obs.Histogram(metricMutOverwriteSecs, obs.DefWaitBuckets).ObserveSince(start)
+	} else {
+		s.obs.Counter(metricMutInsert).Inc()
+		s.obs.Histogram(metricMutInsertSecs, obs.DefWaitBuckets).ObserveSince(start)
+	}
 	if s.store != nil {
 		s.maybeCompactAsync()
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// deleteFingerprint retires a user's fingerprint: the user is tombstoned
+// in the state (the table itself is append-only, so indices never shift),
+// removed from the live graph epoch, and excluded from every read path.
+// The id stays reserved — a later PUT revives it at the same index.
+// Deleting an already-deleted user is an accepted, WAL-logged no-op (the
+// mutation counter still advances, keeping WAL order dense).
+func (s *Server) deleteFingerprint(w http.ResponseWriter, r *http.Request, id string) {
+	start := time.Now()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.mu.RLock()
+	i, known := s.index[id]
+	next := s.mutSeq + 1
+	s.mu.RUnlock()
+	if !known {
+		httpError(w, http.StatusNotFound, "unknown user %q", id)
+		return
+	}
+	if s.store != nil {
+		if s.store.Degraded() {
+			setRetryAfter(w, degradedRetryAfter)
+			httpError(w, http.StatusServiceUnavailable,
+				"data dir unwritable; server is read-only until restart")
+			return
+		}
+		if err := s.store.Append(durable.Record{Kind: durable.KindDelete, MutSeq: next, ID: id}); err != nil {
+			s.obs.SetText(metricDurableError, err.Error())
+			setRetryAfter(w, degradedRetryAfter)
+			httpError(w, http.StatusServiceUnavailable, "persisting delete: %v", err)
+			return
+		}
+	}
+	s.mu.Lock()
+	s.deleted[i] = true
+	s.mutSeq++
+	s.mu.Unlock()
+	s.applyOnline(next, i, core.Fingerprint{}, true)
+	s.obs.Counter(metricMutDelete).Inc()
+	s.obs.Histogram(metricMutDeleteSecs, obs.DefWaitBuckets).ObserveSince(start)
+	if s.store != nil {
+		s.maybeCompactAsync()
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// applyOnline applies one accepted, state-applied mutation to the live
+// epoch's graph and logs the resulting delta, keeping both the served
+// graph and the on-disk epoch warm. Called under writeMu with mutSeq the
+// mutation's sequence number and i the user's dense index.
+//
+// If the epoch's maintainer is not exactly one step behind (it lags —
+// recovery lost its delta tail, or no online epoch exists yet), the graph
+// is left untouched and the lag is counted: the epoch serves stale under
+// the pinned-epoch contract until the next build drains and replaces it.
+func (s *Server) applyOnline(mutSeq uint64, i int, fp core.Fingerprint, del bool) {
+	ep := s.epoch.Load()
+	if ep == nil || ep.online == nil {
+		return
+	}
+	snap := ep.online.Snapshot()
+	if snap.Seq != mutSeq-1 {
+		s.obs.Counter(metricMutStale).Inc()
+		return
+	}
+	var (
+		op  durable.DeltaOp
+		res knn.MutationResult
+		err error
+	)
+	switch {
+	case del:
+		op = durable.DeltaDelete
+		res, err = ep.online.Delete(int32(i))
+	case i == snap.NumNodes():
+		op = durable.DeltaInsert
+		var nid int32
+		nid, res = ep.online.Insert(fp)
+		if int(nid) != i {
+			// Cannot happen while the tracking invariant holds (node ids are
+			// dense user indices); recorded rather than trusted.
+			err = fmt.Errorf("online insert assigned node %d, user index is %d", nid, i)
+		}
+	default:
+		op = durable.DeltaOverwrite
+		res, err = ep.online.Overwrite(int32(i), fp)
+	}
+	if err != nil {
+		// The state applied but the graph did not: the maintainer's sequence
+		// now lags permanently and every read path sees the epoch as stale —
+		// honest degradation, repaired by the next build.
+		s.obs.SetText(metricLastError, "online graph update failed: "+err.Error())
+		s.obs.Counter(metricMutStale).Inc()
+		return
+	}
+	s.obs.Counter(metricMutComparisons).Add(int64(res.Comparisons))
+	if s.store != nil && !s.store.Degraded() {
+		if aerr := s.store.Append(durable.Record{
+			Kind:   durable.KindGraphDelta,
+			MutSeq: mutSeq,
+			Delta:  &durable.GraphDelta{Op: op, Node: int32(i), Adj: res.Touched},
+		}); aerr != nil {
+			// The mutation itself is durable (its put/delete record landed);
+			// only the graph delta is lost, so recovery comes back with a
+			// colder graph. The store has already flipped degraded.
+			s.obs.SetText(metricDurableError, aerr.Error())
+		}
+	}
 }
 
 // BuildResult is the /graph/build response.
@@ -810,6 +1061,21 @@ const (
 	metricBuildAlgo = "build.algorithm"
 
 	metricDurableError = "durable.last_error"
+
+	// Online mutation observability: per-kind counters and latency
+	// histograms (WAL append + state apply + graph update, i.e. the full
+	// accepted-mutation path), the similarity comparisons the incremental
+	// graph repair spent, and how many mutations could not be applied to
+	// the graph because the epoch lagged the state (served stale until the
+	// next build).
+	metricMutInsert        = "online.insert.total"
+	metricMutOverwrite     = "online.overwrite.total"
+	metricMutDelete        = "online.delete.total"
+	metricMutStale         = "online.stale.total"
+	metricMutComparisons   = "online.comparisons.total"
+	metricMutInsertSecs    = "online.insert.seconds"
+	metricMutOverwriteSecs = "online.overwrite.seconds"
+	metricMutDeleteSecs    = "online.delete.seconds"
 
 	metricQuerySecs     = "query.seconds"
 	metricQueryCanceled = "query.canceled.total"
@@ -996,10 +1262,60 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	}
 	s.obs.SetText(metricLastError, "")
 
+	nav := g.Navigable(provider)
+	// Publish under writeMu: wrap the built graph in an online maintainer
+	// and drain every mutation that landed while the build ran — inserts
+	// for users registered since the snapshot, overwrites for changed
+	// fingerprints, deletes for tombstones — so the new epoch starts
+	// exactly current and the next mutation applies to it live. The
+	// maintainer's sequence is seeded so the drain lands it on the state's
+	// mutation counter. writeMu is held through SaveEpoch: a graph delta
+	// for the *new* epoch must never reach the WAL before the epoch itself
+	// reaches disk, or a crash would replay it onto the old epoch.
+	s.writeMu.Lock()
+	s.mu.RLock()
+	curUsers := append([]string(nil), s.users...)
+	curFPS := append([]core.Fingerprint(nil), s.fps...)
+	curDeleted := append([]bool(nil), s.deleted...)
+	curMutSeq := s.mutSeq
+	s.mu.RUnlock()
+
+	pendingOps := len(curUsers) - len(users) // inserts
+	for i := range users {
+		if !curDeleted[i] && !fpEqual(curFPS[i], snap.fps[i]) {
+			pendingOps++ // overwrite
+		}
+	}
+	for i := range curUsers {
+		if curDeleted[i] {
+			pendingOps++ // delete
+		}
+	}
+	online, oerr := knn.NewOnline(g, nav, append([]core.Fingerprint(nil), snap.fps...), nil, k,
+		curMutSeq-uint64(pendingOps))
+	if oerr != nil {
+		s.writeMu.Unlock()
+		httpError(w, http.StatusInternalServerError, "wrapping built graph: %v", oerr)
+		return
+	}
+	for i := len(users); i < len(curUsers); i++ {
+		online.Insert(curFPS[i])
+	}
+	for i := range users {
+		if !curDeleted[i] && !fpEqual(curFPS[i], snap.fps[i]) {
+			online.Overwrite(int32(i), curFPS[i])
+		}
+	}
+	for i := range curUsers {
+		if curDeleted[i] {
+			online.Delete(int32(i))
+		}
+	}
+
 	ep := &graphEpoch{
 		seq:       s.epochSeq.Add(1),
 		graph:     g,
-		nav:       g.Navigable(provider),
+		nav:       nav,
 		users:     users,
 		clusters:  clusters,
 		k:         k,
@@ -1007,18 +1323,21 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		builtAt:   start,
 		duration:  duration,
 		stats:     stats,
-		mutSeq:    snap.mutSeq,
+		mutSeq:    curMutSeq,
+		online:    online,
 	}
 	s.epoch.Store(ep)
 	s.obs.Gauge(metricEpoch).Set(ep.seq)
 	s.obs.Histogram(metricBuildSecs, obs.DefTimeBuckets).Observe(duration.Seconds())
 
-	// Persist the epoch and fold the WAL into a snapshot before answering:
-	// a client that saw the build succeed must find the same epoch after a
-	// crash. Persistence failure degrades the store (reads keep serving the
-	// in-memory epoch) but the build itself succeeded — report it in the
-	// response-independent durable error channel, not as a build failure.
+	// Persist the drained epoch before answering (and before releasing
+	// writeMu — see above): a client that saw the build succeed must find
+	// the same epoch after a crash. Persistence failure degrades the store
+	// (reads keep serving the in-memory epoch) but the build itself
+	// succeeded — report it in the response-independent durable error
+	// channel, not as a build failure.
 	if s.store != nil {
+		onSnap := online.Snapshot()
 		if err := s.store.SaveEpoch(durable.EpochData{
 			Seq:       ep.seq,
 			K:         ep.k,
@@ -1026,12 +1345,16 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 			BuiltAt:   ep.builtAt,
 			Duration:  ep.duration,
 			Stats:     ep.stats,
-			MutSeq:    ep.mutSeq,
-			Users:     ep.users,
-			Graph:     ep.graph,
+			MutSeq:    onSnap.Seq,
+			Users:     curUsers[:onSnap.NumNodes()],
+			Graph:     onSnap.Graph,
+			Dead:      onSnap.Dead,
 		}); err != nil && !errors.Is(err, durable.ErrDegraded) {
 			s.obs.SetText(metricDurableError, err.Error())
 		}
+	}
+	s.writeMu.Unlock()
+	if s.store != nil {
 		s.compact()
 	}
 
@@ -1055,9 +1378,14 @@ type NeighborJSON struct {
 func (s *Server) getNeighbors(w http.ResponseWriter, r *http.Request, id string) {
 	s.mu.RLock()
 	i, known := s.index[id]
+	dead := known && i < len(s.deleted) && s.deleted[i]
 	s.mu.RUnlock()
 	if !known {
 		httpError(w, http.StatusNotFound, "unknown user %q", id)
+		return
+	}
+	if dead {
+		httpError(w, http.StatusGone, "user %q deleted its fingerprint", id)
 		return
 	}
 	ep := s.epoch.Load()
@@ -1065,18 +1393,49 @@ func (s *Server) getNeighbors(w http.ResponseWriter, r *http.Request, id string)
 		httpError(w, http.StatusConflict, "graph not built; POST /graph/build first")
 		return
 	}
-	// The user table is append-only, so an index below the epoch's user
-	// count always refers to the same user the graph was built from; a
-	// later registration is simply not in this epoch.
-	if i >= len(ep.users) {
-		httpError(w, http.StatusConflict,
-			"user %q registered after epoch %d was built; POST /graph/build to include it", id, ep.seq)
-		return
+
+	// Serve the live graph when the epoch has a maintainer (mutations since
+	// the build are already in it); fall back to the frozen build result for
+	// directly-installed epochs. The user table is append-only, so an index
+	// below the served graph's node count always refers to the same user the
+	// edges point at; an index at or past it means the graph epoch genuinely
+	// lags the state (recovery lost its delta tail, or the epoch predates
+	// online maintenance) and the old pinned-epoch contract applies.
+	var nbrs []knn.Neighbor
+	var epDead []bool
+	if ep.online != nil {
+		snap := ep.online.Snapshot()
+		if i >= snap.NumNodes() {
+			httpError(w, http.StatusConflict,
+				"user %q is not yet in the served graph (epoch %d lags the state); POST /graph/build to include it", id, ep.seq)
+			return
+		}
+		nbrs = snap.Graph.Neighbors[i]
+		epDead = snap.Dead
+	} else {
+		if i >= len(ep.users) {
+			httpError(w, http.StatusConflict,
+				"user %q registered after epoch %d was built; POST /graph/build to include it", id, ep.seq)
+			return
+		}
+		nbrs = ep.graph.Neighbors[i]
 	}
-	out := make([]NeighborJSON, 0, len(ep.graph.Neighbors[i]))
-	for _, nb := range ep.graph.Neighbors[i] {
-		out = append(out, NeighborJSON{User: ep.users[nb.ID], Similarity: nb.Sim})
+
+	// Name the edges from the current table (indices are stable) and drop
+	// edges to users deleted since the edge was recorded: the maintainer
+	// purges dead in-edges lazily, and a lagging epoch cannot know at all.
+	out := make([]NeighborJSON, 0, len(nbrs))
+	s.mu.RLock()
+	for _, nb := range nbrs {
+		if int(nb.ID) < len(s.deleted) && s.deleted[nb.ID] {
+			continue
+		}
+		if epDead != nil && epDead[nb.ID] {
+			continue
+		}
+		out = append(out, NeighborJSON{User: s.users[nb.ID], Similarity: nb.Sim})
 	}
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -1120,18 +1479,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Mode selection. The graph path navigates the served epoch's KNN
-	// graph instead of scanning all n rows; auto picks it only when the
-	// epoch is fresh (built at this exact mutation count), because a stale
-	// graph cannot see users uploaded after it was built — those queries
-	// fall back to the scan, which covers the full corpus. An explicit
-	// mode=graph serves the (possibly stale) epoch's user set and is the
+	// graph instead of scanning all n rows. With an online-maintained
+	// epoch the graph already contains every mutation up to its sequence
+	// number, so auto picks it whenever that sequence matches the packed
+	// snapshot's — which, mutations being applied live, is the steady
+	// state, not the just-built special case. Only an epoch that genuinely
+	// lags (recovery lost its delta tail; directly-installed test epochs
+	// use their frozen build sequence) sends auto to the scan. An explicit
+	// mode=graph serves the (possibly lagging) graph's user set and is the
 	// caller's statement that approximate-but-fast beats exact-but-O(n).
 	ep := s.epoch.Load()
 	if mode == "graph" && ep == nil {
 		httpError(w, http.StatusConflict, "graph not built; POST /graph/build first or use mode=scan")
 		return
 	}
-	useGraph := mode == "graph" || (mode == "auto" && ep != nil && ep.mutSeq == snap.mutSeq)
+	var live *knn.OnlineSnapshot
+	nav := (*knn.Graph)(nil)
+	epNodes, epSeq := 0, uint64(0)
+	if ep != nil {
+		if ep.online != nil {
+			live = ep.online.Snapshot()
+			nav, epNodes, epSeq = live.Nav, live.NumNodes(), live.Seq
+		} else {
+			nav, epNodes, epSeq = ep.nav, len(ep.users), ep.mutSeq
+		}
+	}
+	// The packed corpus and the graph snapshot are taken without a common
+	// lock, so a racing mutation can leave the graph one node ahead of the
+	// corpus; the scorer cannot score that node, so such a query scans.
+	fits := ep != nil && epNodes <= snap.corpus.NumUsers()
+	useGraph := fits && (mode == "graph" || (mode == "auto" && epSeq == snap.mutSeq))
 
 	// Both paths run under the request context (class deadline, client
 	// X-Request-Timeout, client disconnect): a caller nobody is waiting on
@@ -1143,9 +1520,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var best []knn.Neighbor
 	served := "scan"
 	if useGraph {
-		kEff := min(k, len(ep.users))
-		res, sstats, serr := knn.GraphSearch(ep.nav, corpus.NewQueryScorer(fp), kEff,
-			knn.SearchOptions{Ctx: r.Context(), Seeds: querySeeds(ep, fp)})
+		kEff := min(k, epNodes)
+		if live != nil {
+			kEff = min(k, live.Live)
+		}
+		// Tombstoned users must not appear in results: the search excludes
+		// nodes dead in the graph snapshot or deleted in the state snapshot
+		// (a lagging graph cannot know about later deletes). Excluded nodes
+		// are still traversed — a dead hub keeps bridging its region.
+		excl := func(v int32) bool {
+			if live != nil && live.Dead[v] {
+				return true
+			}
+			return int(v) < len(snap.deleted) && snap.deleted[v]
+		}
+		res, sstats, serr := knn.GraphSearch(nav, corpus.NewQueryScorer(fp), kEff,
+			knn.SearchOptions{Ctx: r.Context(), Seeds: querySeeds(ep, fp, epNodes), Exclude: excl})
 		if serr != nil {
 			s.queryAborted(w, serr)
 			return
@@ -1167,12 +1557,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if served != "graph" {
-		best, err = knn.TopKRangeCtx(r.Context(), corpus.NumUsers(), k, 0, func(lo, hi int, out []float64) {
+		// Over-fetch by the tombstone count so dropping deleted users below
+		// still leaves k live results when they exist.
+		kScan := min(k+snap.dead, corpus.NumUsers())
+		best, err = knn.TopKRangeCtx(r.Context(), corpus.NumUsers(), kScan, 0, func(lo, hi int, out []float64) {
 			corpus.JaccardQueryInto(fp, lo, hi, out)
 		})
 		if err != nil {
 			s.queryAborted(w, err)
 			return
+		}
+		if snap.dead > 0 {
+			kept := best[:0]
+			for _, b := range best {
+				if !snap.deleted[b.ID] {
+					kept = append(kept, b)
+				}
+			}
+			best = kept
+		}
+		if len(best) > k {
+			best = best[:k]
 		}
 		s.obs.Counter(metricQueryScan).Inc()
 		s.obs.Histogram(metricQueryScanSecs, obs.DefWaitBuckets).ObserveSince(queryStart)
@@ -1206,8 +1611,10 @@ const clusterQuerySeeds = 48
 // every region of a directed KNN graph reachable, and the warm bucket
 // seeds raise the beam's floor early so weaker paths are pruned sooner.
 // Without an assignment (other algorithms, recovered epochs) it returns
-// nil and GraphSearch uses its default spread alone.
-func querySeeds(ep *graphEpoch, fp core.Fingerprint) []int32 {
+// nil and GraphSearch uses its default spread alone. n is the served
+// graph's current node count — the live graph may have grown past the
+// build-time user table.
+func querySeeds(ep *graphEpoch, fp core.Fingerprint, n int) []int32 {
 	if ep.clusters == nil || len(ep.clusters.Views) == 0 {
 		return nil
 	}
@@ -1215,7 +1622,7 @@ func querySeeds(ep *graphEpoch, fp core.Fingerprint) []int32 {
 	if len(seeds) == 0 {
 		return nil
 	}
-	return knn.DefaultSeeds(seeds, len(ep.users))
+	return knn.DefaultSeeds(seeds, n)
 }
 
 // queryAborted answers a query whose context died mid-search/mid-scan: a
@@ -1230,6 +1637,13 @@ func (s *Server) queryAborted(w http.ResponseWriter, err error) {
 	}
 	s.obs.Counter(metricQueryCanceled).Inc()
 	httpError(w, statusClientClosedRequest, "query canceled by client")
+}
+
+// fpEqual reports whether two uploaded fingerprints carry identical bit
+// arrays — the build-publish drain uses it to detect overwrites that
+// landed while the build ran.
+func fpEqual(a, b core.Fingerprint) bool {
+	return a.Bits().Equal(b.Bits())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -382,14 +382,15 @@ func TestConcurrentUploadsAndQueries(t *testing.T) {
 	}
 }
 
-func TestReuploadReplacesAndMarksStale(t *testing.T) {
+func TestReuploadReplacesAndStaysLive(t *testing.T) {
 	ts, scheme := newTestServer(t)
 	putFingerprint(t, ts, scheme, "a", profile.New(1, 2)).Body.Close()
 	putFingerprint(t, ts, scheme, "b", profile.New(2, 3)).Body.Close()
 	resp, _ := http.Post(ts.URL+"/graph/build?k=1&algo=bruteforce", "", nil)
 	resp.Body.Close()
 
-	// Re-upload a: stats must flag the graph as stale, user count stays 2.
+	// Re-upload a: the overwrite is applied to the live graph, so the user
+	// count stays 2 and the epoch stays warm instead of flipping stale.
 	putFingerprint(t, ts, scheme, "a", profile.New(5, 6)).Body.Close()
 	sresp, err := http.Get(ts.URL + "/stats")
 	if err != nil {
@@ -403,8 +404,8 @@ func TestReuploadReplacesAndMarksStale(t *testing.T) {
 	if st.Users != 2 {
 		t.Errorf("users = %d after re-upload, want 2", st.Users)
 	}
-	if !st.GraphStale {
-		t.Error("graph not marked stale after re-upload")
+	if st.GraphStale || !st.GraphLive {
+		t.Errorf("stats after re-upload = %+v, want warm live graph", st)
 	}
 }
 
