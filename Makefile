@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race racecheck parity crashcheck loadcheck onlinecheck cover bench benchsmoke benchjson benchquery benchcluster experiments fuzz fuzzshort clean
+.PHONY: all build check test race racecheck parity crashcheck loadcheck shardcheck onlinecheck cover bench benchsmoke benchjson benchquery benchcluster experiments fuzz fuzzshort clean
 
 all: build test
 
@@ -13,7 +13,7 @@ build:
 # fault-injection suite, the overload/load-shedding suite, a short fuzz
 # burst over every fuzz target, and a one-iteration benchmark smoke so
 # the perf-critical kernel benches can never rot unnoticed.
-check: benchsmoke benchquery benchcluster racecheck crashcheck loadcheck onlinecheck fuzzshort
+check: benchsmoke benchquery benchcluster racecheck crashcheck loadcheck shardcheck onlinecheck fuzzshort
 	$(GO) vet ./...
 
 test: check
@@ -50,6 +50,20 @@ crashcheck:
 # saturation measurement re-runs every time.
 loadcheck:
 	$(GO) test -race -count=1 ./cmd/knnload
+
+# The shard-tier chaos suite under the race detector: four shard-cores
+# behind the scatter-gather router with a TCP chaos proxy per shard;
+# kill and slow-loris one of four mid-load (2× the healthy request
+# rate) and assert 200s with X-Partial-Results: 3/4, p99 within 2× the
+# healthy baseline (250ms floor for machine noise), recall@10
+# proportional to the lost coverage and >= 0.70× healthy, fail-fast
+# 503+Retry-After mutations to the dead shard, and breaker re-close
+# within one open interval + probe tick of the shard returning. The
+# measured run lands in BENCH_load.json under "shard_chaos". count=1 so
+# the chaos replays every time.
+shardcheck:
+	$(GO) test -race -count=1 -run 'ShardChaos' ./cmd/knnload
+	$(GO) test -race -count=1 -run 'RunSharded' ./cmd/knnserver
 
 # The online-mutation suite: the churn harness (>=10k interleaved
 # insert/overwrite/delete mutations must hold quality and recall within
@@ -101,6 +115,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseMovieLens -fuzztime=30s ./internal/dataset
 	$(GO) test -fuzz=FuzzWALReplay -fuzztime=30s ./internal/durable
 	$(GO) test -fuzz=FuzzGraphDeltaReplay -fuzztime=30s ./internal/durable
+	$(GO) test -fuzz=FuzzMergeTopK -fuzztime=30s ./internal/router
 
 # 10 seconds per fuzz target — enough for the seeded corpora (codec round
 # trips, the capped-prealloc set path, the ratings parser) to shake out
@@ -111,6 +126,7 @@ fuzzshort:
 	$(GO) test -fuzz=FuzzParseMovieLens -fuzztime=10s ./internal/dataset
 	$(GO) test -fuzz=FuzzWALReplay -fuzztime=10s ./internal/durable
 	$(GO) test -fuzz=FuzzGraphDeltaReplay -fuzztime=10s ./internal/durable
+	$(GO) test -fuzz=FuzzMergeTopK -fuzztime=10s ./internal/router
 
 clean:
 	$(GO) clean ./...

@@ -105,6 +105,11 @@ type Report struct {
 	// violation the overload tests treat as a failure).
 	BadRetryAfter int64 `json:"bad_retry_after"`
 
+	// PartialResults counts 200 answers whose X-Partial-Results header
+	// reported less than full shard coverage — a sharded deployment
+	// serving around dead shards. Always 0 against a single node.
+	PartialResults int64 `json:"partial_results,omitempty"`
+
 	// Chaos results. SlowReaped counts slow-loris connections the server
 	// terminated (its read timeout working); OversizeRejected counts
 	// oversized uploads answered 413.
@@ -270,6 +275,7 @@ type loader struct {
 	dropped     atomic.Int64
 	transport   atomic.Int64
 	badRetry    atomic.Int64
+	partial     atomic.Int64
 	reaped      atomic.Int64
 	overSent    atomic.Int64
 	overOK      atomic.Int64
@@ -443,6 +449,9 @@ func (l *loader) fire(method, url string) {
 	resp.Body.Close()
 
 	ms := float64(lat) / float64(time.Millisecond)
+	if resp.StatusCode/100 == 2 && isPartialCoverage(resp.Header.Get("X-Partial-Results")) {
+		l.partial.Add(1)
+	}
 	rejected := resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable
 	badRetry := false
 	if rejected {
@@ -542,10 +551,21 @@ func (l *loader) report() Report {
 		Accepted:         summarize(l.accepted),
 		Rejected:         summarize(l.rejected),
 		BadRetryAfter:    l.badRetry.Load(),
+		PartialResults:   l.partial.Load(),
 		SlowReaped:       l.reaped.Load(),
 		OversizeSent:     l.overSent.Load(),
 		OversizeRejected: l.overOK.Load(),
 	}
+}
+
+// isPartialCoverage parses an X-Partial-Results "served/total" value and
+// reports whether it admits to less than full coverage.
+func isPartialCoverage(v string) bool {
+	var served, total int
+	if _, err := fmt.Sscanf(v, "%d/%d", &served, &total); err != nil {
+		return false
+	}
+	return served < total
 }
 
 // summarize sorts in place and digests one latency population.

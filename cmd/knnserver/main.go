@@ -110,10 +110,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"goldfinger/internal/admit"
 	"goldfinger/internal/durable"
+	"goldfinger/internal/obs"
+	"goldfinger/internal/router"
 	"goldfinger/internal/service"
 )
 
@@ -159,6 +162,12 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		"independent clustering views for algo=cluster builds (0 uses the default)")
 	clusterMaxSize := fs.Int("cluster-max-size", 0,
 		"maximum cluster size for algo=cluster builds; oversized buckets are split recursively (0 uses the default)")
+	shards := fs.Int("shards", 1,
+		"run this many in-process shard-cores behind a scatter-gather router on -addr (1: classic single node)")
+	quorum := fs.Float64("quorum", 0.5,
+		"sharded mode: minimum fraction of shards that must answer a /query for a 200; below it the router answers 503 with Retry-After")
+	hedgeAfter := fs.Duration("hedge-after", 0,
+		"sharded mode: wait this long before hedging a duplicate request at a straggler shard (0: adaptive, 2× the shard's windowed p99; negative disables hedging)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -196,9 +205,38 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	if *clusterMaxSize < 0 {
 		return fmt.Errorf("-cluster-max-size must be non-negative, got %d", *clusterMaxSize)
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
+	}
+	if *quorum <= 0 || *quorum > 1 {
+		return fmt.Errorf("-quorum must be in (0, 1], got %g", *quorum)
+	}
 	fsyncPolicy, err := durable.ParseFsyncPolicy(*fsyncMode)
 	if err != nil {
 		return err
+	}
+
+	logger := log.New(logw, "", log.LstdFlags)
+	if *shards > 1 {
+		return runSharded(ctx, shardedParams{
+			addr:           *addr,
+			bits:           *bits,
+			shards:         *shards,
+			quorum:         *quorum,
+			hedgeAfter:     *hedgeAfter,
+			buildTimeout:   *buildTimeout,
+			dataDir:        *dataDir,
+			fsync:          fsyncPolicy,
+			readTimeout:    *readTimeout,
+			writeTimeout:   *writeTimeout,
+			idleTimeout:    *idleTimeout,
+			maxHeaderBytes: *maxHeaderBytes,
+			maxInflight:    *maxInflightQueries,
+			queryTimeout:   *queryTimeout,
+			rateLimit:      *rateLimit,
+			clusterViews:   *clusterViews,
+			clusterMaxSize: *clusterMaxSize,
+		}, logger, ready)
 	}
 
 	srv, err := service.NewServer(*bits)
@@ -208,21 +246,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	srv.SetBuildTimeout(*buildTimeout)
 	srv.SetClusterConfig(*clusterViews, *clusterMaxSize)
 
-	admitCfg := admit.DefaultConfig()
-	if *maxInflightQueries > 0 {
-		admitCfg.Query.MaxInflight = *maxInflightQueries
-		admitCfg.Query.MaxQueue = 4 * *maxInflightQueries
-	}
-	admitCfg.Query.Timeout = *queryTimeout
-	if *rateLimit > 0 {
-		admitCfg.Rate = *rateLimit
-		// One second of burst headroom so well-behaved clients with bursty
-		// arrivals are not clipped at the average rate.
-		admitCfg.Burst = *rateLimit
-	}
-	srv.SetAdmission(admitCfg)
+	srv.SetAdmission(admissionConfig(*maxInflightQueries, *queryTimeout, *rateLimit))
 
-	logger := log.New(logw, "", log.LstdFlags)
 	var store *durable.Store
 	if *dataDir != "" {
 		st, rec, err := durable.Open(durable.Options{
@@ -290,6 +315,192 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		if err := store.Close(); err != nil {
 			logger.Printf("closing durable store: %v", err)
 		}
+	}
+	return nil
+}
+
+// admissionConfig derives the admission configuration the flags select.
+func admissionConfig(maxInflightQueries int, queryTimeout time.Duration, rateLimit float64) admit.Config {
+	cfg := admit.DefaultConfig()
+	if maxInflightQueries > 0 {
+		cfg.Query.MaxInflight = maxInflightQueries
+		cfg.Query.MaxQueue = 4 * maxInflightQueries
+	}
+	cfg.Query.Timeout = queryTimeout
+	if rateLimit > 0 {
+		cfg.Rate = rateLimit
+		// One second of burst headroom so well-behaved clients with bursty
+		// arrivals are not clipped at the average rate.
+		cfg.Burst = rateLimit
+	}
+	return cfg
+}
+
+// shardedParams carries the parsed flags into sharded mode.
+type shardedParams struct {
+	addr           string
+	bits           int
+	shards         int
+	quorum         float64
+	hedgeAfter     time.Duration
+	buildTimeout   time.Duration
+	dataDir        string
+	fsync          durable.FsyncPolicy
+	readTimeout    time.Duration
+	writeTimeout   time.Duration
+	idleTimeout    time.Duration
+	maxHeaderBytes int
+	maxInflight    int
+	queryTimeout   time.Duration
+	rateLimit      float64
+	clusterViews   int
+	clusterMaxSize int
+}
+
+// runSharded boots -shards in-process shard-cores, each a full knnserver
+// service owning a consistent-hash slice of the user ids, listening on its
+// own loopback port with real HTTP between the tiers — the router speaks
+// to them exactly as it would to remote shards. The scatter-gather router
+// serves -addr with the same endpoint surface as a single node.
+func runSharded(ctx context.Context, p shardedParams, logger *log.Logger, ready func(addr string)) error {
+	names := make([]string, p.shards)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard-%d", i)
+	}
+	// Shard-cores and router derive ownership from the same deterministic
+	// placement, so a shard can answer 421 for ids the router would never
+	// send it — misrouting is loud, not silent.
+	place := router.NewPlacement(names, 0)
+
+	var (
+		specs     []router.ShardSpec
+		shardSrvs []*http.Server
+		stores    []*durable.Store
+		closers   []func()
+	)
+	cleanup := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	for i := 0; i < p.shards; i++ {
+		srv, err := service.NewServer(p.bits)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		srv.SetBuildTimeout(p.buildTimeout)
+		srv.SetClusterConfig(p.clusterViews, p.clusterMaxSize)
+		srv.SetAdmission(admissionConfig(p.maxInflight, p.queryTimeout, p.rateLimit))
+		idx := i
+		srv.SetShard(names[i], func(id string) bool { return place.Owner(id) == idx })
+		if p.dataDir != "" {
+			dir := filepath.Join(p.dataDir, names[i])
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				cleanup()
+				return fmt.Errorf("creating shard data dir %s: %w", dir, err)
+			}
+			st, rec, err := durable.Open(durable.Options{
+				Dir:     dir,
+				Fsync:   p.fsync,
+				Metrics: srv.Metrics(),
+				Logf:    logger.Printf,
+			})
+			if err != nil {
+				cleanup()
+				return fmt.Errorf("opening shard data dir %s: %w", dir, err)
+			}
+			if err := srv.UseStore(st, rec); err != nil {
+				st.Close()
+				cleanup()
+				return err
+			}
+			stores = append(stores, st)
+			closers = append(closers, func() { st.Close() })
+			logger.Printf("%s: recovered %d users from %s (%d WAL records replayed)",
+				names[i], len(rec.State.Users), dir, rec.RecordsReplayed)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return fmt.Errorf("listening for %s: %w", names[i], err)
+		}
+		hs := &http.Server{
+			Handler:           srv.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       p.readTimeout,
+			WriteTimeout:      p.writeTimeout,
+			IdleTimeout:       p.idleTimeout,
+			MaxHeaderBytes:    p.maxHeaderBytes,
+		}
+		shardSrvs = append(shardSrvs, hs)
+		closers = append(closers, func() { hs.Close() })
+		name := names[i]
+		go func() {
+			if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("%s: serve: %v", name, err)
+			}
+		}()
+		specs = append(specs, router.ShardSpec{Name: names[i], URL: "http://" + ln.Addr().String()})
+		logger.Printf("%s listening on %s", names[i], ln.Addr())
+	}
+
+	rt, err := router.New(router.Config{
+		Shards:       specs,
+		Quorum:       p.quorum,
+		QueryTimeout: p.queryTimeout,
+		HedgeAfter:   p.hedgeAfter,
+		Metrics:      obs.NewRegistry(),
+		Logf:         logger.Printf,
+	})
+	if err != nil {
+		cleanup()
+		return err
+	}
+	ln, err := net.Listen("tcp", p.addr)
+	if err != nil {
+		rt.Close()
+		cleanup()
+		return err
+	}
+	front := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       p.readTimeout,
+		WriteTimeout:      p.writeTimeout,
+		IdleTimeout:       p.idleTimeout,
+		MaxHeaderBytes:    p.maxHeaderBytes,
+	}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := front.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("router shutdown: %v", err)
+		}
+	}()
+
+	logger.Printf("knnserver router listening on %s (%d shards, quorum %g, fingerprints: %d bits)",
+		ln.Addr(), p.shards, p.quorum, p.bits)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	serveErr := front.Serve(ln)
+	rt.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i, hs := range shardSrvs {
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("%s shutdown: %v", names[i], err)
+		}
+	}
+	for _, st := range stores {
+		if err := st.Close(); err != nil {
+			logger.Printf("closing shard store: %v", err)
+		}
+	}
+	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
 	}
 	return nil
 }

@@ -30,6 +30,11 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-rate-limit", "-100"},
 		{"-cluster-views", "-1"},
 		{"-cluster-max-size", "-64"},
+		{"-shards", "0"},
+		{"-shards", "-2"},
+		{"-quorum", "0"},
+		{"-quorum", "1.5"},
+		{"-quorum", "-0.5"},
 		{"-nosuchflag"},
 		{"stray-positional"},
 	} {
@@ -323,5 +328,216 @@ func TestRunRestartRecoversState(t *testing.T) {
 		if len(nbrs) != 3 {
 			t.Fatalf("neighbors of u%d after restart: %d entries, want 3", i, len(nbrs))
 		}
+	}
+}
+
+// uploadUser PUTs one deterministic fingerprint for the given user id.
+func uploadUser(t *testing.T, client *http.Client, addr string, scheme *core.Scheme, id string, salt int) {
+	t.Helper()
+	var buf bytes.Buffer
+	p := profile.New(profile.ItemID(salt*3+1), profile.ItemID(salt*5+2), profile.ItemID(salt*7+3), profile.ItemID(salt+1000))
+	if err := core.WriteFingerprint(&buf, scheme.Fingerprint(p)); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut,
+		fmt.Sprintf("http://%s/users/%s/fingerprint", addr, id), &buf)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("upload %s: status %d", id, resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestRunShardedServes is the -shards smoke test at the binary boundary:
+// three in-process shard-cores behind the router, real HTTP between the
+// tiers. Uploads route to owners, the build fans out, /query scatter-
+// gathers with full coverage, /stats aggregates the shards section, and a
+// request sent directly to a shard for a user it does not own is answered
+// 421 Misdirected Request.
+func TestRunShardedServes(t *testing.T) {
+	var logs bytes.Buffer
+	addr, shutdown := startServer(t, &logs, "-shards", "3")
+	defer shutdown()
+	scheme := core.MustScheme(256, 7)
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	const n = 30
+	for i := 0; i < n; i++ {
+		uploadUser(t, client, addr, scheme, fmt.Sprintf("u%d", i), i)
+	}
+
+	resp, err := client.Post("http://"+addr+"/graph/build?k=3&algo=bruteforce", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("fan-out build status %d: %s", resp.StatusCode, body)
+	}
+	var build struct {
+		Built int `json:"built"`
+		Total int `json:"total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&build); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if build.Built != 3 || build.Total != 3 {
+		t.Fatalf("build aggregate %+v, want 3/3", build)
+	}
+
+	// Scatter-gather query: full coverage, merged top-k.
+	var qbuf bytes.Buffer
+	if err := core.WriteFingerprint(&qbuf, scheme.Fingerprint(profile.New(4, 12, 24, 1003))); err != nil {
+		t.Fatal(err)
+	}
+	qresp, err := client.Post("http://"+addr+"/query?k=5", "application/octet-stream", &qbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qresp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(qresp.Body)
+		t.Fatalf("query status %d: %s", qresp.StatusCode, body)
+	}
+	if got := qresp.Header.Get("X-Partial-Results"); got != "3/3" {
+		t.Errorf("X-Partial-Results = %q, want 3/3", got)
+	}
+	var hits []struct {
+		User       string  `json:"user"`
+		Similarity float64 `json:"similarity"`
+	}
+	if err := json.NewDecoder(qresp.Body).Decode(&hits); err != nil {
+		t.Fatal(err)
+	}
+	qresp.Body.Close()
+	if len(hits) != 5 {
+		t.Fatalf("query returned %d hits, want 5", len(hits))
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i-1].Similarity < hits[i].Similarity {
+			t.Fatalf("hits out of order at %d: %v", i, hits)
+		}
+	}
+
+	// Neighbors read routes to the owner and answers like a single node.
+	nresp, err := client.Get("http://" + addr + "/users/u0/neighbors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nresp.StatusCode != http.StatusOK {
+		t.Fatalf("neighbors via router: status %d", nresp.StatusCode)
+	}
+	nresp.Body.Close()
+
+	// /stats: router view with the shards section; user counts sum to n.
+	sresp, err := client.Get("http://" + addr + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Router bool `json:"router"`
+		Shards []struct {
+			Name  string `json:"name"`
+			URL   string `json:"url"`
+			State string `json:"state"`
+			Users int    `json:"users"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if !st.Router || len(st.Shards) != 3 {
+		t.Fatalf("router stats %+v, want router=true with 3 shards", st)
+	}
+	total := 0
+	for _, sh := range st.Shards {
+		if sh.State != "healthy" {
+			t.Errorf("shard %s state %q, want healthy", sh.Name, sh.State)
+		}
+		total += sh.Users
+	}
+	if total != n {
+		t.Errorf("shard user counts sum to %d, want %d", total, n)
+	}
+
+	// Misdirected request: find a user and a shard that does not own it and
+	// hit the shard-core directly — it must refuse with 421, not accept a
+	// write the router would never find again.
+	misdirected := false
+	for i := 0; i < n && !misdirected; i++ {
+		id := fmt.Sprintf("u%d", i)
+		for _, sh := range st.Shards {
+			var buf bytes.Buffer
+			if err := core.WriteFingerprint(&buf, scheme.Fingerprint(profile.New(1, 2, 3))); err != nil {
+				t.Fatal(err)
+			}
+			req, _ := http.NewRequest(http.MethodPut, sh.URL+"/users/"+id+"/fingerprint", &buf)
+			dresp, err := client.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dresp.Body.Close()
+			if dresp.StatusCode == http.StatusMisdirectedRequest {
+				misdirected = true
+				break
+			}
+		}
+	}
+	if !misdirected {
+		t.Error("no shard answered 421 for a misrouted id; ownership is not enforced")
+	}
+
+	if resp, err := client.Get("http://" + addr + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("/healthz = %d, want 200", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestRunShardedRestartRecovers checks per-shard durability: each
+// shard-core persists under its own subdirectory of -data-dir and a
+// restarted sharded deployment recovers every user.
+func TestRunShardedRestartRecovers(t *testing.T) {
+	dir := t.TempDir()
+	scheme := core.MustScheme(256, 7)
+	client := &http.Client{Timeout: 10 * time.Second}
+	const n = 12
+
+	var logs1 bytes.Buffer
+	addr, shutdown := startServer(t, &logs1, "-shards", "2", "-data-dir", dir, "-fsync", "none")
+	for i := 0; i < n; i++ {
+		uploadUser(t, client, addr, scheme, fmt.Sprintf("u%d", i), i)
+	}
+	shutdown()
+
+	var logs2 bytes.Buffer
+	addr2, shutdown2 := startServer(t, &logs2, "-shards", "2", "-data-dir", dir, "-fsync", "none")
+	defer shutdown2()
+	sresp, err := client.Get("http://" + addr2 + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Shards []struct {
+			Users int `json:"users"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	total := 0
+	for _, sh := range st.Shards {
+		total += sh.Users
+	}
+	if total != n {
+		t.Fatalf("recovered %d users across shards, want %d (logs: %s)", total, n, logs2.String())
 	}
 }

@@ -37,6 +37,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 	texts      map[string]*Text
+	windows    map[string]*Window
 }
 
 // NewRegistry creates an empty registry.

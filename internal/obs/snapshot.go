@@ -14,6 +14,7 @@ type Snapshot struct {
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	Texts      map[string]string            `json:"texts"`
+	Windows    map[string]WindowSnapshot    `json:"windows,omitempty"`
 }
 
 // HistogramSnapshot is one histogram's exported state.
@@ -69,6 +70,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, t := range r.texts {
 		s.Texts[name] = t.Value()
+	}
+	if len(r.windows) > 0 {
+		s.Windows = map[string]WindowSnapshot{}
+		for name, w := range r.windows {
+			s.Windows[name] = w.snapshot()
+		}
 	}
 	return s
 }

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Window is a fixed-size ring of the most recent observations, supporting
+// quantile reads over exactly that window. Histograms answer "what has the
+// distribution been since the process started"; a Window answers "what is
+// the distribution right now" — which is what feedback loops like the
+// router's circuit breaker need: a shard that was fast for an hour and
+// just started timing out must look slow immediately, not after the
+// lifetime histogram drifts.
+//
+// Observe is O(1) under a mutex; Quantile copies and sorts the live
+// window, O(size log size) — windows are small (tens to hundreds of
+// samples) and quantile reads happen per breaker decision or per metrics
+// snapshot, not per event. All methods are safe on a nil *Window.
+type Window struct {
+	mu  sync.Mutex
+	buf []float64
+	cap int
+	n   int64 // total observations ever; ring holds the last min(n, cap)
+}
+
+// NewWindow creates a window holding the last size observations. Size is
+// clamped to at least 1.
+func NewWindow(size int) *Window {
+	if size < 1 {
+		size = 1
+	}
+	return &Window{buf: make([]float64, 0, size), cap: size}
+}
+
+// Observe records one value, evicting the oldest once the window is full.
+func (w *Window) Observe(v float64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if len(w.buf) < w.cap {
+		w.buf = append(w.buf, v)
+	} else {
+		w.buf[int(w.n)%w.cap] = v
+	}
+	w.n++
+	w.mu.Unlock()
+}
+
+// Count returns the total number of observations ever recorded (not the
+// current window occupancy). 0 on nil.
+func (w *Window) Count() int64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Len returns the current window occupancy. 0 on nil.
+func (w *Window) Len() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buf)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1, nearest-rank) of the
+// current window, or 0 when the window is empty or the receiver nil.
+func (w *Window) Quantile(q float64) float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	tmp := append([]float64(nil), w.buf...)
+	w.mu.Unlock()
+	if len(tmp) == 0 {
+		return 0
+	}
+	sort.Float64s(tmp)
+	idx := int(q*float64(len(tmp))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
+	return tmp[idx]
+}
+
+// Reset discards every buffered observation (the lifetime count is kept).
+// The breaker calls it on state transitions so a re-closed shard is judged
+// on post-recovery samples only.
+func (w *Window) Reset() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.buf = w.buf[:0]
+	w.mu.Unlock()
+}
+
+// Window returns the named window, creating it with the given size on
+// first use (later calls ignore size). Returns nil on a nil registry.
+func (r *Registry) Window(name string, size int) *Window {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.windows == nil {
+		r.windows = map[string]*Window{}
+	}
+	w, ok := r.windows[name]
+	if !ok {
+		w = NewWindow(size)
+		r.windows[name] = w
+	}
+	return w
+}
+
+// WindowSnapshot is one window's exported state: the occupancy and the
+// quantiles operators actually look at.
+type WindowSnapshot struct {
+	Count int64   `json:"count"`
+	Len   int     `json:"len"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+func (w *Window) snapshot() WindowSnapshot {
+	return WindowSnapshot{
+		Count: w.Count(),
+		Len:   w.Len(),
+		P50:   w.Quantile(0.50),
+		P90:   w.Quantile(0.90),
+		P99:   w.Quantile(0.99),
+	}
+}

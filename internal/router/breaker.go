@@ -1,0 +1,297 @@
+package router
+
+import (
+	"sync"
+	"time"
+
+	"goldfinger/internal/obs"
+)
+
+// BreakerState is the classic three-state circuit-breaker machine.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow; outcomes feed the trip decision.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: every request fails fast until the open interval
+	// elapses. Open is what turns a dead shard from a per-request timeout
+	// into a sub-microsecond skip.
+	BreakerOpen
+	// BreakerHalfOpen: a bounded number of probe requests is let through;
+	// a probe success re-closes the breaker, a probe failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String returns the /stats spelling of the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes one shard's breaker. The zero value selects the
+// defaults documented per field.
+type BreakerConfig struct {
+	// Window is how many recent outcomes the error-rate and latency
+	// decisions look at. Default 32.
+	Window int
+	// MinSamples is the minimum number of windowed outcomes before the
+	// error-rate or latency conditions may trip — a single failure on a
+	// cold shard must not open the breaker. Default 8.
+	MinSamples int
+	// ErrorRate trips the breaker when the windowed failure fraction
+	// reaches it (with ≥ MinSamples outcomes). Default 0.5.
+	ErrorRate float64
+	// ConsecutiveFails trips the breaker unconditionally after this many
+	// back-to-back failures — the fast path for a hard-dead shard, which
+	// must not wait for a window to fill. Default 5.
+	ConsecutiveFails int
+	// P99Latency, when > 0, trips the breaker when the windowed p99
+	// latency (an obs.Window over the shard's recent request latencies)
+	// reaches it — a shard that answers, but too slowly to be worth its
+	// slot, is as sick as one that errors. Default 0 (disabled).
+	P99Latency time.Duration
+	// OpenFor is how long the breaker stays open before admitting
+	// half-open probes. Default 2s.
+	OpenFor time.Duration
+	// HalfOpenProbes bounds the concurrent probes in half-open. Default 1.
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) window() int {
+	if c.Window <= 0 {
+		return 32
+	}
+	return c.Window
+}
+
+func (c BreakerConfig) minSamples() int {
+	if c.MinSamples <= 0 {
+		return 8
+	}
+	return c.MinSamples
+}
+
+func (c BreakerConfig) errorRate() float64 {
+	if c.ErrorRate <= 0 || c.ErrorRate > 1 {
+		return 0.5
+	}
+	return c.ErrorRate
+}
+
+func (c BreakerConfig) consecutiveFails() int {
+	if c.ConsecutiveFails <= 0 {
+		return 5
+	}
+	return c.ConsecutiveFails
+}
+
+func (c BreakerConfig) openFor() time.Duration {
+	if c.OpenFor <= 0 {
+		return 2 * time.Second
+	}
+	return c.OpenFor
+}
+
+func (c BreakerConfig) halfOpenProbes() int {
+	if c.HalfOpenProbes <= 0 {
+		return 1
+	}
+	return c.HalfOpenProbes
+}
+
+// Breaker is one shard's circuit breaker. It is fed outcome classifications
+// (Record) by the call layer and consulted (Allow) before every logical
+// request to the shard. Backpressure answers — a 429 or a 503 that carries
+// Retry-After — are deliberately NOT outcomes: a shard saying "not now,
+// honestly and fast" is healthy, and counting sheds as failures would let
+// one shard's admission control amplify into whole-tier unavailability
+// (the classic retry-storm cascade). The call layer records them as
+// successes.
+type Breaker struct {
+	cfg  BreakerConfig
+	now  func() time.Time // injectable for tests
+	lats *obs.Window      // recent latencies (seconds); shared with /metrics
+
+	mu       sync.Mutex
+	state    BreakerState
+	outcomes []bool // ring of recent outcomes, true = failure
+	count    int    // occupancy of outcomes
+	next     int    // ring cursor
+	fails    int    // failures currently in the ring
+	consec   int    // consecutive failures
+	openedAt time.Time
+	probing  int // probes in flight while half-open
+
+	stateGauge *obs.Gauge // exported breaker state (0/1/2)
+	trips      *obs.Counter
+}
+
+// NewBreaker creates a breaker. lats may be nil (latency tripping then
+// never fires even if P99Latency is set); reg may be nil.
+func NewBreaker(cfg BreakerConfig, lats *obs.Window, stateGauge *obs.Gauge, trips *obs.Counter) *Breaker {
+	return &Breaker{
+		cfg:        cfg,
+		now:        time.Now,
+		lats:       lats,
+		outcomes:   make([]bool, cfg.window()),
+		stateGauge: stateGauge,
+		trips:      trips,
+	}
+}
+
+// Allow reports whether a logical request may proceed. probe is true when
+// the request is a half-open probe: the caller must eventually call
+// Record (outcome) or Forget (abandoned) with the same probe flag, or the
+// probe slot leaks and the breaker sticks half-open.
+func (b *Breaker) Allow() (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cfg.openFor() {
+			b.setState(BreakerHalfOpen)
+			b.probing = 1
+			return true, true
+		}
+		return false, false
+	default: // BreakerHalfOpen
+		if b.probing < b.cfg.halfOpenProbes() {
+			b.probing++
+			return true, true
+		}
+		return false, false
+	}
+}
+
+// Record feeds one completed request's outcome. latency is observed into
+// the shared window for the p99 condition; failed marks a breaker-relevant
+// failure (transport error, timeout, 5xx without honest backpressure).
+func (b *Breaker) Record(latency time.Duration, failed, probe bool) {
+	b.lats.Observe(latency.Seconds())
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe && b.probing > 0 {
+		b.probing--
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		// Probe outcomes decide the transition; stragglers from before the
+		// trip (probe=false) are ignored — they describe the old regime.
+		if !probe {
+			return
+		}
+		if failed {
+			b.trip()
+		} else {
+			b.reset()
+		}
+	case BreakerClosed:
+		if b.count < len(b.outcomes) {
+			b.count++
+		} else if b.outcomes[b.next] {
+			b.fails--
+		}
+		b.outcomes[b.next] = failed
+		b.next = (b.next + 1) % len(b.outcomes)
+		if failed {
+			b.fails++
+			b.consec++
+		} else {
+			b.consec = 0
+		}
+		if b.shouldTrip() {
+			b.trip()
+		}
+	case BreakerOpen:
+		// Stragglers landing after the trip carry no new information.
+	}
+}
+
+// Forget releases an Allow the caller abandoned without an outcome (e.g.
+// the request was canceled by its sibling hedge winning, which says
+// nothing about the shard).
+func (b *Breaker) Forget(probe bool) {
+	if !probe {
+		return
+	}
+	b.mu.Lock()
+	if b.probing > 0 {
+		b.probing--
+	}
+	b.mu.Unlock()
+}
+
+// shouldTrip evaluates the closed-state trip conditions. Called with mu
+// held.
+func (b *Breaker) shouldTrip() bool {
+	if b.consec >= b.cfg.consecutiveFails() {
+		return true
+	}
+	if b.count >= b.cfg.minSamples() &&
+		float64(b.fails) >= b.cfg.errorRate()*float64(b.count) {
+		return true
+	}
+	if p99 := b.cfg.P99Latency; p99 > 0 && b.lats != nil &&
+		b.lats.Len() >= b.cfg.minSamples() &&
+		b.lats.Quantile(0.99) >= p99.Seconds() {
+		return true
+	}
+	return false
+}
+
+// trip opens the breaker. Called with mu held.
+func (b *Breaker) trip() {
+	b.setState(BreakerOpen)
+	b.openedAt = b.now()
+	b.clearWindow()
+	b.trips.Inc()
+}
+
+// reset closes the breaker after a successful probe. Called with mu held.
+func (b *Breaker) reset() {
+	b.setState(BreakerClosed)
+	b.clearWindow()
+}
+
+func (b *Breaker) clearWindow() {
+	for i := range b.outcomes {
+		b.outcomes[i] = false
+	}
+	b.count, b.next, b.fails, b.consec, b.probing = 0, 0, 0, 0, 0
+	b.lats.Reset()
+}
+
+func (b *Breaker) setState(s BreakerState) {
+	b.state = s
+	b.stateGauge.Set(int64(s))
+}
+
+// State returns the current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// RetryAfter estimates when retrying the shard is worthwhile: the time
+// until the open breaker admits its next half-open probe, floored at 1s.
+// Router-originated 503s put this in their Retry-After header.
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		if rem := b.cfg.openFor() - b.now().Sub(b.openedAt); rem > time.Second {
+			return rem
+		}
+	}
+	return time.Second
+}

@@ -1,0 +1,61 @@
+package router
+
+import "sort"
+
+// Hit is one entry of a /query response — the router-side mirror of
+// service.NeighborJSON, kept separate so the router depends only on the
+// shards' wire contract, never on service internals.
+type Hit struct {
+	User       string  `json:"user"`
+	Similarity float64 `json:"similarity"`
+}
+
+// MergeTopK merges per-shard top-k lists into the global top-k under the
+// single-node response order: similarity descending, ties by user id
+// ascending. Duplicate users (possible only transiently, e.g. a re-routed
+// user whose old shard still holds a tombstone-revived copy) keep their
+// highest-similarity entry.
+//
+// Determinism contract: the shards partition the corpus disjointly, each
+// shard's list is its exact local top-k, and the single-node service
+// orders its response by (similarity desc, user asc) — so the merged
+// result is bit-identical to the single-node /query over the union
+// corpus whenever the boundary tie-break agrees (always when boundary
+// similarities are distinct; with boundary ties, when user ids sort in
+// registration order, since knn.TopK's internal selection prefers lower
+// dense indices). TestMergeMatchesSingleNode pins this.
+func MergeTopK(k int, shards [][]Hit) []Hit {
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	all := make([]Hit, 0, total)
+	for _, s := range shards {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Similarity != all[j].Similarity {
+			return all[i].Similarity > all[j].Similarity
+		}
+		return all[i].User < all[j].User
+	})
+	if k < 0 {
+		k = 0
+	}
+	out := make([]Hit, 0, min(k, len(all)))
+	var seen map[string]bool
+	for _, h := range all {
+		if len(out) == k {
+			break
+		}
+		if seen[h.User] {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[string]bool, min(k, len(all)))
+		}
+		seen[h.User] = true
+		out = append(out, h)
+	}
+	return out
+}

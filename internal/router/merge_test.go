@@ -1,0 +1,195 @@
+package router
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"goldfinger/internal/core"
+	"goldfinger/internal/knn"
+	"goldfinger/internal/profile"
+)
+
+func TestMergeTopKOrderAndTrim(t *testing.T) {
+	got := MergeTopK(3, [][]Hit{
+		{{User: "b", Similarity: 0.9}, {User: "d", Similarity: 0.2}},
+		{{User: "a", Similarity: 0.9}, {User: "c", Similarity: 0.5}},
+	})
+	want := []Hit{{User: "a", Similarity: 0.9}, {User: "b", Similarity: 0.9}, {User: "c", Similarity: 0.5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MergeTopK = %v, want %v (sim desc, ties user asc, trimmed to k)", got, want)
+	}
+}
+
+func TestMergeTopKDedupKeepsBest(t *testing.T) {
+	got := MergeTopK(10, [][]Hit{
+		{{User: "x", Similarity: 0.3}},
+		{{User: "x", Similarity: 0.7}, {User: "y", Similarity: 0.1}},
+	})
+	want := []Hit{{User: "x", Similarity: 0.7}, {User: "y", Similarity: 0.1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MergeTopK = %v, want %v (duplicate user keeps its best entry)", got, want)
+	}
+}
+
+func TestMergeTopKEdges(t *testing.T) {
+	if got := MergeTopK(5, nil); len(got) != 0 || got == nil {
+		t.Errorf("MergeTopK(5, nil) = %#v, want empty non-nil slice", got)
+	}
+	if got := MergeTopK(0, [][]Hit{{{User: "a", Similarity: 1}}}); len(got) != 0 {
+		t.Errorf("MergeTopK(0, ...) = %v, want empty", got)
+	}
+	if got := MergeTopK(-1, [][]Hit{{{User: "a", Similarity: 1}}}); len(got) != 0 {
+		t.Errorf("MergeTopK(-1, ...) = %v, want empty", got)
+	}
+}
+
+// TestMergeMatchesSingleNode pins the satellite determinism contract: for a
+// corpus partitioned disjointly across shards by the placement — seeded so
+// registration order equals id order, as the sharded seeder does — merging
+// the exact per-shard top-k is bit-identical (floats included) to the
+// single-node knn.TopK over the union corpus, tie order and all.
+func TestMergeMatchesSingleNode(t *testing.T) {
+	const (
+		bits  = 512
+		users = 200
+		k     = 10
+	)
+	scheme, err := core.NewScheme(bits, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, users)
+	fps := make([]core.Fingerprint, users)
+	for i := range fps {
+		ids[i] = fmt.Sprintf("user-%04d", i)
+		fps[i] = scheme.Fingerprint(profile.New(
+			profile.ItemID(i%17+1), profile.ItemID(i%5+100), profile.ItemID(i+1000), profile.ItemID(2*i+5000)))
+	}
+	query := scheme.Fingerprint(profile.New(3, 102, 1042, 5084, 9999))
+
+	// Single-node reference: exact top-k over the union corpus, response
+	// order (sim desc, user asc) exactly as service /query emits it.
+	corpus, err := core.NewPackedCorpus(bits, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := knn.TopKRange(users, k, 1, func(lo, hi int, out []float64) {
+		corpus.JaccardQueryInto(query, lo, hi, out)
+	})
+	want := make([]Hit, len(ref))
+	for i, nb := range ref {
+		want[i] = Hit{User: ids[nb.ID], Similarity: nb.Sim}
+	}
+	sort.SliceStable(want, func(i, j int) bool {
+		if want[i].Similarity != want[j].Similarity {
+			return want[i].Similarity > want[j].Similarity
+		}
+		return want[i].User < want[j].User
+	})
+
+	// Shard the corpus with the real placement and compute each shard's
+	// exact local top-k over its own packed sub-corpus.
+	place := NewPlacement([]string{"shard-0", "shard-1", "shard-2", "shard-3"}, 0)
+	shardIDs := make([][]string, 4)
+	shardFPs := make([][]core.Fingerprint, 4)
+	for i := range fps {
+		s := place.Owner(ids[i])
+		shardIDs[s] = append(shardIDs[s], ids[i])
+		shardFPs[s] = append(shardFPs[s], fps[i])
+	}
+	lists := make([][]Hit, 0, 4)
+	for s := 0; s < 4; s++ {
+		if len(shardFPs[s]) == 0 {
+			continue
+		}
+		sub, err := core.NewPackedCorpus(bits, shardFPs[s])
+		if err != nil {
+			t.Fatal(err)
+		}
+		local := knn.TopKRange(len(shardFPs[s]), k, 1, func(lo, hi int, out []float64) {
+			sub.JaccardQueryInto(query, lo, hi, out)
+		})
+		hits := make([]Hit, len(local))
+		for i, nb := range local {
+			hits[i] = Hit{User: shardIDs[s][nb.ID], Similarity: nb.Sim}
+		}
+		lists = append(lists, hits)
+	}
+
+	got := MergeTopK(k, lists)
+	if len(got) != len(want) {
+		t.Fatalf("merged %d hits, single-node %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].User != want[i].User ||
+			math.Float64bits(got[i].Similarity) != math.Float64bits(want[i].Similarity) {
+			t.Errorf("position %d: merged %v, single-node %v (must be bit-identical)", i, got[i], want[i])
+		}
+	}
+}
+
+// FuzzMergeTopK cross-checks MergeTopK against an independent reference
+// (best-per-user map, then one sort) and its output invariants: sorted by
+// (sim desc, user asc), no duplicate users, at most k entries.
+func FuzzMergeTopK(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 200, 1, 2, 100, 2, 1, 200})
+	f.Add([]byte{})
+	f.Add([]byte{10, 0, 5, 0, 1, 5, 0, 2, 5, 255, 3, 5, 128})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		k := int(data[0] % 16)
+		shards := make([][]Hit, 4)
+		for i := 1; i+2 < len(data); i += 3 {
+			s := int(data[i] % 4)
+			shards[s] = append(shards[s], Hit{
+				User:       fmt.Sprintf("u%02x", data[i+1]),
+				Similarity: float64(data[i+2]) / 255,
+			})
+		}
+		got := MergeTopK(k, shards)
+
+		best := map[string]float64{}
+		for _, sh := range shards {
+			for _, h := range sh {
+				if b, ok := best[h.User]; !ok || h.Similarity > b {
+					best[h.User] = h.Similarity
+				}
+			}
+		}
+		want := make([]Hit, 0, len(best))
+		for u, s := range best {
+			want = append(want, Hit{User: u, Similarity: s})
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].Similarity != want[j].Similarity {
+				return want[i].Similarity > want[j].Similarity
+			}
+			return want[i].User < want[j].User
+		})
+		if len(want) > k {
+			want = want[:k]
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("MergeTopK(%d) = %v, reference = %v", k, got, want)
+		}
+		seen := map[string]bool{}
+		for i, h := range got {
+			if seen[h.User] {
+				t.Fatalf("duplicate user %q in merged output", h.User)
+			}
+			seen[h.User] = true
+			if i > 0 {
+				prev := got[i-1]
+				if prev.Similarity < h.Similarity ||
+					(prev.Similarity == h.Similarity && prev.User > h.User) {
+					t.Fatalf("output not in (sim desc, user asc) order at %d: %v", i, got)
+				}
+			}
+		}
+	})
+}

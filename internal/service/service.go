@@ -206,6 +206,14 @@ type Server struct {
 	// buildHook, when non-nil, runs after the build snapshot is taken and
 	// before the algorithm starts. Test instrumentation only.
 	buildHook func()
+
+	// shardName / owns, when set via SetShard, make this server one
+	// shard-core of a sharded deployment: it reports the shard name in
+	// /stats and answers 421 Misdirected Request for user ids the
+	// placement does not assign to it — a misrouted mutation must fail
+	// loudly instead of splitting a user across shards.
+	shardName string
+	owns      func(id string) bool
 }
 
 // packedCache is one immutable packed snapshot of the corpus: the row-major
@@ -288,6 +296,17 @@ func NewServer(bits int) (*Server, error) {
 // not synchronized against in-flight requests.
 func (s *Server) SetAdmission(cfg admit.Config) {
 	s.admit = admit.NewController(cfg, s.obs)
+}
+
+// SetShard turns this server into one shard-core of a sharded deployment:
+// name labels it in /stats, and owns is the ownership predicate derived
+// from the router's placement. Requests for /users/{id}/... with an id the
+// shard does not own are answered 421 Misdirected Request before
+// admission. Must be called before the handler serves traffic. A nil owns
+// accepts every id (the single-node default).
+func (s *Server) SetShard(name string, owns func(id string) bool) {
+	s.shardName = name
+	s.owns = owns
 }
 
 // SetBuildTimeout bounds every subsequent graph build: a build running
@@ -661,6 +680,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // Stats is the /stats response.
 type Stats struct {
+	// Shard is the shard-core's name when the server runs behind the
+	// router tier (SetShard); empty for a single-node deployment.
+	Shard string `json:"shard,omitempty"`
+
 	Users      int  `json:"users"`
 	Bits       int  `json:"bits"`
 	GraphK     int  `json:"graph_k"`
@@ -735,6 +758,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 
 	st := Stats{
+		Shard:          s.shardName,
 		Users:          users,
 		Bits:           s.bits,
 		BuildRunning:   s.building.Load(),
@@ -800,6 +824,14 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id, action := parts[0], parts[1]
+	if s.owns != nil && !s.owns(id) {
+		// Misrouted id: this shard-core does not own the user. Answered
+		// before admission — accepting it would silently split the user
+		// across shards and the router could never find it again.
+		httpError(w, http.StatusMisdirectedRequest,
+			"user %q is not owned by shard %s", id, s.shardName)
+		return
+	}
 	switch action {
 	case "fingerprint":
 		switch r.Method {
