@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race racecheck parity crashcheck loadcheck shardcheck onlinecheck cover bench benchsmoke benchjson benchquery benchcluster experiments fuzz fuzzshort clean
+.PHONY: all build check test race racecheck parity crashcheck loadcheck shardcheck onlinecheck clustercheck clustershort cover bench benchsmoke benchjson benchquery benchcluster experiments fuzz fuzzshort clean
 
 all: build test
 
@@ -13,7 +13,7 @@ build:
 # fault-injection suite, the overload/load-shedding suite, a short fuzz
 # burst over every fuzz target, and a one-iteration benchmark smoke so
 # the perf-critical kernel benches can never rot unnoticed.
-check: benchsmoke benchquery benchcluster racecheck crashcheck loadcheck shardcheck onlinecheck fuzzshort
+check: benchsmoke benchquery benchcluster racecheck crashcheck loadcheck shardcheck onlinecheck clustershort fuzzshort
 	$(GO) vet ./...
 
 test: check
@@ -49,7 +49,7 @@ crashcheck:
 # parseable Retry-After, and no goroutine leak. count=1 so the
 # saturation measurement re-runs every time.
 loadcheck:
-	$(GO) test -race -count=1 ./cmd/knnload
+	$(GO) test -race -count=1 -skip 'TestCluster' ./cmd/knnload
 
 # The shard-tier chaos suite under the race detector: four shard-cores
 # behind the scatter-gather router with a TCP chaos proxy per shard;
@@ -64,6 +64,28 @@ loadcheck:
 shardcheck:
 	$(GO) test -race -count=1 -run 'ShardChaos' ./cmd/knnload
 	$(GO) test -race -count=1 -run 'RunSharded' ./cmd/knnserver
+
+# The multi-process cluster suite under the race detector: three
+# knnserver shard PROCESSES (own durable dirs, own WALs, race-built)
+# behind the router; SIGKILL one at 2× load and assert zero lost acked
+# mutations after WAL restart + rejoin, every outage query is 200 with
+# X-Partial-Results or quorum-503, and recall@10 returns to within 1%
+# of the healthy baseline; then a fresh shard joins mid-load (live
+# WAL-journaled migration, dual-read window, exact-partition user
+# counts) and a second scenario SIGKILLs the gaining shard mid-import
+# and proves the transfer resumes with no user lost or duplicated.
+# Measured runs land in BENCH_load.json under "cluster_chaos" and
+# "migration". The second line re-runs the single-process migration,
+# ring, membership, and delta tests that back the cluster machinery.
+clustercheck:
+	$(GO) test -race -count=1 -run 'TestClusterProcessKillChaos|TestClusterMigrationCrashResume' ./cmd/knnload
+	$(GO) test -race -count=1 -run 'Cluster|Migration|Ring|Membership|Delta|Drift|Prober' ./internal/router ./internal/gossip ./internal/durable ./internal/service ./cmd/knnserver
+
+# Short-mode clustercheck: the same process-kill and crash-resume
+# proofs at reduced corpus scale, wired into `make check`.
+clustershort:
+	$(GO) test -race -count=1 -short -run 'TestClusterProcessKillChaos|TestClusterMigrationCrashResume' ./cmd/knnload
+	$(GO) test -race -count=1 -run 'Cluster|Migration|Ring|Membership|Delta|Drift|Prober' ./internal/router ./internal/gossip ./internal/durable ./internal/service ./cmd/knnserver
 
 # The online-mutation suite: the churn harness (>=10k interleaved
 # insert/overwrite/delete mutations must hold quality and recall within

@@ -641,6 +641,13 @@ func TestShardChaosKillOneOfFour(t *testing.T) {
 // without disturbing the flat load-test report knnload writes there.
 func writeChaosSection(t *testing.T, path string, section shardChaosJSON) {
 	t.Helper()
+	mergeBenchSections(t, path, map[string]any{"shard_chaos": section})
+}
+
+// mergeBenchSections merges named sections into the JSON document at
+// path, preserving every key it does not own.
+func mergeBenchSections(t *testing.T, path string, sections map[string]any) {
+	t.Helper()
 	doc := make(map[string]any)
 	if blob, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(blob, &doc); err != nil {
@@ -648,12 +655,14 @@ func writeChaosSection(t *testing.T, path string, section shardChaosJSON) {
 			doc = make(map[string]any)
 		}
 	}
-	doc["shard_chaos"] = section
+	for k, v := range sections {
+		doc[k] = v
+	}
 	blob, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
-		t.Fatalf("recording shard_chaos section: %v", err)
+		t.Fatalf("recording bench sections: %v", err)
 	}
 }

@@ -100,7 +100,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -111,6 +113,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"goldfinger/internal/admit"
@@ -164,6 +167,20 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		"maximum cluster size for algo=cluster builds; oversized buckets are split recursively (0 uses the default)")
 	shards := fs.Int("shards", 1,
 		"run this many in-process shard-cores behind a scatter-gather router on -addr (1: classic single node)")
+	role := fs.String("role", "",
+		"multi-process deployment role: \"shard\" (one shard-core process; pair with -name and -join) or \"router\" (routing tier; pair with -peers). Empty: single node or -shards in-process mode")
+	shardName := fs.String("name", "",
+		"role=shard: this shard's stable name on the placement ring (e.g. shard-0); must survive restarts so the ring does not move")
+	joinURL := fs.String("join", "",
+		"role=shard: router base URL to register with (e.g. http://127.0.0.1:8080); empty skips self-registration (join manually via the router's /cluster/join)")
+	advertiseURL := fs.String("advertise", "",
+		"role=shard: URL the router should use to reach this process (default: http://<bound addr>, with 0.0.0.0/:: rewritten to 127.0.0.1 — loopback-only unless you advertise a reachable address)")
+	peers := fs.String("peers", "",
+		"role=router: comma-separated seed shard URLs, each \"name=url\" or a bare url (name is then resolved from the shard's /stats); shards may also self-register via -join")
+	migrateTimeout := fs.Duration("migrate-timeout", 0,
+		"role=router: give up on a single shard-to-shard migration transfer after this long (0 uses the default, 2m)")
+	migrateRate := fs.Int("migrate-rate", 0,
+		"role=shard: cap migration-import apply throughput at this many users/second so a live gainer stays responsive while a transfer streams in (0: unlimited)")
 	quorum := fs.Float64("quorum", 0.5,
 		"sharded mode: minimum fraction of shards that must answer a /query for a 200; below it the router answers 503 with Retry-After")
 	hedgeAfter := fs.Duration("hedge-after", 0,
@@ -215,8 +232,59 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	if err != nil {
 		return err
 	}
+	if *migrateTimeout < 0 {
+		return fmt.Errorf("-migrate-timeout must be non-negative, got %s", *migrateTimeout)
+	}
 
 	logger := log.New(logw, "", log.LstdFlags)
+	switch *role {
+	case "":
+		if *shardName != "" || *joinURL != "" || *advertiseURL != "" || *peers != "" {
+			return errors.New("-name, -join, -advertise and -peers require a -role")
+		}
+	case "shard":
+		if *shards != 1 {
+			return errors.New("-role shard runs exactly one shard-core; drop -shards")
+		}
+		if *peers != "" {
+			return errors.New("-peers is a router flag; a shard uses -join")
+		}
+		if *shardName == "" {
+			return errors.New("-role shard requires -name (a stable ring name, e.g. shard-0)")
+		}
+		return runShardProc(ctx, shardProcParams{
+			addr:         *addr,
+			bits:         *bits,
+			name:         *shardName,
+			join:         *joinURL,
+			advertise:    *advertiseURL,
+			buildTimeout: *buildTimeout,
+			dataDir:      *dataDir,
+			fsync:        fsyncPolicy,
+			httpTimeouts: httpTimeouts{*readTimeout, *writeTimeout, *idleTimeout, *maxHeaderBytes},
+			admission:    admissionConfig(*maxInflightQueries, *queryTimeout, *rateLimit),
+			migrateRate:  *migrateRate,
+			clusterViews: *clusterViews, clusterMaxSize: *clusterMaxSize,
+		}, logger, ready)
+	case "router":
+		if *shards != 1 {
+			return errors.New("-role router has no local shard-cores; drop -shards")
+		}
+		if *joinURL != "" || *shardName != "" || *dataDir != "" {
+			return errors.New("-name, -join and -data-dir are shard flags; the router holds no data")
+		}
+		return runRouterProc(ctx, routerProcParams{
+			addr:           *addr,
+			peers:          *peers,
+			quorum:         *quorum,
+			hedgeAfter:     *hedgeAfter,
+			queryTimeout:   *queryTimeout,
+			migrateTimeout: *migrateTimeout,
+			httpTimeouts:   httpTimeouts{*readTimeout, *writeTimeout, *idleTimeout, *maxHeaderBytes},
+		}, logger, ready)
+	default:
+		return fmt.Errorf("unknown -role %q (want shard or router)", *role)
+	}
 	if *shards > 1 {
 		return runSharded(ctx, shardedParams{
 			addr:           *addr,
@@ -368,9 +436,10 @@ func runSharded(ctx context.Context, p shardedParams, logger *log.Logger, ready 
 		names[i] = fmt.Sprintf("shard-%d", i)
 	}
 	// Shard-cores and router derive ownership from the same deterministic
-	// placement, so a shard can answer 421 for ids the router would never
-	// send it — misrouting is loud, not silent.
-	place := router.NewPlacement(names, 0)
+	// placement ring, so a shard can answer 421 (naming the owner in
+	// X-Owner-Shard) for ids the router would never send it — misrouting
+	// is loud, not silent.
+	ring := service.RingInfo{Epoch: 1, Mode: service.RingStable, Names: names}
 
 	var (
 		specs     []router.ShardSpec
@@ -392,8 +461,11 @@ func runSharded(ctx context.Context, p shardedParams, logger *log.Logger, ready 
 		srv.SetBuildTimeout(p.buildTimeout)
 		srv.SetClusterConfig(p.clusterViews, p.clusterMaxSize)
 		srv.SetAdmission(admissionConfig(p.maxInflight, p.queryTimeout, p.rateLimit))
-		idx := i
-		srv.SetShard(names[i], func(id string) bool { return place.Owner(id) == idx })
+		srv.SetShardName(names[i])
+		if err := srv.InstallRing(ring); err != nil {
+			cleanup()
+			return err
+		}
 		if p.dataDir != "" {
 			dir := filepath.Join(p.dataDir, names[i])
 			if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -503,4 +575,318 @@ func runSharded(ctx context.Context, p shardedParams, logger *log.Logger, ready 
 		return serveErr
 	}
 	return nil
+}
+
+// httpTimeouts bundles the http.Server hardening flags.
+type httpTimeouts struct {
+	read, write, idle time.Duration
+	maxHeaderBytes    int
+}
+
+func (t httpTimeouts) server(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       t.read,
+		WriteTimeout:      t.write,
+		IdleTimeout:       t.idle,
+		MaxHeaderBytes:    t.maxHeaderBytes,
+	}
+}
+
+// shardProcParams carries the parsed flags into -role shard mode.
+type shardProcParams struct {
+	addr           string
+	bits           int
+	name           string
+	join           string
+	advertise      string
+	buildTimeout   time.Duration
+	dataDir        string
+	fsync          durable.FsyncPolicy
+	httpTimeouts   httpTimeouts
+	admission      admit.Config
+	migrateRate    int
+	clusterViews   int
+	clusterMaxSize int
+}
+
+// ringFile is where a shard process persists its installed placement ring
+// inside -data-dir, so a restart recovers ownership (and keeps answering
+// 421 with the right owner) before the router re-pushes.
+const ringFile = "ring.json"
+
+// runShardProc boots one shard-core as its own OS process: a full
+// knnserver service with its own WAL under -data-dir, named on the
+// placement ring, registering itself with the router at -join and
+// re-asserting membership periodically so a restarted router relearns the
+// cluster without operator action. Migration state (import journal marks)
+// rides the shard's own WAL, so a SIGKILL mid-migration recovers.
+func runShardProc(ctx context.Context, p shardProcParams, logger *log.Logger, ready func(addr string)) error {
+	srv, err := service.NewServer(p.bits)
+	if err != nil {
+		return err
+	}
+	srv.SetShardName(p.name)
+	srv.SetBuildTimeout(p.buildTimeout)
+	srv.SetClusterConfig(p.clusterViews, p.clusterMaxSize)
+	srv.SetAdmission(p.admission)
+	srv.SetMigrateRate(p.migrateRate)
+
+	var store *durable.Store
+	if p.dataDir != "" {
+		if err := os.MkdirAll(p.dataDir, 0o755); err != nil {
+			return fmt.Errorf("creating data dir %s: %w", p.dataDir, err)
+		}
+		ringPath := filepath.Join(p.dataDir, ringFile)
+		srv.SetRingHook(func(info service.RingInfo) {
+			raw, err := json.Marshal(info)
+			if err != nil {
+				return
+			}
+			tmp := ringPath + ".tmp"
+			if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+				logger.Printf("persisting ring: %v", err)
+				return
+			}
+			if err := os.Rename(tmp, ringPath); err != nil {
+				logger.Printf("persisting ring: %v", err)
+			}
+		})
+		st, rec, err := durable.Open(durable.Options{
+			Dir:     p.dataDir,
+			Fsync:   p.fsync,
+			Metrics: srv.Metrics(),
+			Logf:    logger.Printf,
+		})
+		if err != nil {
+			return fmt.Errorf("opening data dir %s: %w", p.dataDir, err)
+		}
+		if err := srv.UseStore(st, rec); err != nil {
+			st.Close()
+			return err
+		}
+		store = st
+		logger.Printf("%s: recovered %d users from %s (%d WAL records replayed)",
+			p.name, len(rec.State.Users), p.dataDir, rec.RecordsReplayed)
+		if raw, err := os.ReadFile(ringPath); err == nil {
+			var info service.RingInfo
+			if err := json.Unmarshal(raw, &info); err == nil {
+				if err := srv.InstallRing(info); err != nil {
+					logger.Printf("%s: persisted ring rejected: %v", p.name, err)
+				} else {
+					logger.Printf("%s: recovered ring epoch %d (%s, %d shards)",
+						p.name, info.Epoch, info.Mode, len(info.Names))
+				}
+			}
+		}
+	}
+
+	ln, err := net.Listen("tcp", p.addr)
+	if err != nil {
+		if store != nil {
+			store.Close()
+		}
+		return err
+	}
+	advertise := p.advertise
+	if advertise == "" {
+		advertise = "http://" + loopbackAddr(ln.Addr().String())
+	}
+	httpSrv := p.httpTimeouts.server(srv.Handler())
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+	}()
+
+	// Register with the router: retry until the first ack (the router may
+	// start after us), then re-assert every 30s so a restarted router —
+	// whose membership table is in-memory — relearns us without operator
+	// action. A SIGKILL here is safe: the router's prober marks us dead but
+	// keeps us on the ring, so a restart resumes the same slice.
+	if p.join != "" {
+		go func() {
+			body, _ := json.Marshal(map[string]string{"name": p.name, "url": advertise})
+			joined := false
+			for {
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					p.join+"/cluster/join", bytes.NewReader(body))
+				if err == nil {
+					req.Header.Set("Content-Type", "application/json")
+					resp, err := http.DefaultClient.Do(req)
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode == http.StatusOK && !joined {
+							joined = true
+							logger.Printf("%s: joined cluster at %s (advertising %s)", p.name, p.join, advertise)
+						}
+					} else if !joined {
+						logger.Printf("%s: join %s: %v (retrying)", p.name, p.join, err)
+					}
+				}
+				wait := 30 * time.Second
+				if !joined {
+					wait = time.Second
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(wait):
+				}
+			}
+		}()
+	}
+
+	logger.Printf("knnserver shard %s listening on %s (fingerprints: %d bits, advertising %s)",
+		p.name, ln.Addr(), p.bits, advertise)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	serveErr := httpSrv.Serve(ln)
+	if store != nil {
+		if err := store.Close(); err != nil {
+			logger.Printf("closing durable store: %v", err)
+		}
+	}
+	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return nil
+}
+
+// loopbackAddr rewrites a wildcard bind address (0.0.0.0, ::, or empty
+// host) to the loopback address peers on the same machine can dial. The
+// default deployment is single-machine loopback; crossing machines
+// requires an explicit -advertise (see README: the cluster protocol
+// carries no TLS or auth of its own).
+func loopbackAddr(bound string) string {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return bound
+	}
+	switch host {
+	case "", "0.0.0.0", "::", "[::]":
+		return net.JoinHostPort("127.0.0.1", port)
+	}
+	return bound
+}
+
+// routerProcParams carries the parsed flags into -role router mode.
+type routerProcParams struct {
+	addr           string
+	peers          string
+	quorum         float64
+	hedgeAfter     time.Duration
+	queryTimeout   time.Duration
+	migrateTimeout time.Duration
+	httpTimeouts   httpTimeouts
+}
+
+// runRouterProc boots the routing tier as its own process: no local
+// shard-cores, membership fed by -peers seeds and by shards registering
+// through POST /cluster/join. Named peers (name=url) are seeded
+// synchronously; bare URLs are resolved in the background by asking each
+// shard's /stats for its name, retrying until the shard appears.
+func runRouterProc(ctx context.Context, p routerProcParams, logger *log.Logger, ready func(addr string)) error {
+	var seeds []router.ShardSpec
+	var unnamed []string
+	for _, entry := range strings.Split(p.peers, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if name, url, ok := strings.Cut(entry, "="); ok && !strings.Contains(name, "/") {
+			seeds = append(seeds, router.ShardSpec{Name: name, URL: url})
+		} else {
+			unnamed = append(unnamed, entry)
+		}
+	}
+	rt, err := router.New(router.Config{
+		Shards:         seeds,
+		Quorum:         p.quorum,
+		QueryTimeout:   p.queryTimeout,
+		HedgeAfter:     p.hedgeAfter,
+		MigrateTimeout: p.migrateTimeout,
+		Metrics:        obs.NewRegistry(),
+		Logf:           logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	for _, url := range unnamed {
+		go func(url string) {
+			for {
+				if name, err := resolveShardName(ctx, url); err == nil {
+					rt.Join(ctx, name, url)
+					return
+				} else if ctx.Err() != nil {
+					return
+				} else {
+					logger.Printf("router: resolving peer %s: %v (retrying)", url, err)
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(time.Second):
+				}
+			}
+		}(url)
+	}
+
+	ln, err := net.Listen("tcp", p.addr)
+	if err != nil {
+		rt.Close()
+		return err
+	}
+	front := p.httpTimeouts.server(rt.Handler())
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := front.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("router shutdown: %v", err)
+		}
+	}()
+
+	logger.Printf("knnserver router listening on %s (%d named seeds, %d unnamed peers, quorum %g)",
+		ln.Addr(), len(seeds), len(unnamed), p.quorum)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	serveErr := front.Serve(ln)
+	rt.Close()
+	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return nil
+}
+
+// resolveShardName asks a shard process who it is via GET /stats.
+func resolveShardName(ctx context.Context, baseURL string) (string, error) {
+	rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, baseURL+"/stats", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Shard string `json:"shard"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return "", fmt.Errorf("decoding /stats: %w", err)
+	}
+	if st.Shard == "" {
+		return "", fmt.Errorf("peer %s reports no shard name (is it running -role shard with -name?)", baseURL)
+	}
+	return st.Shard, nil
 }

@@ -37,6 +37,14 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-quorum", "-0.5"},
 		{"-nosuchflag"},
 		{"stray-positional"},
+		{"-role", "bogus"},
+		{"-role", "shard"},                               // missing -name
+		{"-role", "shard", "-shards", "2"},               // roles run one core
+		{"-role", "shard", "-name", "s0", "-peers", "x"}, // -peers is a router flag
+		{"-role", "router", "-data-dir", "/tmp/x"},       // router holds no data
+		{"-role", "router", "-join", "http://x"},         // -join is a shard flag
+		{"-name", "s0"},                                  // role flags without -role
+		{"-migrate-timeout", "-1s"},
 	} {
 		ctx, cancel := context.WithCancel(context.Background())
 		err := run(ctx, args, io.Discard, nil)
@@ -539,5 +547,90 @@ func TestRunShardedRestartRecovers(t *testing.T) {
 	}
 	if total != n {
 		t.Fatalf("recovered %d users across shards, want %d (logs: %s)", total, n, logs2.String())
+	}
+}
+
+// startProc boots run() with the given args in a goroutine and returns the
+// bound address. The process shuts down when ctx is canceled.
+func startProc(t *testing.T, ctx context.Context, args ...string) string {
+	t.Helper()
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, args, io.Discard, func(addr string) { addrCh <- addr })
+	}()
+	select {
+	case addr := <-addrCh:
+		return addr
+	case err := <-errCh:
+		t.Fatalf("run %v exited before ready: %v", args, err)
+	case <-time.After(10 * time.Second):
+		t.Fatalf("run %v did not become ready", args)
+	}
+	return ""
+}
+
+// TestRoleShardAndRouter boots one -role router and two -role shard
+// instances (in-process, but wired only over loopback HTTP exactly as
+// separate OS processes would be), lets the shards self-register, and
+// drives a mutation + read through the router.
+func TestRoleShardAndRouter(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	routerAddr := startProc(t, ctx, "-role", "router", "-addr", "127.0.0.1:0")
+	routerURL := "http://" + routerAddr
+	for _, name := range []string{"shard-0", "shard-1"} {
+		startProc(t, ctx, "-role", "shard", "-name", name,
+			"-addr", "127.0.0.1:0", "-bits", "256", "-join", routerURL)
+	}
+
+	// Both shards must appear in membership and the ring must settle.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(routerURL + "/cluster")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cv struct {
+			RingMode  string   `json:"ring_mode"`
+			RingNames []string `json:"ring_names"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&cv); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(cv.RingNames) == 2 && cv.RingMode == "stable" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster did not settle: ring %v mode %s", cv.RingNames, cv.RingMode)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	scheme := core.MustScheme(256, 7)
+	var buf bytes.Buffer
+	if err := core.WriteFingerprint(&buf, scheme.Fingerprint(profile.New(1, 2, 3))); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, routerURL+"/users/alice/fingerprint", strings.NewReader(buf.String()))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT via router: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(routerURL + "/users/alice/neighbors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		t.Fatal("user vanished behind the router")
 	}
 }

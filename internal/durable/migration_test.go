@@ -1,0 +1,96 @@
+package durable
+
+import (
+	"testing"
+)
+
+// Migration marks must round-trip byte-exactly through the WAL codec.
+func TestMigrationMarkRoundTrip(t *testing.T) {
+	want := []Record{
+		{Kind: KindMigration, MutSeq: 7, Mig: &MigrationMark{Phase: MigImportBegin, Epoch: 3, Peer: "shard-1"}},
+		{Kind: KindPut, MutSeq: 8, ID: "user-a", FP: testFP(t, 1, 2, 3)},
+		{Kind: KindMigration, MutSeq: 8, Mig: &MigrationMark{Phase: MigImportDone, Epoch: 3, Peer: "shard-1", Users: 412}},
+		{Kind: KindMigration, MutSeq: 8, Mig: &MigrationMark{Phase: MigRetireDone, Epoch: 3, Peer: "shard-2", Users: 9}},
+	}
+	data := encodeAll(t, want)
+	got, goodLen, err := ScanWAL(data)
+	if err != nil || goodLen != len(data) {
+		t.Fatalf("scan of intact WAL: err=%v goodLen=%d want %d", err, goodLen, len(data))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Kind != w.Kind || g.MutSeq != w.MutSeq {
+			t.Fatalf("record %d = kind %d seq %d, want kind %d seq %d", i, g.Kind, g.MutSeq, w.Kind, w.MutSeq)
+		}
+		if w.Kind != KindMigration {
+			continue
+		}
+		if g.Mig == nil || *g.Mig != *w.Mig {
+			t.Fatalf("record %d mark = %+v, want %+v", i, g.Mig, w.Mig)
+		}
+	}
+	// Re-encoding the decoded records must be byte-identical.
+	if re := encodeAll(t, got); string(re) != string(data) {
+		t.Fatal("re-encoded migration WAL differs from original bytes")
+	}
+}
+
+func TestMigrationMarkRejectsBadPhase(t *testing.T) {
+	if _, err := AppendRecord(nil, Record{Kind: KindMigration, Mig: &MigrationMark{Phase: 0}}); err == nil {
+		t.Fatal("phase 0 accepted")
+	}
+	if _, err := AppendRecord(nil, Record{Kind: KindMigration}); err == nil {
+		t.Fatal("nil mark accepted")
+	}
+}
+
+// A begin mark with no matching done must surface as a pending migration
+// at recovery; a matched pair must not.
+func TestRecoveryPendingMigration(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(Options{Dir: dir, FS: OSFS{}, Fsync: FsyncAlways, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRec := func(r Record) {
+		t.Helper()
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendRec(Record{Kind: KindPut, MutSeq: 1, ID: "u1", FP: testFP(t, 1)})
+	appendRec(Record{Kind: KindMigration, MutSeq: 1, Mig: &MigrationMark{Phase: MigImportBegin, Epoch: 2, Peer: "shard-0"}})
+	appendRec(Record{Kind: KindPut, MutSeq: 2, ID: "u2", FP: testFP(t, 2)})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec, err := Open(Options{Dir: dir, FS: OSFS{}, Fsync: FsyncAlways, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Migration == nil || rec.Migration.Epoch != 2 || rec.Migration.From != "shard-0" {
+		t.Fatalf("pending migration = %+v, want epoch 2 from shard-0", rec.Migration)
+	}
+	if len(rec.State.Users) != 2 {
+		t.Fatalf("recovered %d users, want 2 (marks must not disturb state replay)", len(rec.State.Users))
+	}
+	// Close the import and verify recovery no longer reports it.
+	if err := st2.Append(Record{Kind: KindMigration, MutSeq: 2,
+		Mig: &MigrationMark{Phase: MigImportDone, Epoch: 2, Peer: "shard-0", Users: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec3, err := Open(Options{Dir: dir, FS: OSFS{}, Fsync: FsyncAlways, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec3.Migration != nil {
+		t.Fatalf("pending migration = %+v after done mark, want nil", rec3.Migration)
+	}
+}

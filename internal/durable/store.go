@@ -72,6 +72,18 @@ type Recovery struct {
 	BytesDropped int64
 	// Quarantined lists files renamed to *.corrupt instead of being loaded.
 	Quarantined []string
+	// Migration is the interrupted shard handoff, if the WAL carries a
+	// MigImportBegin mark with no matching MigImportDone: the crash
+	// happened mid-import and the transfer must be resumed (re-importing
+	// is idempotent). nil when no handoff is pending.
+	Migration *PendingMigration
+}
+
+// PendingMigration identifies an import that was journaled as begun but
+// not as done.
+type PendingMigration struct {
+	Epoch uint64 // ring epoch being migrated to
+	From  string // shard the users were being pulled from
 }
 
 // Store owns the data directory. All methods are safe for concurrent use.
@@ -242,6 +254,21 @@ func Open(opts Options) (*Store, Recovery, error) {
 		for _, r := range recs {
 			if r.Kind == KindGraphDelta {
 				deltas = append(deltas, r)
+				continue
+			}
+			if r.Kind == KindMigration {
+				// Handoff marks are not state mutations and are not covered
+				// by snapshots, so they are tracked regardless of the mutSeq
+				// skip rule: the latest begin with no matching done leaves a
+				// pending migration for the service to resume.
+				switch m := r.Mig; m.Phase {
+				case MigImportBegin:
+					rec.Migration = &PendingMigration{Epoch: m.Epoch, From: m.Peer}
+				case MigImportDone:
+					if rec.Migration != nil && rec.Migration.Epoch == m.Epoch {
+						rec.Migration = nil
+					}
+				}
 				continue
 			}
 			if r.MutSeq <= rec.State.MutSeq {

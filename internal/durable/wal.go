@@ -25,6 +25,8 @@ import (
 //	recGraphDelta | uint64 mutSeq | uint8 op | uint32 node | uint32 adjCount |
 //	                adjCount × (uint32 node | uint32 nbrCount |
 //	                            nbrCount × (uint32 id | uint64 simBits))
+//	recMigration  | uint64 mutSeq | uint8 phase | uint64 ringEpoch |
+//	                uint32 users | uint32 peerLen | peer
 //
 // All integers little-endian; similarities are IEEE-754 bit patterns so
 // decode→encode is byte-exact. CRC-32C (Castagnoli) is hardware-accelerated
@@ -51,12 +53,14 @@ const (
 	KindPut        RecordKind = recPut
 	KindDelete     RecordKind = recDelete
 	KindGraphDelta RecordKind = recGraphDelta
+	KindMigration  RecordKind = recMigration
 )
 
 const (
 	recPut        = 1 // fingerprint put (insert or overwrite)
 	recDelete     = 2 // user tombstone
 	recGraphDelta = 3 // post-mutation KNN adjacencies of the touched nodes
+	recMigration  = 4 // shard-migration handoff journal mark
 
 	walHeaderBytes = 8
 	// maxWALPayload bounds one record so a corrupt length prefix cannot
@@ -88,15 +92,45 @@ type GraphDelta struct {
 	Adj  []knn.TouchedNode
 }
 
+// MigPhase is the handoff step a migration mark journals.
+type MigPhase uint8
+
+const (
+	// MigImportBegin is journaled by the gaining shard before it pulls the
+	// first user of a ring-change import. A begin without a matching done
+	// after recovery means the import was interrupted and must be resumed
+	// (re-importing is idempotent: puts are keyed by user id).
+	MigImportBegin MigPhase = 1
+	// MigImportDone is journaled by the gaining shard after every moved
+	// user has been applied through the WAL.
+	MigImportDone MigPhase = 2
+	// MigRetireDone is journaled by the losing shard after tombstoning the
+	// users it handed off (the tombstones themselves are ordinary delete
+	// records ahead of this mark).
+	MigRetireDone MigPhase = 3
+)
+
+// MigrationMark journals one step of a shard-to-shard data handoff so a
+// crash mid-migration is visible at recovery. Marks do not mutate user
+// state; they ride the WAL for ordering and durability.
+type MigrationMark struct {
+	Phase MigPhase
+	Epoch uint64 // ring epoch the handoff belongs to
+	Peer  string // other side of the handoff: from-shard on import, to-shard on retire
+	Users uint32 // users transferred/retired (0 on begin)
+}
+
 // Record is one durable mutation. KindPut carries ID+FP, KindDelete
-// carries ID, KindGraphDelta carries Delta; MutSeq is the mutation counter
-// value the record establishes.
+// carries ID, KindGraphDelta carries Delta, KindMigration carries Mig;
+// MutSeq is the mutation counter value the record establishes (for
+// migration marks: the counter value at journal time, unchanged).
 type Record struct {
 	Kind   RecordKind
 	MutSeq uint64
 	ID     string
 	FP     core.Fingerprint
 	Delta  *GraphDelta
+	Mig    *MigrationMark
 }
 
 // AppendRecord serializes rec onto buf and returns the extended slice.
@@ -157,6 +191,22 @@ func AppendRecord(buf []byte, rec Record) ([]byte, error) {
 				payload.Write(u64[:])
 			}
 		}
+	case KindMigration:
+		m := rec.Mig
+		if m == nil {
+			return nil, fmt.Errorf("durable: migration record has no mark")
+		}
+		if m.Phase < MigImportBegin || m.Phase > MigRetireDone {
+			return nil, fmt.Errorf("durable: unknown migration phase %d", m.Phase)
+		}
+		payload.WriteByte(byte(m.Phase))
+		binary.LittleEndian.PutUint64(u64[:], m.Epoch)
+		payload.Write(u64[:])
+		binary.LittleEndian.PutUint32(u32[:], m.Users)
+		payload.Write(u32[:])
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(m.Peer)))
+		payload.Write(u32[:])
+		payload.WriteString(m.Peer)
 	default:
 		return nil, fmt.Errorf("durable: unknown WAL record kind %d", kind)
 	}
@@ -215,6 +265,27 @@ func decodeRecordPayload(payload []byte) (Record, error) {
 		if rec.Delta, err = decodeGraphDelta(r); err != nil {
 			return Record{}, err
 		}
+	case KindMigration:
+		var u32 [4]byte
+		phase, perr := r.ReadByte()
+		if perr != nil {
+			return Record{}, fmt.Errorf("durable: short migration mark: %w", perr)
+		}
+		if MigPhase(phase) < MigImportBegin || MigPhase(phase) > MigRetireDone {
+			return Record{}, fmt.Errorf("durable: unknown migration phase %d", phase)
+		}
+		if _, err := io.ReadFull(r, u64[:]); err != nil {
+			return Record{}, fmt.Errorf("durable: short migration mark: %w", err)
+		}
+		m := &MigrationMark{Phase: MigPhase(phase), Epoch: binary.LittleEndian.Uint64(u64[:])}
+		if _, err := io.ReadFull(r, u32[:]); err != nil {
+			return Record{}, fmt.Errorf("durable: short migration mark: %w", err)
+		}
+		m.Users = binary.LittleEndian.Uint32(u32[:])
+		if m.Peer, err = readID(); err != nil {
+			return Record{}, err
+		}
+		rec.Mig = m
 	default:
 		return Record{}, fmt.Errorf("durable: unknown WAL record type %d", kind)
 	}

@@ -1,0 +1,198 @@
+package gossip
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Membership generalizes the package's peer-sampling machinery from the
+// KNN simulation to operational cluster membership: the shard router seeds
+// it with its static peer list, feeds it liveness transitions from the
+// health prober and breaker state, and reads versioned snapshots from it
+// to decide when the placement ring must change. Every mutation bumps a
+// monotonically increasing version, which the router uses as the source of
+// ring epochs — two observers holding the same version hold the same
+// member list.
+//
+// The layer is deliberately hub-and-spoke in this deployment (the router
+// is the membership authority and shards learn the ring from it); the
+// interface is what a future symmetric anti-entropy exchange would gossip.
+
+// PeerState is a member's liveness as judged by the failure detector.
+type PeerState int
+
+const (
+	// PeerAlive: the peer answers probes (or has not failed one yet).
+	PeerAlive PeerState = iota
+	// PeerSuspect: the peer failed recently and is being re-probed.
+	PeerSuspect
+	// PeerDead: the peer has been failing past the suspicion window.
+	PeerDead
+	// PeerLeft: the peer announced a clean departure.
+	PeerLeft
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDead:
+		return "dead"
+	case PeerLeft:
+		return "left"
+	default:
+		return fmt.Sprintf("PeerState(%d)", int(s))
+	}
+}
+
+// Peer is one member of the shard cluster.
+type Peer struct {
+	Name        string    `json:"name"`
+	URL         string    `json:"url"`
+	State       PeerState `json:"-"`
+	StateName   string    `json:"state"`
+	Incarnation uint64    `json:"incarnation"` // bumped on every (re)join
+	JoinedAt    time.Time `json:"joined_at"`
+	LastSeen    time.Time `json:"last_seen"` // last successful probe or join
+}
+
+// Membership is a versioned, concurrency-safe member table.
+type Membership struct {
+	mu      sync.Mutex
+	peers   map[string]*Peer
+	version uint64
+	now     func() time.Time
+}
+
+// NewMembership returns an empty table. now == nil uses time.Now.
+func NewMembership(now func() time.Time) *Membership {
+	if now == nil {
+		now = time.Now
+	}
+	return &Membership{peers: make(map[string]*Peer), now: now}
+}
+
+// Join adds a member, or refreshes it on rejoin. A rejoin with a changed
+// URL (a replacement process for the same shard name) bumps the
+// incarnation. It reports whether the member set or a URL changed — the
+// signal that the placement ring may need to move.
+func (m *Membership) Join(name, url string) (changed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	p, ok := m.peers[name]
+	if !ok {
+		m.peers[name] = &Peer{Name: name, URL: url, State: PeerAlive, Incarnation: 1, JoinedAt: now, LastSeen: now}
+		m.version++
+		return true
+	}
+	changed = p.URL != url || p.State == PeerLeft
+	p.URL = url
+	p.State = PeerAlive
+	p.Incarnation++
+	p.LastSeen = now
+	if changed {
+		m.version++
+	}
+	return changed
+}
+
+// Leave marks a clean departure. Reports whether the peer was a member.
+func (m *Membership) Leave(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[name]
+	if !ok || p.State == PeerLeft {
+		return false
+	}
+	p.State = PeerLeft
+	m.version++
+	return true
+}
+
+// Remove forgets a member entirely.
+func (m *Membership) Remove(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.peers[name]; !ok {
+		return false
+	}
+	delete(m.peers, name)
+	m.version++
+	return true
+}
+
+// Observe records a failure-detector verdict for name. State transitions
+// bump the version; refreshing an unchanged state only updates LastSeen
+// (on success) so observers polling Version see real changes, not probes.
+func (m *Membership) Observe(name string, state PeerState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[name]
+	if !ok || p.State == PeerLeft {
+		return
+	}
+	if state == PeerAlive {
+		p.LastSeen = m.now()
+	}
+	if p.State != state {
+		p.State = state
+		m.version++
+	}
+}
+
+// Version returns the current membership version. It increases on every
+// member-set, URL, or liveness change.
+func (m *Membership) Version() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}
+
+// Snapshot returns the members sorted by name, with StateName filled for
+// JSON rendering, plus the version the snapshot corresponds to.
+func (m *Membership) Snapshot() ([]Peer, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Peer, 0, len(m.peers))
+	for _, p := range m.peers {
+		cp := *p
+		cp.StateName = cp.State.String()
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, m.version
+}
+
+// Members returns the names of the peers that are part of the ring:
+// everything not departed. Dead peers stay on the ring — a crash-restart
+// must not churn placement — until an explicit Leave/Remove.
+func (m *Membership) Members() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.peers))
+	for _, p := range m.peers {
+		if p.State != PeerLeft {
+			names = append(names, p.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns a copy of one member.
+func (m *Membership) Get(name string) (Peer, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[name]
+	if !ok {
+		return Peer{}, false
+	}
+	cp := *p
+	cp.StateName = cp.State.String()
+	return cp, true
+}

@@ -1,0 +1,79 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMembershipJoinLeaveVersions(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	m := NewMembership(func() time.Time { return clock })
+
+	if !m.Join("shard-0", "http://a") {
+		t.Fatal("first join reported no change")
+	}
+	v1 := m.Version()
+	if m.Join("shard-0", "http://a") {
+		t.Fatal("idempotent rejoin reported a change")
+	}
+	if m.Version() != v1 {
+		t.Fatal("idempotent rejoin bumped version")
+	}
+	p, ok := m.Get("shard-0")
+	if !ok || p.Incarnation != 2 {
+		t.Fatalf("rejoin incarnation = %d, want 2", p.Incarnation)
+	}
+
+	// A replacement process for the same name (new URL) is a change.
+	if !m.Join("shard-0", "http://b") {
+		t.Fatal("URL change reported no change")
+	}
+	if m.Version() <= v1 {
+		t.Fatal("URL change did not bump version")
+	}
+
+	m.Join("shard-1", "http://c")
+	if got := m.Members(); len(got) != 2 || got[0] != "shard-0" || got[1] != "shard-1" {
+		t.Fatalf("Members() = %v", got)
+	}
+	if !m.Leave("shard-1") {
+		t.Fatal("leave of a member failed")
+	}
+	if got := m.Members(); len(got) != 1 || got[0] != "shard-0" {
+		t.Fatalf("Members() after leave = %v", got)
+	}
+	if m.Leave("shard-1") {
+		t.Fatal("double leave reported a change")
+	}
+}
+
+func TestMembershipObserve(t *testing.T) {
+	m := NewMembership(nil)
+	m.Join("shard-0", "http://a")
+	v := m.Version()
+
+	m.Observe("shard-0", PeerDead)
+	if m.Version() == v {
+		t.Fatal("alive->dead did not bump version")
+	}
+	// Dead peers stay on the ring: crash-restarts must not churn placement.
+	if got := m.Members(); len(got) != 1 {
+		t.Fatalf("dead peer dropped from Members(): %v", got)
+	}
+	v = m.Version()
+	m.Observe("shard-0", PeerDead)
+	if m.Version() != v {
+		t.Fatal("repeated dead observation bumped version")
+	}
+	m.Observe("shard-0", PeerAlive)
+	if m.Version() == v {
+		t.Fatal("dead->alive did not bump version")
+	}
+	// Observations of unknown peers are ignored.
+	m.Observe("nope", PeerDead)
+
+	snap, _ := m.Snapshot()
+	if len(snap) != 1 || snap[0].StateName != "alive" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}

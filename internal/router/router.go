@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"goldfinger/internal/gossip"
 	"goldfinger/internal/obs"
 )
 
@@ -67,7 +68,15 @@ type Config struct {
 	// (GET /healthz) so breakers re-close without waiting for live
 	// traffic to volunteer as probes. 0 derives half the breaker's open
 	// interval, floored at 100ms. Negative disables active probing.
+	// Consecutive probe failures back the cadence off exponentially (per
+	// shard, capped at 10× the interval bounded by 10s) so a long-dead
+	// shard is not hammered at full rate forever.
 	ProbeInterval time.Duration
+	// MigrateTimeout bounds how long the migration driver retries one
+	// shard-to-shard import before giving up on that slice (the slice
+	// then stays on the losing shard, unrouted, until the gainer rejoins
+	// and a later ring change retries). 0 selects 120s.
+	MigrateTimeout time.Duration
 	// MaxBodyBytes bounds the request and response bodies the router
 	// buffers (fingerprints in, top-k JSON out). 0 selects 1 MiB.
 	MaxBodyBytes int64
@@ -142,6 +151,13 @@ func (c Config) probeInterval() time.Duration {
 	return iv
 }
 
+func (c Config) migrateTimeout() time.Duration {
+	if c.MigrateTimeout <= 0 {
+		return 120 * time.Second
+	}
+	return c.MigrateTimeout
+}
+
 func (c Config) maxBodyBytes() int64 {
 	if c.MaxBodyBytes <= 0 {
 		return 1 << 20
@@ -186,6 +202,51 @@ type shard struct {
 	degraded  atomic.Bool
 	lastErr   atomic.Pointer[string]
 	lastErrAt atomic.Int64 // unix nanos
+
+	// ringSynced is the highest ringState generation this shard has acked
+	// via POST /ring; the prober re-pushes while it lags the current one.
+	ringSynced atomic.Uint64
+
+	// Prober backoff state (satellite: a long-down shard is probed at a
+	// decaying, capped cadence, not hammered at full rate forever).
+	probeMu    sync.Mutex
+	probeWait  time.Duration
+	probeNext  time.Time
+	probeFails int
+}
+
+// probeDue reports whether the backoff schedule allows a probe now.
+func (s *shard) probeDue(now time.Time) bool {
+	s.probeMu.Lock()
+	defer s.probeMu.Unlock()
+	return s.probeNext.IsZero() || !now.Before(s.probeNext)
+}
+
+// probeFailed doubles the shard's probe backoff up to the cap and returns
+// the consecutive-failure count.
+func (s *shard) probeFailed(base, cap time.Duration) int {
+	s.probeMu.Lock()
+	defer s.probeMu.Unlock()
+	s.probeFails++
+	if s.probeWait == 0 {
+		s.probeWait = base
+	} else {
+		s.probeWait *= 2
+	}
+	if s.probeWait > cap {
+		s.probeWait = cap
+	}
+	s.probeNext = time.Now().Add(s.probeWait)
+	return s.probeFails
+}
+
+// probeSucceeded resets the backoff schedule.
+func (s *shard) probeSucceeded() {
+	s.probeMu.Lock()
+	defer s.probeMu.Unlock()
+	s.probeFails = 0
+	s.probeWait = 0
+	s.probeNext = time.Time{}
 }
 
 func (s *shard) noteError(err string) {
@@ -201,24 +262,43 @@ func (s *shard) lastError() string {
 }
 
 // Router is the scatter-gather front tier. Create with New, serve its
-// Handler, and Close it on shutdown (stops the active prober).
+// Handler, and Close it on shutdown (stops the active prober and the
+// ring-reconcile driver).
 type Router struct {
 	cfg    Config
-	place  *Placement
-	shards []*shard
 	client *http.Client
 	obs    *obs.Registry
 
-	probeStop context.CancelFunc
+	// ring is the current routing epoch, swapped atomically on membership
+	// change (see cluster.go for the migration state machine around it).
+	ring    atomic.Pointer[ringState]
+	ringGen atomic.Uint64
+
+	// mem is the cluster membership table; the router is its authority.
+	mem *gossip.Membership
+
+	// byName holds every shard runtime ever resolved, so breaker history
+	// survives ring changes. A replacement process (same name, new URL)
+	// gets a fresh runtime.
+	shardsMu sync.Mutex
+	byName   map[string]*shard
+
+	// retired maps a losing shard to the last epoch it was retired at —
+	// changeRing consults it so a loser feeding two gainers retires once.
+	// Touched only from the reconcile goroutine.
+	retired map[string]uint64
+
+	kick      chan struct{}
+	stop      context.CancelFunc
 	probeDone chan struct{}
+	reconDone chan struct{}
 }
 
 // New builds a router over the configured shards and starts its active
-// health prober (disable with ProbeInterval < 0).
+// health prober (disable with ProbeInterval < 0) and its ring-reconcile
+// driver. Shards may be empty: a multi-process deployment starts the
+// router bare and shard processes register via POST /cluster/join.
 func New(cfg Config) (*Router, error) {
-	if len(cfg.Shards) == 0 {
-		return nil, errors.New("router: need at least one shard")
-	}
 	names := make([]string, len(cfg.Shards))
 	seen := map[string]bool{}
 	for i, s := range cfg.Shards {
@@ -241,48 +321,71 @@ func New(cfg Config) (*Router, error) {
 		}
 	}
 	r := &Router{
-		cfg:    cfg,
-		place:  NewPlacement(names, cfg.Replicas),
-		client: &http.Client{Transport: transport},
-		obs:    cfg.Metrics,
+		cfg:     cfg,
+		client:  &http.Client{Transport: transport},
+		obs:     cfg.Metrics,
+		mem:     gossip.NewMembership(nil),
+		byName:  map[string]*shard{},
+		retired: map[string]uint64{},
+		kick:    make(chan struct{}, 1),
 	}
-	for _, spec := range cfg.Shards {
-		prefix := "router.shard." + spec.Name + "."
-		lats := r.obs.Window(prefix+"latency", 128)
-		sh := &shard{
-			spec:      spec,
-			lats:      lats,
-			inflight:  r.obs.Gauge(prefix + "inflight"),
-			requests:  r.obs.Counter(prefix + "requests.total"),
-			failures:  r.obs.Counter(prefix + "failures.total"),
-			sheds:     r.obs.Counter(prefix + "shed.total"),
-			openSkips: r.obs.Counter(prefix + "open_skips.total"),
-		}
-		sh.breaker = NewBreaker(cfg.Breaker, lats,
-			r.obs.Gauge(prefix+"breaker.state"), r.obs.Counter(prefix+"breaker.trips.total"))
-		r.shards = append(r.shards, sh)
+	shards := make([]*shard, len(cfg.Shards))
+	for i, spec := range cfg.Shards {
+		r.mem.Join(spec.Name, spec.URL)
+		shards[i] = r.getShard(spec)
 	}
+	st := &ringState{epoch: 1, names: names, shards: shards, byName: shardMap(shards)}
+	if len(names) > 0 {
+		st.place = NewPlacement(names, cfg.Replicas)
+	}
+	r.installRing(st)
+
+	ctx, stop := context.WithCancel(context.Background())
+	r.stop = stop
+	r.reconDone = make(chan struct{})
+	go r.reconcileLoop(ctx)
 	if cfg.ProbeInterval >= 0 {
-		ctx, stop := context.WithCancel(context.Background())
-		r.probeStop = stop
 		r.probeDone = make(chan struct{})
 		go r.probeLoop(ctx)
 	}
 	return r, nil
 }
 
-// Close stops the active prober and drops idle backend connections.
+// newShard builds one shard runtime (metrics, breaker). Callers hold no
+// lock; getShard is the map-aware entry point.
+func (r *Router) newShard(spec ShardSpec) *shard {
+	prefix := "router.shard." + spec.Name + "."
+	lats := r.obs.Window(prefix+"latency", 128)
+	sh := &shard{
+		spec:      spec,
+		lats:      lats,
+		inflight:  r.obs.Gauge(prefix + "inflight"),
+		requests:  r.obs.Counter(prefix + "requests.total"),
+		failures:  r.obs.Counter(prefix + "failures.total"),
+		sheds:     r.obs.Counter(prefix + "shed.total"),
+		openSkips: r.obs.Counter(prefix + "open_skips.total"),
+	}
+	sh.breaker = NewBreaker(r.cfg.Breaker, lats,
+		r.obs.Gauge(prefix+"breaker.state"), r.obs.Counter(prefix+"breaker.trips.total"))
+	return sh
+}
+
+// Close stops the prober and reconcile driver and drops idle connections.
 func (r *Router) Close() {
-	if r.probeStop != nil {
-		r.probeStop()
-		<-r.probeDone
+	if r.stop != nil {
+		r.stop()
+		if r.probeDone != nil {
+			<-r.probeDone
+		}
+		<-r.reconDone
 	}
 	r.client.CloseIdleConnections()
 }
 
-// Placement returns the router's consistent-hash placement — shard-cores
-// share it so ownership checks agree with routing.
-func (r *Router) Placement() *Placement { return r.place }
+// Placement returns the current ring's consistent-hash placement —
+// in-process shard-cores share it so ownership checks agree with routing.
+// Nil while no shard has joined.
+func (r *Router) Placement() *Placement { return r.ring.Load().place }
 
 // Metrics returns the router's metrics registry (may be nil).
 func (r *Router) Metrics() *obs.Registry { return r.obs }
@@ -296,10 +399,19 @@ func (r *Router) logf(format string, args ...any) {
 // probeLoop actively re-tests shards whose breaker is not closed: a GET
 // /healthz counts as the half-open probe, so a restarted shard re-closes
 // its breaker within one probe interval even with zero live traffic
-// willing to be the guinea pig.
+// willing to be the guinea pig. Consecutive failures back each shard's
+// probe cadence off exponentially (capped), so a shard that stays dead
+// for an hour is not dialed at full rate for an hour. The loop also
+// backfills ring distribution: any shard that has not acked the current
+// ring generation gets it re-pushed here.
 func (r *Router) probeLoop(ctx context.Context) {
 	defer close(r.probeDone)
-	tick := time.NewTicker(r.cfg.probeInterval())
+	iv := r.cfg.probeInterval()
+	capWait := 10 * iv
+	if capWait > 10*time.Second {
+		capWait = 10 * time.Second
+	}
+	tick := time.NewTicker(iv)
 	defer tick.Stop()
 	for {
 		select {
@@ -307,20 +419,33 @@ func (r *Router) probeLoop(ctx context.Context) {
 			return
 		case <-tick.C:
 		}
-		for _, sh := range r.shards {
+		st := r.ring.Load()
+		now := time.Now()
+		for _, sh := range st.allShards() {
+			// Backfill the ring on shards that missed a push — but only when
+			// the shard is believed healthy or its probe backoff has elapsed,
+			// so a long-dead shard is not hammered on /ring either.
+			if sh.ringSynced.Load() < st.gen &&
+				(sh.breaker.State() == BreakerClosed || sh.probeDue(now)) {
+				go r.pushRingTo(ctx, sh, st)
+			}
 			if sh.breaker.State() == BreakerClosed {
+				sh.probeSucceeded()
+				continue
+			}
+			if !sh.probeDue(now) {
 				continue
 			}
 			ok, probe := sh.breaker.Allow()
 			if !ok {
 				continue
 			}
-			go r.probeShard(ctx, sh, probe)
+			go r.probeShard(ctx, sh, probe, iv, capWait)
 		}
 	}
 }
 
-func (r *Router) probeShard(ctx context.Context, sh *shard, probe bool) {
+func (r *Router) probeShard(ctx context.Context, sh *shard, probe bool, iv, capWait time.Duration) {
 	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(pctx, http.MethodGet, sh.spec.URL+"/healthz", nil)
@@ -337,6 +462,12 @@ func (r *Router) probeShard(ctx context.Context, sh *shard, probe bool) {
 		}
 		sh.noteError(err.Error())
 		sh.breaker.Record(time.Since(start), true, probe)
+		fails := sh.probeFailed(iv, capWait)
+		if fails >= 8 {
+			r.mem.Observe(sh.spec.Name, gossip.PeerDead)
+		} else {
+			r.mem.Observe(sh.spec.Name, gossip.PeerSuspect)
+		}
 		return
 	}
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
@@ -344,8 +475,14 @@ func (r *Router) probeShard(ctx context.Context, sh *shard, probe bool) {
 	healthy := resp.StatusCode == http.StatusOK
 	sh.degraded.Store(strings.HasPrefix(string(body), "degraded"))
 	sh.breaker.Record(time.Since(start), !healthy, probe)
-	if healthy && probe {
-		r.logf("router: shard %s healthy again, breaker %s", sh.spec.Name, sh.breaker.State())
+	if healthy {
+		sh.probeSucceeded()
+		r.mem.Observe(sh.spec.Name, gossip.PeerAlive)
+		if probe {
+			r.logf("router: shard %s healthy again, breaker %s", sh.spec.Name, sh.breaker.State())
+		}
+	} else {
+		sh.probeFailed(iv, capWait)
 	}
 }
 
@@ -575,6 +712,9 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/users/", r.handleUsers)
 	mux.HandleFunc("/graph/build", r.handleBuild)
 	mux.HandleFunc("/build", r.handleBuild)
+	mux.HandleFunc("/cluster", r.handleCluster)
+	mux.HandleFunc("/cluster/join", r.handleClusterJoin)
+	mux.HandleFunc("/cluster/leave", r.handleClusterLeave)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -683,6 +823,17 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	start := time.Now()
 	r.obs.Counter(metricQueries).Inc()
 
+	// The scatter set: the ring's shards, plus — during a migration — the
+	// old ring's departing shards, which still hold their users until
+	// retire. The merge deduplicates by user id, so a user transiently
+	// resident on two shards is counted once. No coverage hole either way.
+	st := r.ring.Load()
+	scatter := st.queryShards()
+	if len(scatter) == 0 {
+		setRetryAfter(w, time.Second)
+		httpError(w, http.StatusServiceUnavailable, "no shards have joined this router")
+		return
+	}
 	perShard := shardDeadline(budget)
 	sctx, cancel := context.WithTimeout(context.WithoutCancel(req.Context()), budget)
 	defer cancel()
@@ -692,12 +843,12 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	// inside our budget is shed there instead of burning a slot).
 	path := "/query?" + req.URL.RawQuery
 	type gathered struct {
-		idx int
+		sh  *shard
 		out outcome
 	}
-	results := make(chan gathered, len(r.shards))
-	for i, sh := range r.shards {
-		go func(i int, sh *shard) {
+	results := make(chan gathered, len(scatter))
+	for _, sh := range scatter {
+		go func(sh *shard) {
 			cctx, ccancel := context.WithTimeout(sctx, perShard)
 			defer ccancel()
 			out := r.call(cctx, sh, true, perShard, func(ctx context.Context) (*http.Request, error) {
@@ -709,20 +860,20 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 				hreq.Header.Set(HeaderRequestTimeout, fmtShardTimeout(perShard))
 				return hreq, nil
 			})
-			results <- gathered{idx: i, out: out}
-		}(i, sh)
+			results <- gathered{sh: sh, out: out}
+		}(sh)
 	}
 
-	lists := make([][]Hit, 0, len(r.shards))
+	lists := make([][]Hit, 0, len(scatter))
 	served := 0
 	var clientErr *outcome
-	for range r.shards {
+	for range scatter {
 		g := <-results
 		switch g.out.kind {
 		case outcomeOK:
 			var hits []Hit
 			if err := json.Unmarshal(g.out.body, &hits); err != nil {
-				r.shards[g.idx].noteError("bad /query body: " + err.Error())
+				g.sh.noteError("bad /query body: " + err.Error())
 				continue
 			}
 			lists = append(lists, hits)
@@ -737,7 +888,7 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 			}
 		}
 	}
-	total := len(r.shards)
+	total := len(scatter)
 	if clientErr != nil {
 		copyHeaders(w.Header(), clientErr.header)
 		w.WriteHeader(clientErr.status)
@@ -764,7 +915,7 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 // coverage can possibly improve — floored at 1s.
 func (r *Router) sickRetryAfter() time.Duration {
 	best := time.Duration(0)
-	for _, sh := range r.shards {
+	for _, sh := range r.ring.Load().allShards() {
 		if sh.breaker.State() != BreakerClosed {
 			ra := sh.breaker.RetryAfter()
 			if best == 0 || ra < best {
@@ -782,6 +933,13 @@ func (r *Router) sickRetryAfter() time.Duration {
 // are idempotent (hedged, retried); mutations are forwarded exactly once
 // and the shard's answer — including its durable/degraded 503 and
 // Retry-After — passes through verbatim.
+//
+// During a migration, reads of moving ids go to the old owner (dual-read:
+// it still holds everything), falling back to the gainer if the old owner
+// fails; mutations of moving ids are fenced with a fail-fast 503 so the
+// in-flight export stream stays authoritative. And if a shard answers 421
+// (its installed ring disagrees with ours — placement drift), the router
+// counts it, logs it, and retries once at the shard the 421 names.
 func (r *Router) handleUsers(w http.ResponseWriter, req *http.Request) {
 	rest := strings.TrimPrefix(req.URL.Path, "/users/")
 	parts := strings.Split(rest, "/")
@@ -790,9 +948,24 @@ func (r *Router) handleUsers(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	id := parts[0]
-	owner := r.place.Owner(id)
-	sh := r.shards[owner]
 	idempotent := req.Method == http.MethodGet
+	st := r.ring.Load()
+	sh, fallback, fenced := st.route(id, !idempotent)
+	if fenced {
+		r.obs.Counter(metricFencedWrites).Inc()
+		setRetryAfter(w, time.Second)
+		httpError(w, http.StatusServiceUnavailable,
+			"user %q is migrating to a new shard; writes resume after cutover", id)
+		return
+	}
+	if sh == nil {
+		setRetryAfter(w, time.Second)
+		httpError(w, http.StatusServiceUnavailable, "no shards have joined this router")
+		return
+	}
+	if fallback != nil {
+		r.obs.Counter(metricDualReads).Inc()
+	}
 	def := r.cfg.mutateTimeout()
 	if idempotent {
 		def = r.cfg.queryTimeout()
@@ -822,17 +995,37 @@ func (r *Router) handleUsers(w http.ResponseWriter, req *http.Request) {
 	if req.URL.RawQuery != "" {
 		path += "?" + req.URL.RawQuery
 	}
-	out := r.call(cctx, sh, idempotent, perShard, func(ctx context.Context) (*http.Request, error) {
-		hreq, err := http.NewRequestWithContext(ctx, req.Method, sh.spec.URL+path, bytes.NewReader(body))
-		if err != nil {
-			return nil, err
+	callShard := func(sh *shard) outcome {
+		return r.call(cctx, sh, idempotent, perShard, func(ctx context.Context) (*http.Request, error) {
+			hreq, err := http.NewRequestWithContext(ctx, req.Method, sh.spec.URL+path, bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			hreq.Header.Set(HeaderRequestTimeout, fmtShardTimeout(perShard))
+			if ct := req.Header.Get("Content-Type"); ct != "" {
+				hreq.Header.Set("Content-Type", ct)
+			}
+			return hreq, nil
+		})
+	}
+	out := callShard(sh)
+	if fallback != nil && (out.kind == outcomeFail || out.kind == outcomeOpen) {
+		// Dual-read window: the old owner is sick mid-handoff; the gainer
+		// may already hold the imported copy.
+		sh = fallback
+		out = callShard(sh)
+	}
+	if out.kind == outcomeFinal && out.status == http.StatusMisdirectedRequest {
+		if ownerName := out.header.Get("X-Owner-Shard"); ownerName != "" && ownerName != sh.spec.Name {
+			r.obs.Counter(metricDrift).Inc()
+			r.logf("router: placement drift: routed %q to %s, shard says owner is %s (epoch %s)",
+				id, sh.spec.Name, ownerName, out.header.Get("X-Ring-Epoch"))
+			if redirect, ok := r.lookupShard(ownerName); ok && redirect != sh {
+				sh = redirect
+				out = callShard(sh)
+			}
 		}
-		hreq.Header.Set(HeaderRequestTimeout, fmtShardTimeout(perShard))
-		if ct := req.Header.Get("Content-Type"); ct != "" {
-			hreq.Header.Set("Content-Type", ct)
-		}
-		return hreq, nil
-	})
+	}
 	r.writeOutcome(w, sh, out)
 }
 
@@ -889,8 +1082,9 @@ func (r *Router) handleBuild(w http.ResponseWriter, req *http.Request) {
 		body   []byte
 		err    error
 	}
-	results := make(chan buildRes, len(r.shards))
-	for _, sh := range r.shards {
+	shards := r.ring.Load().allShards()
+	results := make(chan buildRes, len(shards))
+	for _, sh := range shards {
 		go func(sh *shard) {
 			hreq, err := http.NewRequestWithContext(req.Context(), req.Method, sh.spec.URL+path, nil)
 			if err != nil {
@@ -914,7 +1108,7 @@ func (r *Router) handleBuild(w http.ResponseWriter, req *http.Request) {
 	if req.Method == http.MethodDelete {
 		wantStatus = http.StatusAccepted
 	}
-	for range r.shards {
+	for range shards {
 		res := <-results
 		switch {
 		case res.err != nil:
@@ -931,14 +1125,14 @@ func (r *Router) handleBuild(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 	status := wantStatus
-	if okCount < len(r.shards) {
+	if okCount < len(shards) {
 		status = http.StatusBadGateway
 	}
 	writeJSON(w, status, map[string]any{
 		"shards": shardsOut,
 		"errors": errsOut,
 		"built":  okCount,
-		"total":  len(r.shards),
+		"total":  len(shards),
 	})
 }
 
@@ -973,12 +1167,19 @@ type RouterStats struct {
 	Quorum        int           `json:"quorum"`
 	Shards        []ShardStatus `json:"shards"`
 
+	RingEpoch uint64 `json:"ring_epoch"`
+	RingMode  string `json:"ring_mode"`
+
 	Queries        int64 `json:"queries"`
 	QueriesPartial int64 `json:"queries_partial"`
 	QueriesFailed  int64 `json:"queries_failed"`
 	Hedges         int64 `json:"hedges"`
 	HedgeWins      int64 `json:"hedge_wins"`
 	Retries        int64 `json:"retries"`
+	PlacementDrift int64 `json:"placement_drift"`
+	FencedWrites   int64 `json:"fenced_writes"`
+	DualReads      int64 `json:"dual_reads"`
+	Migrations     int64 `json:"migrations"`
 }
 
 // shardStatus assembles one shard's passive status row. The live /stats
@@ -1012,10 +1213,10 @@ func (r *Router) shardStatus(sh *shard) ShardStatus {
 	return st
 }
 
-// healthyCount counts shards whose breaker is closed.
+// healthyCount counts ring shards whose breaker is closed.
 func (r *Router) healthyCount() int {
 	n := 0
-	for _, sh := range r.shards {
+	for _, sh := range r.ring.Load().allShards() {
 		if sh.breaker.State() == BreakerClosed {
 			n++
 		}
@@ -1032,21 +1233,32 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	st := r.ring.Load()
+	shards := st.allShards()
 	stats := RouterStats{
 		Router:         true,
-		ShardsTotal:    len(r.shards),
+		ShardsTotal:    len(shards),
 		ShardsHealthy:  r.healthyCount(),
-		Quorum:         r.cfg.quorumCount(len(r.shards)),
+		Quorum:         r.cfg.quorumCount(len(shards)),
+		RingEpoch:      st.epoch,
+		RingMode:       "stable",
 		Queries:        r.obs.Counter(metricQueries).Value(),
 		QueriesPartial: r.obs.Counter(metricQueryPartial).Value(),
 		QueriesFailed:  r.obs.Counter(metricQueryFailed).Value(),
 		Hedges:         r.obs.Counter(metricHedges).Value(),
 		HedgeWins:      r.obs.Counter(metricHedgeWins).Value(),
 		Retries:        r.obs.Counter(metricRetries).Value(),
+		PlacementDrift: r.obs.Counter(metricDrift).Value(),
+		FencedWrites:   r.obs.Counter(metricFencedWrites).Value(),
+		DualReads:      r.obs.Counter(metricDualReads).Value(),
+		Migrations:     r.obs.Counter(metricMigrations).Value(),
 	}
-	rows := make([]ShardStatus, len(r.shards))
+	if st.mig != nil {
+		stats.RingMode = "transition"
+	}
+	rows := make([]ShardStatus, len(shards))
 	var wg sync.WaitGroup
-	for i, sh := range r.shards {
+	for i, sh := range shards {
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
@@ -1102,9 +1314,16 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 // every sick shard so a human reading the probe sees which shard to fix.
 // Passive by design — probes must stay cheap and must not dial shards.
 func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
+	shards := r.ring.Load().allShards()
 	healthy := r.healthyCount()
-	total := len(r.shards)
+	total := len(shards)
 	quorum := r.cfg.quorumCount(total)
+	if total == 0 {
+		setRetryAfter(w, time.Second)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no shards have joined")
+		return
+	}
 	if healthy < quorum {
 		setRetryAfter(w, r.sickRetryAfter())
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -1117,7 +1336,7 @@ func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
 			fmt.Fprintf(w, "partial: serving %d/%d shards\n", healthy, total)
 		}
 	}
-	for _, sh := range r.shards {
+	for _, sh := range shards {
 		if st := r.shardStatus(sh); st.State != "healthy" {
 			fmt.Fprintf(w, "shard %s: %s", st.Name, st.State)
 			if st.LastError != "" {

@@ -242,7 +242,7 @@ func TestShedDoesNotTripBreakerOrFailQuery(t *testing.T) {
 			t.Fatalf("query %d: %s = %q, want 1/2", i, HeaderPartialResults, got)
 		}
 	}
-	if st := r.shards[1].breaker.State(); st != BreakerClosed {
+	if st := r.testShard(1).breaker.State(); st != BreakerClosed {
 		t.Errorf("breaker of the shedding shard = %v, want closed — backpressure is not failure", st)
 	}
 	// Same for an honest 503+Retry-After (admission shed / degraded mode).
@@ -252,7 +252,7 @@ func TestShedDoesNotTripBreakerOrFailQuery(t *testing.T) {
 			t.Fatalf("query %d with 503+RA shard: status %d, want 200", i, rec.Code)
 		}
 	}
-	if st := r.shards[1].breaker.State(); st != BreakerClosed {
+	if st := r.testShard(1).breaker.State(); st != BreakerClosed {
 		t.Errorf("breaker after 503+Retry-After sheds = %v, want closed", st)
 	}
 }
@@ -272,7 +272,7 @@ func TestBreakerOpensOnFailuresAndRecovers(t *testing.T) {
 			t.Fatalf("query %d: status %d, want 200 (partial)", i, rec.Code)
 		}
 	}
-	if st := r.shards[1].breaker.State(); st != BreakerOpen {
+	if st := r.testShard(1).breaker.State(); st != BreakerOpen {
 		t.Fatalf("breaker after persistent 500s = %v, want open", st)
 	}
 	calls := b.calls.Load()
@@ -285,9 +285,9 @@ func TestBreakerOpensOnFailuresAndRecovers(t *testing.T) {
 	// any live traffic volunteering as the probe.
 	b.mode.Store(modeOK)
 	deadline := time.Now().Add(3 * time.Second)
-	for r.shards[1].breaker.State() != BreakerClosed {
+	for r.testShard(1).breaker.State() != BreakerClosed {
 		if time.Now().After(deadline) {
-			t.Fatalf("breaker did not re-close within one open interval + probe; state %v", r.shards[1].breaker.State())
+			t.Fatalf("breaker did not re-close within one open interval + probe; state %v", r.testShard(1).breaker.State())
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -405,7 +405,7 @@ func TestMutationPassthroughPreservesBackpressure(t *testing.T) {
 	if got := rec.Header().Get("Retry-After"); got != "2" {
 		t.Errorf("Retry-After = %q, want the shard's own %q relayed verbatim", got, "2")
 	}
-	if r.shards[0].breaker.State() != BreakerClosed {
+	if r.testShard(0).breaker.State() != BreakerClosed {
 		t.Error("degraded-mode 503+Retry-After tripped the breaker")
 	}
 }
@@ -416,7 +416,7 @@ func TestOpenBreakerMutation503RetryAfter(t *testing.T) {
 	a := newFakeShard(t, nil)
 	r := newTestRouter(t, Config{ProbeInterval: -1,
 		Breaker: BreakerConfig{ConsecutiveFails: 1, OpenFor: 7 * time.Second}}, a)
-	b := r.shards[0].breaker
+	b := r.testShard(0).breaker
 	b.mu.Lock()
 	b.trip()
 	b.mu.Unlock()
@@ -486,7 +486,7 @@ func TestStatsShardsSection(t *testing.T) {
 	}
 
 	// Trip the last shard too → below quorum → 503 with Retry-After.
-	ba := r.shards[0].breaker
+	ba := r.testShard(0).breaker
 	ba.mu.Lock()
 	ba.trip()
 	ba.mu.Unlock()

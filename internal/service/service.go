@@ -214,6 +214,28 @@ type Server struct {
 	// loudly instead of splitting a user across shards.
 	shardName string
 	owns      func(id string) bool
+
+	// ring is the installed placement-ring view (InstallRing or POST
+	// /ring): a named, epoch-versioned ownership map that supersedes the
+	// owns predicate, carries the correct owner for X-Owner-Shard on 421s,
+	// and — in transition mode — dual-accepts ids under both the old and
+	// new ring while a migration is streaming. nil until a ring is
+	// installed.
+	ring   atomic.Pointer[ringView]
+	onRing func(RingInfo) // optional install hook (persistence); set before serving
+
+	// migration handoff state: importing serializes /migrate/import,
+	// migrating suppresses threshold compaction while an import is
+	// streaming (the begin/done journal marks must stay in live WAL
+	// segments), pendingMig carries an interrupted import found at
+	// recovery until a resumed import completes.
+	importing  atomic.Bool
+	migrating  atomic.Bool
+	pendingMig atomic.Pointer[durable.PendingMigration]
+	// migrateRate caps import apply throughput in users/second (0 =
+	// unlimited): keeps a live gainer responsive while a migration streams
+	// in, and gives the chaos harness a deterministic mid-import window.
+	migrateRate atomic.Int64
 }
 
 // packedCache is one immutable packed snapshot of the corpus: the row-major
@@ -309,6 +331,28 @@ func (s *Server) SetShard(name string, owns func(id string) bool) {
 	s.owns = owns
 }
 
+// SetShardName names this shard-core without installing an ownership
+// predicate: a process started in -role shard mode knows its own name
+// from its flags but learns the ring later, via POST /ring from the
+// router. Until a ring arrives the shard accepts every id. Must be called
+// before the handler serves traffic.
+func (s *Server) SetShardName(name string) { s.shardName = name }
+
+// SetRingHook registers a callback invoked after every successful ring
+// install (InstallRing or POST /ring) — the process entrypoint uses it to
+// persist the ring so a restart recovers ownership without waiting for a
+// re-push. Must be set before the handler serves traffic.
+func (s *Server) SetRingHook(fn func(RingInfo)) { s.onRing = fn }
+
+// SetMigrateRate caps how many users per second /migrate/import applies
+// (0 removes the cap). Safe to call at any time.
+func (s *Server) SetMigrateRate(perSec int) {
+	if perSec < 0 {
+		perSec = 0
+	}
+	s.migrateRate.Store(int64(perSec))
+}
+
 // SetBuildTimeout bounds every subsequent graph build: a build running
 // longer than d is aborted (the POST gets 504 and the previous epoch keeps
 // serving). d ≤ 0 removes the deadline. Safe to call at any time.
@@ -386,6 +430,16 @@ func (s *Server) UseStore(st *durable.Store, rec durable.Recovery) error {
 	s.index = index
 	s.mutSeq = rec.State.MutSeq
 	s.store = st
+	if rec.Migration != nil {
+		// An import was journaled as begun but never done: the crash hit
+		// mid-migration. Everything applied so far is durable and keyed by
+		// user id, so the resumed import (the router driver keeps retrying
+		// until it gets a 200) simply re-streams — idempotent, no loss, no
+		// duplicates. Surfaced in /stats until then.
+		pm := *rec.Migration
+		s.pendingMig.Store(&pm)
+		s.obs.Counter(metricMigResumed).Inc()
+	}
 
 	if ep := rec.Epoch; ep != nil {
 		// Rebuilding the navigable graph wants a similarity oracle for
@@ -498,8 +552,15 @@ func (s *Server) compact() {
 }
 
 // maybeCompactAsync starts a background compaction if the WAL outgrew its
-// threshold and none is already running on the service's behalf.
+// threshold and none is already running on the service's behalf. While a
+// migration import is streaming, compaction is deferred: the handoff's
+// begin mark must stay in a live WAL segment until its done mark lands,
+// or a crash between compaction and done would recover with no record of
+// the interrupted transfer.
 func (s *Server) maybeCompactAsync() {
+	if s.migrating.Load() {
+		return
+	}
 	if !s.store.ShouldCompact() {
 		return
 	}
@@ -524,6 +585,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/graph/build", s.handleBuildRoute)
 	mux.HandleFunc("/build", s.handleBuildRoute) // alias; DELETE /build cancels
 	mux.HandleFunc("/query", s.admitted(admit.Query, s.handleQuery))
+	// Control plane for multi-process sharding: ring installs and
+	// migration streaming bypass admission like /healthz does — a ring
+	// change must land even while the data plane is shedding load, and the
+	// migration driver's retries must never queue behind the traffic they
+	// are rebalancing.
+	mux.HandleFunc("/ring", s.handleRing)
+	mux.HandleFunc("/migrate/export", s.handleMigrateExport)
+	mux.HandleFunc("/migrate/import", s.handleMigrateImport)
+	mux.HandleFunc("/migrate/retire", s.handleMigrateRetire)
 	// Runtime profiling: pprof.Index serves the named profiles (heap,
 	// goroutine, block, ...) via the trailing path segment.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -684,6 +754,15 @@ type Stats struct {
 	// router tier (SetShard); empty for a single-node deployment.
 	Shard string `json:"shard,omitempty"`
 
+	// Ring observability: the installed placement-ring epoch and mode
+	// ("stable", or "transition" while a migration's dual-ownership window
+	// is open), and the interrupted import recovery found in the WAL, if
+	// any ("epoch=N from=shard-X" until a resumed import completes).
+	RingEpoch        uint64 `json:"ring_epoch,omitempty"`
+	RingMode         string `json:"ring_mode,omitempty"`
+	MigrationPending string `json:"migration_pending,omitempty"`
+	Importing        bool   `json:"importing,omitempty"`
+
 	Users      int  `json:"users"`
 	Bits       int  `json:"bits"`
 	GraphK     int  `json:"graph_k"`
@@ -759,6 +838,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 	st := Stats{
 		Shard:          s.shardName,
+		Importing:      s.importing.Load(),
 		Users:          users,
 		Bits:           s.bits,
 		BuildRunning:   s.building.Load(),
@@ -768,6 +848,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RateLimited:    s.admit.RateLimited(),
 		QueryCanceled:  s.obs.Counter(metricQueryCanceled).Value(),
 		QueryDeadlines: s.obs.Counter(metricQueryDeadline).Value(),
+	}
+	if rv := s.ring.Load(); rv != nil {
+		st.RingEpoch = rv.info.Epoch
+		st.RingMode = rv.info.Mode
+	}
+	if pm := s.pendingMig.Load(); pm != nil {
+		st.MigrationPending = fmt.Sprintf("epoch=%d from=%s", pm.Epoch, pm.From)
 	}
 	if s.store != nil {
 		info := s.store.Info()
@@ -824,10 +911,17 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id, action := parts[0], parts[1]
-	if s.owns != nil && !s.owns(id) {
+	if ok, owner, epoch := s.acceptsID(id); !ok {
 		// Misrouted id: this shard-core does not own the user. Answered
 		// before admission — accepting it would silently split the user
-		// across shards and the router could never find it again.
+		// across shards and the router could never find it again. When the
+		// shard holds a named ring it says who *does* own the id, so the
+		// router (placement-drift counter + one redirect) and external
+		// clients can correct course instead of guessing.
+		if owner != "" {
+			w.Header().Set(HeaderOwnerShard, owner)
+			w.Header().Set(HeaderRingEpoch, strconv.FormatUint(epoch, 10))
+		}
 		httpError(w, http.StatusMisdirectedRequest,
 			"user %q is not owned by shard %s", id, s.shardName)
 		return
